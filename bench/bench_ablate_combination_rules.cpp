@@ -1,0 +1,74 @@
+// Ablation A1: the dependence regimes in the SOR structural model.
+//
+// The paper leaves a design choice open: when stochastic values are
+// combined across iterations and across phases, should the conservative
+// (related) or RSS (unrelated) rules apply? This bench sweeps the four
+// combinations on the bursty Platform-2 workload and reports the
+// interval-width vs capture trade-off.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "predict/experiment.hpp"
+#include "support/table.hpp"
+
+namespace {
+using namespace sspred;
+using stoch::Dependence;
+
+const char* dep_name(Dependence d) {
+  return d == Dependence::kRelated ? "related" : "unrelated";
+}
+}  // namespace
+
+int main() {
+  bench::banner("Ablation A1",
+                "related (conservative) vs unrelated (RSS) combination "
+                "rules in the SOR model");
+
+  support::Table t({"iteration dep", "phase dep", "rel. interval width",
+                    "capture", "max range err", "max point err"});
+
+  for (const auto iter_dep : {Dependence::kRelated, Dependence::kUnrelated}) {
+    for (const auto phase_dep :
+         {Dependence::kRelated, Dependence::kUnrelated}) {
+      predict::SeriesConfig cfg;
+      cfg.platform = cluster::platform2();
+      cfg.sor.n = 1000;
+      cfg.sor.iterations = 15;
+      cfg.sor.real_numerics = false;
+      cfg.trials = 12;
+      cfg.spacing = 200.0;
+      cfg.load_source = predict::LoadParameterSource::kNwsForecast;
+      cfg.bwavail = stoch::StochasticValue::from_mean_sd(0.525, 0.06);
+      cfg.model.iteration_dependence = iter_dep;
+      cfg.model.phase_dependence = phase_dep;
+
+      const auto outcomes = run_series(cfg);
+      const auto s = predict::score(outcomes);
+      double rel_width = 0.0;
+      for (const auto& o : outcomes) {
+        rel_width += o.predicted.halfwidth() / o.predicted.mean();
+      }
+      rel_width /= static_cast<double>(outcomes.size());
+
+      t.add_row({dep_name(iter_dep), dep_name(phase_dep),
+                 "±" + support::fmt_pct(rel_width, 1),
+                 support::fmt_pct(s.capture_fraction, 0),
+                 support::fmt_pct(s.max_range_error, 1),
+                 support::fmt_pct(s.max_mean_error, 1)});
+    }
+  }
+  std::cout << "\n" << t.render();
+
+  bench::section("reading");
+  std::cout
+      << "  * Related iteration accumulation (the paper's regime: load "
+         "persists for\n    the whole run) keeps intervals wide enough to "
+         "capture bursty actuals.\n"
+      << "  * Unrelated iteration accumulation shrinks the interval by "
+         "~sqrt(NumIts)\n    and forfeits capture — iteration noise does "
+         "NOT average out when the\n    underlying load is persistent.\n";
+  return 0;
+}

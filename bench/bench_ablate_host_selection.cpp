@@ -1,0 +1,100 @@
+// Ablation A9: application-level host selection over stochastic
+// predictions (the paper's AppLeS context).
+//
+// More hosts is not always faster: a loaded slow machine drags the
+// Max-composed SOR model. This bench ranks every host subset of Platform 1
+// by three metrics, then validates the ranking by actually running the
+// top plan and the all-hosts plan.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "predict/host_selection.hpp"
+#include "sor/distributed.hpp"
+#include "support/table.hpp"
+
+namespace {
+using namespace sspred;
+
+std::string hosts_str(const predict::CandidatePlan& p,
+                      const cluster::PlatformSpec& spec) {
+  std::string s;
+  for (std::size_t h : p.hosts) {
+    if (!s.empty()) s += "+";
+    s += spec.hosts[h].machine.name;
+  }
+  return s;
+}
+}  // namespace
+
+int main() {
+  bench::banner("Ablation A9",
+                "host selection by stochastic prediction (AppLeS-style)");
+
+  const auto spec = cluster::platform1();
+  sor::SorConfig cfg;
+  cfg.n = 1000;
+  cfg.iterations = 15;
+  cfg.real_numerics = false;
+  const std::vector<stoch::StochasticValue> loads{
+      stoch::StochasticValue(0.48, 0.05), stoch::StochasticValue(0.92, 0.03),
+      stoch::StochasticValue(0.92, 0.03), stoch::StochasticValue(0.92, 0.03)};
+  const stoch::StochasticValue bwavail(0.525, 0.12);
+
+  const auto plans = predict::rank_host_subsets(
+      spec, cfg, loads, bwavail, predict::PlanMetric::kExpectedTime);
+
+  bench::section("plan ranking (expected time; top 6 of 15 subsets)");
+  support::Table t({"rank", "hosts", "prediction (s)", "score"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(6, plans.size()); ++i) {
+    t.add_row({std::to_string(i + 1), hosts_str(plans[i], spec),
+               plans[i].predicted.to_string(1),
+               support::fmt(plans[i].score, 1)});
+  }
+  // And the all-hosts plan for contrast.
+  for (const auto& p : plans) {
+    if (p.hosts.size() == spec.hosts.size()) {
+      t.add_row({"(all hosts)", hosts_str(p, spec), p.predicted.to_string(1),
+                 support::fmt(p.score, 1)});
+      break;
+    }
+  }
+  std::cout << t.render();
+
+  bench::section("validation: run the top plan vs all hosts");
+  const auto& best = plans.front();
+  sor::SorConfig best_cfg = cfg;
+  best_cfg.rows_per_rank.assign(best.rows.begin(), best.rows.end());
+  sim::Engine e1;
+  cluster::Platform p1(e1, best.subset_spec(spec), 71);
+  const double t_best = sor::run_distributed_sor(e1, p1, best_cfg).total_time;
+  sim::Engine e2;
+  cluster::Platform p2(e2, spec, 71);
+  const double t_all = sor::run_distributed_sor(e2, p2, cfg).total_time;
+  bench::compare_line("best plan " + hosts_str(best, spec),
+                      best.predicted.to_string(1) + " s predicted",
+                      support::fmt(t_best, 1) + " s actual");
+  bench::compare_line("all four hosts (uniform strips)", "slower",
+                      support::fmt(t_all, 1) + " s actual");
+  std::printf("  dropping the loaded host is a %.2fx win\n", t_all / t_best);
+
+  bench::section("metric sensitivity");
+  for (const auto metric :
+       {predict::PlanMetric::kExpectedTime, predict::PlanMetric::kP95Time,
+        predict::PlanMetric::kUpperBound}) {
+    const auto pick =
+        predict::select_hosts(spec, cfg, loads, bwavail, metric);
+    const char* name = metric == predict::PlanMetric::kExpectedTime
+                           ? "expected time"
+                           : metric == predict::PlanMetric::kP95Time
+                                 ? "p95 time     "
+                                 : "upper bound  ";
+    std::printf("  %s -> %s (%s s)\n", name, hosts_str(pick, spec).c_str(),
+                pick.predicted.to_string(1).c_str());
+  }
+  std::cout << "\nThe scheduler's choice is metric-driven exactly as the "
+               "paper's §1.2\ndiscussion anticipates — only possible with "
+               "stochastic predictions.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Ablation A2: the group-Max policy (§2.3.3).
+//
+// The paper discusses calculating Max by largest mean or by largest range
+// value and leaves the choice situation-dependent. This bench compares
+// both plus Clark's Gaussian moment-matching approximation, on the same
+// prediction workload, and directly against Monte-Carlo ground truth of
+// the max of heterogeneous per-rank times.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "predict/experiment.hpp"
+#include "stoch/group_ops.hpp"
+#include "stoch/montecarlo.hpp"
+#include "support/table.hpp"
+
+namespace {
+using namespace sspred;
+using stoch::ExtremePolicy;
+
+const char* policy_name(ExtremePolicy p) {
+  switch (p) {
+    case ExtremePolicy::kLargestMean:
+      return "largest-mean";
+    case ExtremePolicy::kLargestUpper:
+      return "largest-upper";
+    case ExtremePolicy::kClark:
+      return "clark";
+  }
+  return "?";
+}
+}  // namespace
+
+int main() {
+  bench::banner("Ablation A2", "group-Max policies for stochastic values");
+
+  bench::section("micro view: max of the paper's A=4±0.5, B=3±2, C=3±1");
+  const std::vector<stoch::StochasticValue> abc{{4.0, 0.5}, {3.0, 2.0},
+                                                {3.0, 1.0}};
+  support::Rng rng(3);
+  // Monte-Carlo ground truth of max(A,B,C).
+  std::vector<double> maxima;
+  for (int i = 0; i < 200'000; ++i) {
+    double m = -1e18;
+    for (const auto& v : abc) m = std::max(m, stoch::sample(v, rng));
+    maxima.push_back(m);
+  }
+  const auto truth = stoch::StochasticValue::from_sample(maxima);
+  support::Table micro({"policy", "result", "mean err vs MC"});
+  for (auto p : {ExtremePolicy::kLargestMean, ExtremePolicy::kLargestUpper,
+                 ExtremePolicy::kClark}) {
+    const auto r = stoch::smax(abc, p);
+    micro.add_row({policy_name(p), r.to_string(3),
+                   support::fmt_pct(
+                       std::abs(r.mean() - truth.mean()) / truth.mean(), 1)});
+  }
+  micro.add_row({"monte-carlo truth", truth.to_string(3), "-"});
+  std::cout << micro.render();
+
+  bench::section("macro view: SOR prediction quality per policy (Platform 2)");
+  support::Table t({"policy", "capture", "max range err", "mean interval"});
+  for (auto policy : {ExtremePolicy::kLargestMean, ExtremePolicy::kLargestUpper,
+                      ExtremePolicy::kClark}) {
+    predict::SeriesConfig cfg;
+    cfg.platform = cluster::platform2();
+    cfg.sor.n = 1000;
+    cfg.sor.iterations = 15;
+    cfg.sor.real_numerics = false;
+    cfg.trials = 12;
+    cfg.spacing = 200.0;
+    cfg.load_source = predict::LoadParameterSource::kNwsForecast;
+    cfg.bwavail = stoch::StochasticValue::from_mean_sd(0.525, 0.06);
+    cfg.model.max_policy = policy;
+
+    const auto outcomes = run_series(cfg);
+    const auto s = predict::score(outcomes);
+    double width = 0.0;
+    for (const auto& o : outcomes) width += o.predicted.halfwidth();
+    width /= static_cast<double>(outcomes.size());
+    t.add_row({policy_name(policy), support::fmt_pct(s.capture_fraction, 0),
+               support::fmt_pct(s.max_range_error, 1),
+               "±" + support::fmt(width, 1) + " s"});
+  }
+  std::cout << t.render();
+
+  bench::section("reading");
+  std::cout << "  * largest-mean (the paper's default reading) tracks the "
+               "dominant slow rank.\n"
+            << "  * Clark's approximation is the most faithful to the true "
+               "max when ranks\n    are closely matched; with one dominant "
+               "rank all three coincide.\n";
+  return 0;
+}

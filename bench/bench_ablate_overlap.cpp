@@ -1,0 +1,93 @@
+// Ablation A6: hiding communication behind computation.
+//
+// The blocking SOR pays Max{Comp} + Max{Comm} per phase (the paper's
+// structural model); the overlapped variant sweeps boundary rows first,
+// ships them, and sweeps the interior while ghosts travel. This bench
+// quantifies the hidden communication across grid sizes and shows the
+// numerics are untouched.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sor/distributed.hpp"
+#include "sor/serial.hpp"
+#include "support/table.hpp"
+
+namespace {
+using namespace sspred;
+
+double total_comm(const sor::SorResult& r) {
+  double acc = 0.0;
+  for (const auto& rank : r.ranks) {
+    for (const auto& t : rank.iterations) acc += t.red_comm + t.black_comm;
+  }
+  return acc;
+}
+}  // namespace
+
+int main() {
+  bench::banner("Ablation A6",
+                "communication/computation overlap in the distributed SOR");
+
+  support::Table t({"grid", "blocking (s)", "overlapped (s)", "speedup",
+                    "comm hidden"});
+
+  for (const std::size_t n : {200, 400, 800, 1600}) {
+    sor::SorConfig cfg;
+    cfg.n = n;
+    cfg.iterations = 12;
+    cfg.real_numerics = false;
+
+    sim::Engine e1;
+    cluster::Platform p1(e1, cluster::dedicated_platform(4), 41);
+    const auto blocking = sor::run_distributed_sor(e1, p1, cfg);
+
+    cfg.overlap_comm = true;
+    sim::Engine e2;
+    cluster::Platform p2(e2, cluster::dedicated_platform(4), 41);
+    const auto overlapped = sor::run_distributed_sor(e2, p2, cfg);
+
+    const double hidden =
+        1.0 - total_comm(overlapped) / total_comm(blocking);
+    t.add_row({std::to_string(n) + "x" + std::to_string(n),
+               support::fmt(blocking.total_time, 2),
+               support::fmt(overlapped.total_time, 2),
+               support::fmt(blocking.total_time / overlapped.total_time, 2) +
+                   "x",
+               support::fmt_pct(hidden, 0)});
+  }
+  std::cout << "\n4x sparc10, dedicated network, 12 iterations\n\n"
+            << t.render();
+
+  // Correctness spot check: overlapped solution == serial solution.
+  sor::SorConfig check;
+  check.n = 32;
+  check.iterations = 8;
+  check.overlap_comm = true;
+  check.gather_solution = true;
+  sim::Engine engine;
+  cluster::Platform platform(engine, cluster::dedicated_platform(4), 43);
+  const auto result = sor::run_distributed_sor(engine, platform, check);
+  sor::SerialSor serial(check.n);
+  serial.iterate(check.iterations);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < check.n; ++i) {
+    for (std::size_t j = 0; j < check.n; ++j) {
+      worst = std::max(worst, std::abs(result.solution[i * check.n + j] -
+                                       serial.at(i, j)));
+    }
+  }
+  bench::section("correctness");
+  bench::compare_line("overlapped vs serial max deviation", "0 (bitwise)",
+                      support::fmt(worst, 17));
+
+  bench::section("reading");
+  std::cout
+      << "  * Small grids are comm-bound: overlapping hides most of the "
+         "exchange and\n    buys a visible speedup.\n"
+      << "  * Large grids are compute-bound: little left to hide — which "
+         "is also why\n    the paper's additive Max{Comm} term stays "
+         "accurate at its problem sizes.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Ablation A4: the §1.2 scheduling strategies under explicit penalty
+// metrics.
+//
+// The paper's motivating example: with equal production means (12 s/unit)
+// but unequal variances (A ±5%, B ±30%), the right split depends on the
+// penalty for misprediction. This bench allocates 400 units under each
+// strategy and Monte-Carlo evaluates makespan mean, spread, tail and the
+// probability of blowing a deadline.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sched/workshare.hpp"
+#include "stoch/montecarlo.hpp"
+#include "support/table.hpp"
+
+namespace {
+using namespace sspred;
+
+double deadline_miss_probability(const sched::Allocation& alloc,
+                                 std::span<const sched::MachineProfile> ms,
+                                 double deadline, support::Rng& rng) {
+  constexpr int kTrials = 40'000;
+  int misses = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    double span = 0.0;
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+      const double unit = std::max(1e-9, stoch::sample(ms[i].unit_time, rng));
+      span = std::max(span, unit * static_cast<double>(alloc.units[i]));
+    }
+    if (span > deadline) ++misses;
+  }
+  return static_cast<double>(misses) / kTrials;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation A4",
+                "work-allocation strategies over stochastic unit times "
+                "(paper §1.2)");
+
+  const std::vector<sched::MachineProfile> machines{
+      {"A (quiet)", stoch::StochasticValue::from_percent(12.0, 5.0)},
+      {"B (busy)", stoch::StochasticValue::from_percent(12.0, 30.0)},
+  };
+  constexpr std::size_t kUnits = 400;
+  // Deadline 10% above the balanced-expectation makespan.
+  constexpr double kDeadline = 0.5 * kUnits * 12.0 * 1.10;
+
+  support::Table t({"strategy", "units A", "units B", "predicted makespan",
+                    "MC mean", "MC sd", "MC p95", "P(miss deadline)"});
+  support::Rng rng(20260707);
+
+  struct Row {
+    const char* name;
+    sched::Strategy strategy;
+    double risk;
+  };
+  const std::vector<Row> rows{
+      {"mean-balance", sched::Strategy::kMeanBalance, 0.0},
+      {"conservative (risk 0.5)", sched::Strategy::kConservative, 0.5},
+      {"conservative (risk 1.0)", sched::Strategy::kConservative, 1.0},
+      {"conservative (risk 2.0)", sched::Strategy::kConservative, 2.0},
+      {"optimistic", sched::Strategy::kOptimistic, 0.0},
+  };
+  for (const auto& row : rows) {
+    const auto alloc =
+        sched::allocate(kUnits, machines, row.strategy, row.risk);
+    const auto pred = sched::predicted_makespan(alloc, machines);
+    const auto mc = sched::simulate_makespan(alloc, machines, rng, 40'000);
+    const double miss =
+        deadline_miss_probability(alloc, machines, kDeadline, rng);
+    t.add_row({row.name, std::to_string(alloc.units[0]),
+               std::to_string(alloc.units[1]), pred.to_string(0),
+               support::fmt(mc.mean, 0), support::fmt(mc.sd, 1),
+               support::fmt(mc.p95, 0), support::fmt_pct(miss, 1)});
+  }
+  std::cout << "\nworkload: " << kUnits << " units; unit times A = "
+            << machines[0].unit_time << " s, B = " << machines[1].unit_time
+            << " s; deadline " << support::fmt(kDeadline, 0) << " s\n\n"
+            << t.render();
+
+  bench::section("reading");
+  std::cout
+      << "  * Accuracy a priority (penalty for misprediction): shift work "
+         "to the\n    low-variance machine A — the conservative rows cut sd, "
+         "p95 and deadline\n    misses at a small mean cost.\n"
+      << "  * Little penalty for bad guesses: the optimistic row bets on "
+         "B's fast\n    tail; its expected makespan is no better and its "
+         "tail risk is the worst.\n"
+      << "  * This is only expressible because unit times are stochastic "
+         "values —\n    point values make every strategy identical.\n";
+  return 0;
+}

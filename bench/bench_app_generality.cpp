@@ -1,0 +1,125 @@
+// Ablation A7: structural modeling beyond SOR — the Jacobi application.
+//
+// Structural models are meant to be composed per application from
+// component models. This bench builds the Jacobi model (one sweep + one
+// exchange per iteration), validates it on the dedicated platform, and
+// runs the stochastic predict-then-execute loop on Platform 1.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "nws/sensor.hpp"
+#include "nws/service.hpp"
+#include "predict/sor_model.hpp"
+#include "sor/cg.hpp"
+#include "sor/jacobi.hpp"
+#include "support/table.hpp"
+
+namespace {
+using namespace sspred;
+}
+
+int main() {
+  bench::banner("Ablation A7",
+                "structural modeling generalizes: the Jacobi application");
+
+  bench::section("dedicated validation (the 2% check, Jacobi edition)");
+  support::Table t({"grid", "predicted (s)", "actual (s)", "error"});
+  double worst = 0.0;
+  for (const std::size_t n : {600, 1000, 1600}) {
+    sor::JacobiConfig cfg;
+    cfg.n = n;
+    cfg.iterations = 20;
+    cfg.real_numerics = false;
+    const auto spec = cluster::dedicated_platform(4);
+    const predict::JacobiStructuralModel model(spec, n, cfg.iterations);
+    const std::vector<stoch::StochasticValue> loads(
+        4, stoch::StochasticValue(1.0));
+    const double predicted =
+        model.predict_point(model.make_env(loads, {1.0}));
+    sim::Engine engine;
+    cluster::Platform platform(engine, spec, 51);
+    const double actual =
+        sor::run_distributed_jacobi(engine, platform, cfg).total_time;
+    const double err = std::abs(predicted - actual) / actual;
+    worst = std::max(worst, err);
+    t.add_row({std::to_string(n) + "x" + std::to_string(n),
+               support::fmt(predicted, 2), support::fmt(actual, 2),
+               support::fmt_pct(err, 2)});
+  }
+  std::cout << t.render();
+  bench::compare_line("max dedicated error", "< 2% (like SOR)",
+                      support::fmt_pct(worst, 2));
+
+  bench::section("stochastic predictions on Platform 1");
+  const auto spec = cluster::platform1();
+  support::Table t2({"trial", "stochastic prediction", "actual", "captured?"});
+  std::size_t captured = 0;
+  const std::size_t trials = 6;
+  sim::Engine engine;
+  cluster::PlatformSpec pspec = spec;
+  pspec.trace_duration = 6'000.0;
+  cluster::Platform platform(engine, pspec, 53);
+  for (std::size_t i = 0; i < trials; ++i) {
+    const double start = 400.0 + 700.0 * static_cast<double>(i);
+    // Loads as recent-window stochastic values (single-mode regime).
+    std::vector<stoch::StochasticValue> loads;
+    for (std::size_t p = 0; p < platform.size(); ++p) {
+      std::vector<double> window;
+      for (double tt = start - 300.0; tt < start; tt += 5.0) {
+        window.push_back(platform.machine(p).availability(tt));
+      }
+      loads.push_back(stoch::StochasticValue::from_sample(window));
+    }
+    sor::JacobiConfig cfg;
+    cfg.n = 1000;
+    cfg.iterations = 15;
+    cfg.real_numerics = false;
+    const predict::JacobiStructuralModel model(spec, cfg.n, cfg.iterations);
+    const auto pred = model.predict(model.make_env(loads, {0.525, 0.12}));
+    const double actual =
+        sor::run_distributed_jacobi(engine, platform, cfg,
+                                    std::max(start, engine.now()))
+            .total_time;
+    if (pred.contains(actual)) ++captured;
+    t2.add_row({std::to_string(i + 1), pred.to_string(1) + " s",
+                support::fmt(actual, 1) + " s",
+                pred.contains(actual) ? "yes" : "NO"});
+  }
+  std::cout << t2.render();
+  bench::compare_line(
+      "capture on the single-mode platform", "high (like SOR Fig. 9)",
+      support::fmt_pct(static_cast<double>(captured) / trials, 0));
+
+  bench::section("a third pattern: Conjugate Gradient (collective-bound)");
+  // CG adds two allreduces per iteration — latency-bound collectives,
+  // unlike SOR/Jacobi's bandwidth-bound neighbour exchanges.
+  support::Table t3({"grid", "compute share", "ghost share",
+                     "collective share", "converged residual"});
+  for (const std::size_t n : {64, 256, 1024}) {
+    sor::CgConfig cfg;
+    cfg.n = n;
+    cfg.max_iterations = 40;
+    sim::Engine engine2;
+    cluster::Platform platform2(engine2, cluster::dedicated_platform(4), 57);
+    const auto r = sor::run_distributed_cg(engine2, platform2, cfg);
+    const auto& [comp, ghost, coll] = r.rank_totals[1];
+    const double total = comp + ghost + coll;
+    t3.add_row({std::to_string(n) + "x" + std::to_string(n),
+                support::fmt_pct(comp / total, 0),
+                support::fmt_pct(ghost / total, 0),
+                support::fmt_pct(coll / total, 0),
+                support::fmt(r.residual, 6)});
+  }
+  std::cout << t3.render();
+  std::cout << "  Small grids are collective-latency bound; large grids are "
+               "compute bound —\n  a different comm regime the same substrate "
+               "exposes for modeling.\n";
+
+  std::cout << "\nThe same component-model vocabulary (benchmark/op-count "
+               "compute, shared-\nsegment comm, stochastic load) assembles "
+               "a faithful model for different\napplications — structural "
+               "modeling is not SOR-specific.\n";
+  return 0;
+}

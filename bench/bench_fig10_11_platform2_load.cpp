@@ -1,0 +1,67 @@
+// Regenerates paper Figures 10-11 (Platform 2, §3.2): the 4-modal load
+// histogram and the bursty time trace.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/platform.hpp"
+#include "machine/load_trace.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/gmm.hpp"
+#include "stats/kde.hpp"
+#include "support/ascii_plot.hpp"
+#include "support/table.hpp"
+
+namespace {
+using namespace sspred;
+}
+
+int main() {
+  bench::banner("Figures 10-11", "Platform 2: 4-modal bursty CPU load");
+
+  const auto spec = cluster::platform2_load();
+  const machine::LoadTrace trace =
+      machine::LoadTrace::generate(spec, 20'000, 1.0, 23);
+  const std::vector<double> xs(trace.samples().begin(),
+                               trace.samples().end());
+
+  bench::section("Figure 10 — load histogram");
+  stats::Histogram hist(0.0, 1.0, 25);
+  hist.add_all(xs);
+  support::PlotOptions hopts;
+  hopts.x_label = "CPU load (availability fraction)";
+  std::cout << support::render_histogram(hist.edges(),
+                                         hist.counts_as_double(), hopts);
+
+  bench::section("Figure 11 — bursty time trace (first 200 s)");
+  const std::vector<double> window(xs.begin(), xs.begin() + 200);
+  bench::print_series(window, "load on workstation", "availability");
+
+  bench::section("burstiness metrics");
+  const auto s = stats::summarize(xs);
+  std::printf("  mean %.3f, sd %.3f, lag-1 autocorrelation %.2f\n", s.mean,
+              s.sd, stats::autocorrelation(xs, 1));
+  std::size_t switches = 0;
+  for (std::size_t i = 1; i < window.size(); ++i) {
+    if (std::abs(window[i] - window[i - 1]) > 0.15) ++switches;
+  }
+  bench::compare_line("mode switches in 200 s window", "frequent (bursty)",
+                      std::to_string(switches));
+
+  bench::section("mode count via KDE density peaks");
+  const stats::Kde kde(xs);
+  const auto peaks = kde.peaks(512, 0.08);
+  bench::compare_line("number of modes", "4", std::to_string(peaks.size()));
+
+  bench::section("mixture fit at k = 4");
+  const auto fit = stats::fit_gmm(xs, 4);
+  support::Table t({"mode", "mean", "sd", "weight"});
+  for (std::size_t i = 0; i < fit.components.size(); ++i) {
+    const auto& c = fit.components[i];
+    t.add_row({std::to_string(i + 1), support::fmt(c.mean, 3),
+               support::fmt(c.sd, 3), support::fmt(c.weight, 3)});
+  }
+  std::cout << t.render();
+  return 0;
+}

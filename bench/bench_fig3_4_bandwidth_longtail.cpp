@@ -1,0 +1,104 @@
+// Regenerates paper Figures 3-4: the long-tailed distribution of ethernet
+// bandwidth between two workstations, its normal approximation, and the
+// coverage penalty of assuming normality (§2.1.1: ~91% of values inside
+// the ±2sd range instead of the ~95% a true normal would give).
+//
+// Bandwidth samples come from real probe transfers through the shared-
+// ethernet fluid model under long-tailed cross-traffic.
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "support/table.hpp"
+#include "cluster/platform.hpp"
+#include "net/ethernet.hpp"
+#include "sim/engine.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/normality.hpp"
+#include "stoch/stochastic_value.hpp"
+#include "support/units.hpp"
+
+namespace {
+using namespace sspred;
+}
+
+int main() {
+  bench::banner("Figures 3-4",
+                "long-tailed ethernet bandwidth vs its normal approximation");
+
+  // Probe transfers between two workstations on the production segment.
+  sim::Engine engine;
+  net::EthernetSpec spec;
+  spec.availability = cluster::production_ethernet_availability();
+  net::SharedEthernet ethernet(engine, spec, 31);
+
+  constexpr std::size_t kProbes = 1'200;
+  constexpr support::Bytes kProbeBytes = 64.0 * 1024.0;
+  std::vector<double> bandwidth_mbits;
+  bandwidth_mbits.reserve(kProbes);
+
+  double probe_start = 0.0;
+  std::function<void()> on_done = [&] {
+    const double elapsed = engine.now() - probe_start;
+    bandwidth_mbits.push_back(
+        support::to_mbits_per_sec(kProbeBytes / elapsed));
+    if (bandwidth_mbits.size() < kProbes) {
+      // Space probes out so cross-traffic decorrelates between samples.
+      engine.schedule_in(3.0, [&] {
+        probe_start = engine.now();
+        ethernet.start_transfer(kProbeBytes, on_done);
+      });
+    }
+  };
+  ethernet.start_transfer(kProbeBytes, on_done);
+  engine.run();
+
+  const auto s = stats::summarize(bandwidth_mbits);
+  const auto sv = stoch::StochasticValue::from_sample(bandwidth_mbits);
+  // The paper's "5.25 ± 0.8" is a normal fitted to the histogram's bulk:
+  // a robust (median/IQR) fit, insensitive to the long tail. The full-
+  // sample sd is inflated by the tail, which would hide the coverage gap.
+  const double robust_sd =
+      (stats::quantile(bandwidth_mbits, 0.75) -
+       stats::quantile(bandwidth_mbits, 0.25)) /
+      1.349;
+  const stoch::StochasticValue robust_sv = stoch::StochasticValue::from_mean_sd(
+      stats::median(bandwidth_mbits), robust_sd);
+
+  bench::section("Figure 3 — bandwidth histogram with normal PDF");
+  bench::print_histogram_with_normal(bandwidth_mbits, 16,
+                                     "probe bandwidth",
+                                     "bandwidth (Mbits/sec)");
+
+  bench::section("Figure 4 — bandwidth CDF with normal CDF");
+  bench::print_cdf_with_normal(bandwidth_mbits, "bandwidth CDF",
+                               "bandwidth (Mbits/sec)");
+
+  bench::section("the §2.1.1 coverage argument");
+  std::printf("  bulk-fit stochastic value: %s Mbits/sec\n",
+              robust_sv.to_string(2).c_str());
+  std::printf("  full-sample stochastic value: %s Mbits/sec (tail-inflated)\n",
+              sv.to_string(2).c_str());
+  bench::compare_line("mean bandwidth", "5.25 Mbit/s",
+                      support::fmt(s.mean, 2) + " Mbit/s");
+  const double within_bulk = stats::fraction_within(
+      bandwidth_mbits, robust_sv.lower(), robust_sv.upper());
+  bench::compare_line("coverage of bulk-fit normal ± 2sd", "~91% (not 95%)",
+                      support::fmt_pct(within_bulk, 1));
+  const double within =
+      stats::fraction_within(bandwidth_mbits, sv.lower(), sv.upper());
+  bench::compare_line("coverage of full-sample ± 2sd",
+                      "higher (sd absorbs the tail)",
+                      support::fmt_pct(within, 1));
+  bench::compare_line("skewness (long tail)", "negative",
+                      support::fmt(s.skewness, 2));
+  const auto ad = stats::anderson_darling_normal(bandwidth_mbits);
+  bench::compare_line("normality formally rejected?", "yes (long-tailed)",
+                      ad.reject_at_05 ? "yes" : "no");
+  std::cout << "\nNormal is an acceptable stand-in only when the consumer "
+               "tolerates the\nmissing tail mass — exactly the paper's "
+               "caveat.\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Regenerates paper Figure 5: the tri-modal CPU-load histogram of a
+// production workstation (Platform 1), and verifies that the modal
+// analysis pipeline (GMM + KDE) recovers the planted modes the way the
+// paper's by-eye analysis identified them.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/platform.hpp"
+#include "machine/load_trace.hpp"
+#include "stats/gmm.hpp"
+#include "stats/histogram.hpp"
+#include "stats/kde.hpp"
+#include "stoch/modes.hpp"
+#include "support/ascii_plot.hpp"
+#include "support/table.hpp"
+
+namespace {
+using namespace sspred;
+}
+
+int main() {
+  bench::banner("Figure 5",
+                "tri-modal CPU load on a production workstation + modal "
+                "analysis");
+
+  const auto spec = cluster::platform1_load();
+  const machine::LoadTrace trace =
+      machine::LoadTrace::generate(spec, 40'000, 1.0, 5);
+  const std::vector<double> xs(trace.samples().begin(),
+                               trace.samples().end());
+
+  bench::section("load histogram (paper Fig. 5)");
+  const stats::Histogram hist(0.0, 1.0, 25);
+  stats::Histogram mutable_hist = hist;
+  mutable_hist.add_all(xs);
+  const auto edges = mutable_hist.edges();
+  const auto counts = mutable_hist.counts_as_double();
+  support::PlotOptions opts;
+  opts.x_label = "CPU load (availability fraction)";
+  std::cout << support::render_histogram(edges, counts, opts);
+
+  bench::section("mode count via KDE density peaks (the paper's by-eye read)");
+  const stats::Kde kde(xs);
+  const auto peaks = kde.peaks(512, 0.08);
+  for (const auto& p : peaks) {
+    std::printf("  peak at load %.3f (density %.2f)\n", p.location, p.density);
+  }
+  bench::compare_line("number of modes", "3", std::to_string(peaks.size()));
+
+  bench::section("mode parameters via Gaussian mixture at k = 3");
+  // (BIC-driven selection splits the long-tailed centre mode into extra
+  // Gaussians — expected, since that mode is not Gaussian; the KDE peak
+  // count above is the faithful analogue of the paper's reading.)
+  const auto fit = stats::fit_gmm(xs, peaks.size() >= 2 ? 3 : 1);
+  support::Table t({"mode", "planted center", "fit mean", "fit sd",
+                    "fit weight"});
+  const std::vector<double> planted{0.33, 0.48, 0.94};
+  for (std::size_t i = 0; i < fit.components.size(); ++i) {
+    const auto& c = fit.components[i];
+    t.add_row({"mode " + std::to_string(i + 1),
+               i < planted.size() ? support::fmt(planted[i], 2) : "-",
+               support::fmt(c.mean, 3), support::fmt(c.sd, 3),
+               support::fmt(c.weight, 3)});
+  }
+  std::cout << t.render();
+
+  bench::section("modal stochastic values (paper §2.1.2)");
+  const auto modes = stoch::modes_from_gmm(fit);
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    std::printf("  mode %zu: occupancy %.2f, value %s\n", i + 1,
+                modes[i].occupancy, modes[i].value.to_string(3).c_str());
+  }
+  const auto mixed = stoch::mix_modes(modes);
+  const auto moments = stoch::mixture_moments(modes);
+  std::printf("  time-weighted modal average (paper formula): %s\n",
+              mixed.to_string(3).c_str());
+  std::printf("  exact mixture moments (law of total variance): %s\n",
+              moments.to_string(3).c_str());
+  return 0;
+}

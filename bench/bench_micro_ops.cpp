@@ -1,0 +1,146 @@
+// M1 microbenchmarks (google-benchmark): throughput of the core
+// primitives — stochastic arithmetic, Clark max, normal quantiles, GMM
+// fitting, DES event processing, channel round-trips, load-trace
+// integration and the SOR sweep kernel.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "cluster/platform.hpp"
+#include "machine/load_trace.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sor/serial.hpp"
+#include "stats/distributions.hpp"
+#include "stats/gmm.hpp"
+#include "stoch/arithmetic.hpp"
+#include "stoch/group_ops.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace sspred;
+
+void BM_StochasticAddUnrelated(benchmark::State& state) {
+  const stoch::StochasticValue x(10.0, 2.0);
+  const stoch::StochasticValue y(5.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        stoch::add(x, y, stoch::Dependence::kUnrelated));
+  }
+}
+BENCHMARK(BM_StochasticAddUnrelated);
+
+void BM_StochasticMulRelated(benchmark::State& state) {
+  const stoch::StochasticValue x(10.0, 2.0);
+  const stoch::StochasticValue y(5.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stoch::mul(x, y, stoch::Dependence::kRelated));
+  }
+}
+BENCHMARK(BM_StochasticMulRelated);
+
+void BM_StochasticDiv(benchmark::State& state) {
+  const stoch::StochasticValue x(10.0, 2.0);
+  const stoch::StochasticValue y(0.5, 0.05);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stoch::div(x, y, stoch::Dependence::kUnrelated));
+  }
+}
+BENCHMARK(BM_StochasticDiv);
+
+void BM_ClarkMax(benchmark::State& state) {
+  const stoch::StochasticValue x(10.0, 2.0);
+  const stoch::StochasticValue y(11.0, 1.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stoch::clark_max(x, y));
+  }
+}
+BENCHMARK(BM_ClarkMax);
+
+void BM_NormalQuantile(benchmark::State& state) {
+  double p = 0.0001;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::normal_quantile(p));
+    p += 0.0001;
+    if (p >= 1.0) p = 0.0001;
+  }
+}
+BENCHMARK(BM_NormalQuantile);
+
+void BM_GmmFit(benchmark::State& state) {
+  support::Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 1'000; ++i) {
+    xs.push_back(rng.uniform() < 0.5 ? rng.normal(0.3, 0.03)
+                                     : rng.normal(0.9, 0.02));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::fit_gmm(xs, 2));
+  }
+}
+BENCHMARK(BM_GmmFit)->Unit(benchmark::kMillisecond);
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    int counter = 0;
+    for (int i = 0; i < 10'000; ++i) {
+      eng.schedule_at(static_cast<double>(i % 100), [&counter] { ++counter; });
+    }
+    eng.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EngineEventThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_ChannelRoundTrips(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    sim::Channel<int> ping(eng);
+    sim::Channel<int> pong(eng);
+    eng.spawn([](sim::Channel<int>& in, sim::Channel<int>& out) -> sim::Process {
+      for (int i = 0; i < 1'000; ++i) {
+        out.send(co_await in.recv());
+      }
+    }(ping, pong));
+    eng.spawn([](sim::Channel<int>& out, sim::Channel<int>& in) -> sim::Process {
+      for (int i = 0; i < 1'000; ++i) {
+        out.send(i);
+        (void)co_await in.recv();
+      }
+    }(ping, pong));
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1'000);
+}
+BENCHMARK(BM_ChannelRoundTrips)->Unit(benchmark::kMillisecond);
+
+void BM_LoadTraceFinishTime(benchmark::State& state) {
+  const machine::LoadTrace trace = machine::LoadTrace::generate(
+      cluster::platform2_load(), 4'000, 1.0, 3);
+  double start = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace.finish_time(start, 50.0));
+    start += 1.7;
+    if (start > 3'000.0) start = 0.0;
+  }
+}
+BENCHMARK(BM_LoadTraceFinishTime);
+
+void BM_SorSweep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sor::SerialSor solver(n);
+  for (auto _ : state) {
+    solver.sweep(true);
+    solver.sweep(false);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_SorSweep)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

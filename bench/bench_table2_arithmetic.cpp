@@ -1,0 +1,95 @@
+// Regenerates paper Table 2: the arithmetic combination rules for
+// stochastic values, validated against Monte-Carlo ground truth.
+//
+// For each rule the closed form from §2.3 is printed next to the empirical
+// combination of 200k sampled operand pairs (independent sampling for the
+// unrelated rules, comonotonic sampling for the related rules).
+#include <cstdio>
+#include <functional>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "stoch/arithmetic.hpp"
+#include "stoch/montecarlo.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace sspred;
+using stoch::Dependence;
+using stoch::StochasticValue;
+
+constexpr std::size_t kSamples = 200'000;
+
+void row(support::Table& t, const std::string& name,
+         const StochasticValue& closed, const StochasticValue& empirical) {
+  const double mean_err =
+      empirical.mean() != 0.0
+          ? std::abs(closed.mean() - empirical.mean()) /
+                std::abs(empirical.mean())
+          : std::abs(closed.mean() - empirical.mean());
+  t.add_row({name, closed.to_string(), empirical.to_string(),
+             support::fmt_pct(mean_err, 2)});
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table 2",
+                "arithmetic combinations of stochastic values, closed form "
+                "vs Monte-Carlo");
+  support::Rng rng(20260707);
+
+  const StochasticValue x(10.0, 2.0);
+  const StochasticValue y(5.0, 1.0);
+  const double p = 4.0;
+
+  const auto add_op = [](double a, double b) { return a + b; };
+  const auto mul_op = [](double a, double b) { return a * b; };
+
+  support::Table t({"operation", "closed form", "monte-carlo", "mean err"});
+
+  // Point-value rules.
+  row(t, "(X±a) + P", stoch::add_point(x, p),
+      stoch::empirical_combine(x, StochasticValue(p), add_op, rng, kSamples));
+  row(t, "P · (X±a)", stoch::scale(x, p),
+      stoch::empirical_combine(x, StochasticValue(p), mul_op, rng, kSamples));
+
+  // Related (comonotonic) rules — conservative error sums.
+  row(t, "add, related dists", stoch::add(x, y, Dependence::kRelated),
+      stoch::empirical_combine_related(x, y, add_op, rng, kSamples));
+  row(t, "mul, related dists", stoch::mul(x, y, Dependence::kRelated),
+      stoch::empirical_combine_related(x, y, mul_op, rng, kSamples));
+
+  // Unrelated (independent) rules — RSS forms.
+  row(t, "add, unrelated dists", stoch::add(x, y, Dependence::kUnrelated),
+      stoch::empirical_combine(x, y, add_op, rng, kSamples));
+  row(t, "mul, unrelated dists", stoch::mul(x, y, Dependence::kUnrelated),
+      stoch::empirical_combine(x, y, mul_op, rng, kSamples));
+
+  // Division (via the delta-method inverse).
+  row(t, "div, unrelated dists", stoch::div(x, y, Dependence::kUnrelated),
+      stoch::empirical_combine(
+          x, y, [](double a, double b) { return a / b; }, rng, kSamples));
+
+  std::cout << "\noperands: X = " << x << ", Y = " << y << ", P = " << p
+            << "\n\n"
+            << t.render();
+
+  bench::section("notes");
+  std::cout
+      << "  * Related closed forms are intentionally conservative (paper "
+         "§2.3.1):\n    their halfwidths bound the comonotonic ground truth, "
+         "never undercut it.\n"
+      << "  * The related-multiply halfwidth adds the ai·aj cross term, so "
+         "it reads\n    slightly wider than the sampled two-sigma value.\n"
+      << "  * Products of normals are long-tailed; the normal "
+         "approximation is used\n    per §2.1.1.\n";
+
+  // Coverage sanity: the ±2sd interval of a normal covers ~95%.
+  support::Rng rng2(7);
+  const double cover = stoch::empirical_coverage(x, x, rng2, kSamples);
+  bench::compare_line("±2sd coverage of a normal", "~95%",
+                      support::fmt_pct(cover, 1));
+  return 0;
+}

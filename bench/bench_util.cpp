@@ -1,0 +1,94 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+#include "stats/descriptive.hpp"
+#include "stats/distributions.hpp"
+#include "support/ascii_plot.hpp"
+#include "support/table.hpp"
+
+namespace sspred::bench {
+
+void banner(const std::string& artifact, const std::string& description) {
+  std::cout << "\n"
+            << std::string(78, '=') << "\n"
+            << artifact << " — " << description << "\n"
+            << std::string(78, '=') << "\n";
+}
+
+void section(const std::string& title) {
+  std::cout << "\n--- " << title << " ---\n";
+}
+
+void compare_line(const std::string& metric, const std::string& paper,
+                  const std::string& measured) {
+  std::printf("  %-44s paper: %-14s measured: %s\n", metric.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+void print_histogram_with_normal(std::span<const double> xs, std::size_t bins,
+                                 const std::string& title,
+                                 const std::string& x_label) {
+  const auto summary = stats::summarize(xs);
+  const stats::Normal fit(summary.mean, summary.sd);
+  const stats::Histogram hist = stats::Histogram::from_data(xs, bins);
+  const auto edges = hist.edges();
+  const auto pct = hist.percentages();
+
+  std::cout << title << "  (histogram % | fitted N(" << support::fmt(summary.mean)
+            << ", " << support::fmt(summary.sd) << ") %)\n";
+  for (std::size_t b = 0; b < hist.bin_count(); ++b) {
+    const double normal_pct =
+        fit.probability_in(edges[b], edges[b + 1]) * 100.0;
+    const int bar = static_cast<int>(pct[b] * 2.0 + 0.5);
+    const int nbar = static_cast<int>(normal_pct * 2.0 + 0.5);
+    std::printf("  [%7.3f,%7.3f) %5.1f%% |%-40s  normal %5.1f%% |%s\n",
+                edges[b], edges[b + 1], pct[b],
+                std::string(static_cast<std::size_t>(bar), '#').c_str(),
+                normal_pct,
+                std::string(static_cast<std::size_t>(nbar), '*').c_str());
+  }
+  std::cout << "  (" << x_label << ")\n";
+}
+
+void print_cdf_with_normal(std::span<const double> xs,
+                           const std::string& title,
+                           const std::string& x_label) {
+  const auto summary = stats::summarize(xs);
+  const stats::Normal fit(summary.mean, summary.sd);
+  const stats::Ecdf ecdf(xs);
+
+  support::Series empirical;
+  empirical.name = "empirical CDF";
+  empirical.glyph = 'o';
+  support::Series normal;
+  normal.name = "normal CDF";
+  normal.glyph = '.';
+  const double lo = summary.min;
+  const double hi = summary.max;
+  for (int i = 0; i <= 60; ++i) {
+    const double x = lo + (hi - lo) * i / 60.0;
+    empirical.xs.push_back(x);
+    empirical.ys.push_back(ecdf(x) * 100.0);
+    normal.xs.push_back(x);
+    normal.ys.push_back(fit.cdf(x) * 100.0);
+  }
+  support::PlotOptions opts;
+  opts.title = title;
+  opts.x_label = x_label;
+  opts.y_label = "% of values <= x";
+  const std::vector<support::Series> series{empirical, normal};
+  std::cout << support::render_xy(series, opts);
+}
+
+void print_series(std::span<const double> ys, const std::string& title,
+                  const std::string& y_label) {
+  support::PlotOptions opts;
+  opts.title = title;
+  opts.y_label = y_label;
+  opts.x_label = "sample index";
+  std::cout << support::render_series(ys, opts);
+}
+
+}  // namespace sspred::bench

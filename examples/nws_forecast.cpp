@@ -1,0 +1,42 @@
+// Using the NWS clone directly: sensors sample a bursty machine inside the
+// simulation; the forecaster bank postcasts the history, picks its best
+// predictor dynamically, and reports stochastic load values over time.
+//
+// Run: ./build/examples/nws_forecast
+#include <cstdio>
+#include <iostream>
+
+#include "nws/sensor.hpp"
+#include "nws/service.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace sspred;
+
+  sim::Engine engine;
+  cluster::Platform platform(engine, cluster::platform2(), 99);
+  machine::Machine& host = platform.machine(0);
+  nws::Service service;
+
+  std::cout << "monitoring " << host.spec().name
+            << " (bursty 4-modal load), NWS sampling every 5 s\n\n";
+
+  support::Table t({"virtual time", "current load", "forecast (stochastic)",
+                    "winning forecaster"});
+  // Sense for 5 minutes, forecast, repeat — the NWS usage loop.
+  for (int round = 1; round <= 6; ++round) {
+    const double until = 300.0 * round;
+    engine.spawn(nws::cpu_sensor(engine, host, service, 5.0, until));
+    engine.run();
+    const auto fc = service.forecast(nws::cpu_resource(host));
+    t.add_row({support::fmt(engine.now(), 0) + " s",
+               support::fmt(host.availability(engine.now()), 2),
+               fc.sv().to_string(3), fc.forecaster});
+  }
+  std::cout << t.render();
+
+  std::cout << "\nThe forecast's ± term is the postcast RMSE of the winning "
+               "forecaster —\nexactly the 'quality of information' the "
+               "paper feeds into its predictions.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Full pipeline on a production cluster: platform -> NWS stochastic load
+// -> structural prediction -> real distributed SOR run -> scoring.
+//
+// This is the paper's §3 experiment as a ten-line user program.
+//
+// Run: ./build/examples/sor_cluster [N] [iterations] [trials]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "predict/experiment.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sspred;
+
+  predict::SeriesConfig cfg;
+  cfg.platform = cluster::platform2();  // bursty 4-host production cluster
+  cfg.sor.n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 800;
+  cfg.sor.iterations = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 15;
+  cfg.trials = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 8;
+  cfg.sor.real_numerics = true;  // actually solve the PDE
+  cfg.load_source = predict::LoadParameterSource::kNwsForecast;
+  cfg.bwavail = stoch::StochasticValue::from_mean_sd(0.525, 0.06);
+
+  std::cout << "platform: " << cfg.platform.name << " ("
+            << cfg.platform.hosts.size() << " hosts, shared 10 Mbit "
+            << "ethernet)\nproblem: " << cfg.sor.n << "x" << cfg.sor.n
+            << " Red-Black SOR, " << cfg.sor.iterations << " iterations, "
+            << cfg.trials << " trials\n\n";
+
+  const auto outcomes = predict::run_series(cfg);
+
+  support::Table t({"trial start", "stochastic prediction", "actual",
+                    "captured?"});
+  for (const auto& o : outcomes) {
+    t.add_row({support::fmt(o.start_time, 0) + " s",
+               o.predicted.to_string(1) + " s",
+               support::fmt(o.actual, 1) + " s",
+               o.predicted.contains(o.actual) ? "yes" : "no"});
+  }
+  std::cout << t.render();
+
+  const auto s = predict::score(outcomes);
+  std::printf(
+      "\ncapture: %.0f%%   max out-of-range error: %.1f%%   max point-value "
+      "error: %.1f%%\n",
+      s.capture_fraction * 100.0, s.max_range_error * 100.0,
+      s.max_mean_error * 100.0);
+  std::cout << "\nThe stochastic range brackets production behaviour that a "
+               "single point\nvalue misrepresents — the paper's headline "
+               "result.\n";
+  return 0;
+}

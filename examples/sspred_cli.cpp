@@ -1,0 +1,271 @@
+// sspred_cli — command-line front end for the library.
+//
+//   sspred_cli platforms
+//   sspred_cli trace   --platform platform2 --host 0 --duration 2000
+//                      [--interval 1] [--seed 7] [--out trace.csv]
+//   sspred_cli predict --platform platform1 --n 1600 --iters 20
+//                      --loads 0.48:0.05,0.92:0.03,0.92:0.03,0.92:0.03
+//                      [--bwavail 0.525:0.06] [--breakdown]
+//   sspred_cli series  --platform platform2 --n 1000 --iters 15
+//                      [--trials 8] [--source nws|sample|mix] [--seed 1]
+//   sspred_cli plan    --platform platform1 --n 1000 --iters 15
+//                      --loads ... [--metric mean|p95|upper]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "machine/load_trace.hpp"
+#include "predict/experiment.hpp"
+#include "predict/host_selection.hpp"
+#include "stoch/metrics.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace sspred;
+
+[[noreturn]] void usage(const std::string& why = "") {
+  if (!why.empty()) std::cerr << "error: " << why << "\n\n";
+  std::cerr <<
+      "usage: sspred_cli <command> [options]\n"
+      "  platforms                         list the shipped platforms\n"
+      "  trace    --platform P --host I --duration S [--interval S]\n"
+      "           [--seed N] [--out FILE]  generate & save a load trace\n"
+      "  predict  --platform P --n N --iters K --loads m:sd,...\n"
+      "           [--bwavail m:sd] [--breakdown]\n"
+      "  series   --platform P --n N --iters K [--trials T]\n"
+      "           [--source nws|sample|mix] [--seed N]\n"
+      "  plan     --platform P --n N --iters K --loads m:sd,...\n"
+      "           [--metric mean|p95|upper]\n";
+  std::exit(2);
+}
+
+/// Simple --key value option map.
+std::map<std::string, std::string> parse_options(int argc, char** argv,
+                                                 int first) {
+  std::map<std::string, std::string> opts;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) usage("unexpected argument: " + key);
+    key = key.substr(2);
+    if (key == "breakdown") {
+      opts[key] = "1";
+      continue;
+    }
+    if (i + 1 >= argc) usage("missing value for --" + key);
+    opts[key] = argv[++i];
+  }
+  return opts;
+}
+
+std::string get(const std::map<std::string, std::string>& opts,
+                const std::string& key, const std::string& fallback = "") {
+  const auto it = opts.find(key);
+  if (it != opts.end()) return it->second;
+  if (fallback.empty()) usage("missing required option --" + key);
+  return fallback;
+}
+
+cluster::PlatformSpec platform_by_name(const std::string& name) {
+  if (name == "platform1") return cluster::platform1();
+  if (name == "platform2") return cluster::platform2();
+  if (name.rfind("dedicated", 0) == 0) {
+    std::size_t hosts = 4;
+    if (name.size() > 9) hosts = std::strtoul(name.c_str() + 9, nullptr, 10);
+    return cluster::dedicated_platform(hosts);
+  }
+  usage("unknown platform '" + name +
+        "' (use platform1, platform2, dedicated<N>)");
+}
+
+/// Parses "0.48:0.05,0.92:0.03,..." into stochastic values.
+std::vector<stoch::StochasticValue> parse_loads(const std::string& text) {
+  std::vector<stoch::StochasticValue> loads;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const auto colon = item.find(':');
+    const double mean = std::stod(item.substr(0, colon));
+    const double half =
+        colon == std::string::npos ? 0.0 : std::stod(item.substr(colon + 1));
+    loads.emplace_back(mean, half);
+  }
+  return loads;
+}
+
+stoch::StochasticValue parse_sv(const std::string& text) {
+  const auto loads = parse_loads(text);
+  if (loads.size() != 1) usage("expected one mean:halfwidth value");
+  return loads.front();
+}
+
+int cmd_platforms() {
+  for (const char* name : {"platform1", "platform2", "dedicated4"}) {
+    const auto spec = platform_by_name(name);
+    std::printf("%s (%zu hosts, %s fabric)\n", name, spec.hosts.size(),
+                spec.fabric == cluster::FabricKind::kSharedSegment
+                    ? "shared 10 Mbit"
+                    : "switched");
+    for (const auto& h : spec.hosts) {
+      std::printf("  %-10s %.1e s/element, %.1fM elements of memory, "
+                  "%zu load modes\n",
+                  h.machine.name.c_str(), h.machine.bm_seconds_per_element,
+                  h.machine.memory_elements / 1e6, h.load.modes.size());
+    }
+  }
+  return 0;
+}
+
+int cmd_trace(const std::map<std::string, std::string>& opts) {
+  const auto spec = platform_by_name(get(opts, "platform"));
+  const auto host = std::strtoul(get(opts, "host", "0").c_str(), nullptr, 10);
+  if (host >= spec.hosts.size()) usage("host index out of range");
+  const double duration = std::stod(get(opts, "duration"));
+  const double interval = std::stod(get(opts, "interval", "1"));
+  const auto seed = std::strtoull(get(opts, "seed", "1").c_str(), nullptr, 10);
+  const std::string out = get(opts, "out", "trace.csv");
+
+  const auto count = static_cast<std::size_t>(duration / interval) + 1;
+  const auto trace = machine::LoadTrace::generate(spec.hosts[host].load,
+                                                  count, interval, seed);
+  trace.save_csv(out);
+  const auto sv = stoch::StochasticValue::from_sample(
+      std::vector<double>(trace.samples().begin(), trace.samples().end()));
+  std::printf("wrote %zu samples to %s (load %s)\n", count, out.c_str(),
+              sv.to_string(3).c_str());
+  return 0;
+}
+
+int cmd_predict(const std::map<std::string, std::string>& opts) {
+  const auto spec = platform_by_name(get(opts, "platform"));
+  sor::SorConfig cfg;
+  cfg.n = std::strtoul(get(opts, "n").c_str(), nullptr, 10);
+  cfg.iterations = std::strtoul(get(opts, "iters").c_str(), nullptr, 10);
+  const auto loads = parse_loads(get(opts, "loads"));
+  if (loads.size() != spec.hosts.size()) {
+    usage("need one load per host (" + std::to_string(spec.hosts.size()) +
+          ")");
+  }
+  const auto bwavail = parse_sv(get(opts, "bwavail", "1:0"));
+
+  const predict::SorStructuralModel model(spec, cfg);
+  const auto env = model.make_env(loads, bwavail);
+  const auto prediction = model.predict(env);
+  std::printf("prediction: %s s  (point: %.2f s)\n",
+              prediction.to_string(2).c_str(), model.predict_point(env));
+
+  if (opts.contains("breakdown")) {
+    const auto b = model.breakdown(env);
+    support::Table t({"component", "per phase (s)"});
+    for (std::size_t p = 0; p < b.comp_per_host.size(); ++p) {
+      t.add_row({"compute " + spec.hosts[p].machine.name +
+                     (p == b.dominant_host ? " (dominant)" : ""),
+                 b.comp_per_host[p].to_string(3)});
+    }
+    t.add_row({"communication", b.comm_per_phase.to_string(3)});
+    t.add_row({"one iteration", b.per_iteration.to_string(3)});
+    std::cout << t.render();
+  }
+  return 0;
+}
+
+int cmd_series(const std::map<std::string, std::string>& opts) {
+  predict::SeriesConfig cfg;
+  cfg.platform = platform_by_name(get(opts, "platform"));
+  cfg.sor.n = std::strtoul(get(opts, "n").c_str(), nullptr, 10);
+  cfg.sor.iterations = std::strtoul(get(opts, "iters").c_str(), nullptr, 10);
+  cfg.sor.real_numerics = false;
+  cfg.trials = std::strtoul(get(opts, "trials", "8").c_str(), nullptr, 10);
+  cfg.seed = std::strtoull(get(opts, "seed", "20260707").c_str(), nullptr, 10);
+  cfg.bwavail = stoch::StochasticValue::from_mean_sd(0.525, 0.06);
+  const std::string source = get(opts, "source", "nws");
+  if (source == "nws") {
+    cfg.load_source = predict::LoadParameterSource::kNwsForecast;
+  } else if (source == "sample") {
+    cfg.load_source = predict::LoadParameterSource::kRecentSample;
+  } else if (source == "mix") {
+    cfg.load_source = predict::LoadParameterSource::kModalMix;
+  } else {
+    usage("unknown --source (nws|sample|mix)");
+  }
+
+  const auto outcomes = predict::run_series(cfg);
+  support::Table t({"t (s)", "prediction (s)", "actual (s)", "captured"});
+  std::size_t captured = 0;
+  for (const auto& o : outcomes) {
+    const bool in = o.predicted.contains(o.actual);
+    if (in) ++captured;
+    t.add_row({support::fmt(o.start_time, 0), o.predicted.to_string(1),
+               support::fmt(o.actual, 1), in ? "yes" : "no"});
+  }
+  std::cout << t.render();
+  const auto s = predict::score(outcomes);
+  const auto ci = stoch::wilson_interval(captured, outcomes.size());
+  std::printf(
+      "\ncapture %.0f%% (95%% CI %.0f..%.0f%%), max range err %.1f%%, "
+      "max point err %.1f%%\n",
+      s.capture_fraction * 100.0, ci.lower * 100.0, ci.upper * 100.0,
+      s.max_range_error * 100.0, s.max_mean_error * 100.0);
+  return 0;
+}
+
+int cmd_plan(const std::map<std::string, std::string>& opts) {
+  const auto spec = platform_by_name(get(opts, "platform"));
+  sor::SorConfig cfg;
+  cfg.n = std::strtoul(get(opts, "n").c_str(), nullptr, 10);
+  cfg.iterations = std::strtoul(get(opts, "iters").c_str(), nullptr, 10);
+  const auto loads = parse_loads(get(opts, "loads"));
+  if (loads.size() != spec.hosts.size()) usage("need one load per host");
+  const std::string metric_name = get(opts, "metric", "mean");
+  predict::PlanMetric metric = predict::PlanMetric::kExpectedTime;
+  if (metric_name == "p95") {
+    metric = predict::PlanMetric::kP95Time;
+  } else if (metric_name == "upper") {
+    metric = predict::PlanMetric::kUpperBound;
+  } else if (metric_name != "mean") {
+    usage("unknown --metric (mean|p95|upper)");
+  }
+
+  const auto plans = predict::rank_host_subsets(
+      spec, cfg, loads, stoch::StochasticValue(0.525, 0.12), metric);
+  support::Table t({"rank", "hosts", "rows", "prediction (s)"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, plans.size()); ++i) {
+    std::string hosts;
+    std::string rows;
+    for (std::size_t k = 0; k < plans[i].hosts.size(); ++k) {
+      if (k > 0) {
+        hosts += "+";
+        rows += "/";
+      }
+      hosts += spec.hosts[plans[i].hosts[k]].machine.name;
+      rows += std::to_string(plans[i].rows[k]);
+    }
+    t.add_row({std::to_string(i + 1), hosts, rows,
+               plans[i].predicted.to_string(1)});
+  }
+  std::cout << t.render();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  const auto opts = parse_options(argc, argv, 2);
+  try {
+    if (command == "platforms") return cmd_platforms();
+    if (command == "trace") return cmd_trace(opts);
+    if (command == "predict") return cmd_predict(opts);
+    if (command == "series") return cmd_series(opts);
+    if (command == "plan") return cmd_plan(opts);
+    usage("unknown command: " + command);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,179 @@
+#include "cluster/platform.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace sspred::cluster {
+
+using stats::ModalProcessSpec;
+using stats::ModeShape;
+using stats::ModeState;
+using stats::Tail;
+
+namespace {
+
+ModeState make_mode(double center, double sd, Tail tail, double dwell,
+                    double weight) {
+  ModeState m;
+  m.shape.center = center;
+  m.shape.sd = sd;
+  m.shape.tail = tail;
+  m.mean_dwell = dwell;
+  m.weight = weight;
+  return m;
+}
+
+}  // namespace
+
+ModalProcessSpec dedicated_load() {
+  ModalProcessSpec spec;
+  spec.modes.push_back(make_mode(0.995, 2e-3, Tail::kNone, 1e9, 1.0));
+  spec.lo = 0.9;
+  spec.hi = 1.0;
+  return spec;
+}
+
+ModalProcessSpec platform1_load(bool center_only) {
+  // Fig. 5: three modes — normal at 0.33, long-tailed at ~0.49, normal at
+  // 0.94 — with dwells long enough that one SOR run stays inside one mode.
+  ModalProcessSpec spec;
+  if (!center_only) {
+    spec.modes.push_back(make_mode(0.33, 0.015, Tail::kNone, 900.0, 0.25));
+  }
+  spec.modes.push_back(make_mode(0.48, 0.025, Tail::kDown, 900.0, 0.35));
+  if (!center_only) {
+    spec.modes.push_back(make_mode(0.94, 0.012, Tail::kNone, 900.0, 0.40));
+  }
+  spec.lo = 0.02;
+  spec.hi = 1.0;
+  return spec;
+}
+
+ModalProcessSpec platform2_load() {
+  // Figs. 10-11: four modes swept by bursty switching. Dwells are minutes
+  // — bursty on the experiment's ~25-minute horizon, yet persistent
+  // enough that a single SOR run sees one or two modes, which is the
+  // regime the paper's per-trial NWS forecasts operate in.
+  ModalProcessSpec spec;
+  spec.modes.push_back(make_mode(0.27, 0.035, Tail::kNone, 60.0, 0.30));
+  spec.modes.push_back(make_mode(0.46, 0.040, Tail::kDown, 45.0, 0.25));
+  spec.modes.push_back(make_mode(0.66, 0.040, Tail::kNone, 45.0, 0.20));
+  spec.modes.push_back(make_mode(0.90, 0.030, Tail::kNone, 70.0, 0.25));
+  spec.lo = 0.02;
+  spec.hi = 1.0;
+  return spec;
+}
+
+ModalProcessSpec production_ethernet_availability() {
+  // Fig. 3: available bandwidth ~5.25 of 10 Mbit, long tail toward low
+  // values (the availability fraction inherits the same shape).
+  ModalProcessSpec spec;
+  spec.modes.push_back(make_mode(0.525, 0.06, Tail::kDown, 30.0, 1.0));
+  spec.lo = 0.05;
+  spec.hi = 1.0;
+  return spec;
+}
+
+PlatformSpec dedicated_platform(std::size_t size) {
+  SSPRED_REQUIRE(size >= 1, "platform needs at least one host");
+  PlatformSpec spec;
+  spec.name = "dedicated";
+  for (std::size_t i = 0; i < size; ++i) {
+    spec.hosts.push_back(
+        {machine::sparc10_spec("sparc10-" + std::to_string(i)),
+         dedicated_load(), 1.0});
+  }
+  spec.ethernet.availability = net::dedicated_availability();
+  return spec;
+}
+
+PlatformSpec platform1(bool slow_host_center_mode) {
+  PlatformSpec spec;
+  spec.name = "platform1";
+  // Two Sparc-2s, a Sparc-5, a Sparc-10 (paper §3.1). Host 0 (a Sparc-2)
+  // is the consistently slowest machine whose load the experiment tracks.
+  const auto slow_load =
+      slow_host_center_mode ? platform1_load(/*center_only=*/true)
+                            : platform1_load();
+  // Quieter hosts sit in the high-availability mode.
+  ModalProcessSpec quiet;
+  quiet.modes.push_back(make_mode(0.92, 0.015, Tail::kNone, 900.0, 1.0));
+  quiet.lo = 0.02;
+  quiet.hi = 1.0;
+
+  spec.hosts.push_back({machine::sparc2_spec("sparc2-a"), slow_load, 1.0});
+  spec.hosts.push_back({machine::sparc2_spec("sparc2-b"), quiet, 1.0});
+  spec.hosts.push_back({machine::sparc5_spec("sparc5"), quiet, 1.0});
+  spec.hosts.push_back({machine::sparc10_spec("sparc10"), quiet, 1.0});
+  spec.ethernet.availability = production_ethernet_availability();
+  return spec;
+}
+
+PlatformSpec platform2() {
+  PlatformSpec spec;
+  spec.name = "platform2";
+  spec.hosts.push_back({machine::sparc5_spec("sparc5"), platform2_load(), 1.0});
+  spec.hosts.push_back(
+      {machine::sparc10_spec("sparc10"), platform2_load(), 1.0});
+  spec.hosts.push_back(
+      {machine::ultrasparc_spec("ultra-a"), platform2_load(), 1.0});
+  spec.hosts.push_back(
+      {machine::ultrasparc_spec("ultra-b"), platform2_load(), 1.0});
+  spec.ethernet.availability = production_ethernet_availability();
+  return spec;
+}
+
+Platform::Platform(sim::Engine& engine, PlatformSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)) {
+  SSPRED_REQUIRE(!spec_.hosts.empty(), "platform needs at least one host");
+  std::uint64_t sm = seed;
+  machines_.reserve(spec_.hosts.size());
+  for (const auto& host : spec_.hosts) {
+    const std::uint64_t host_seed = support::splitmix64(sm);
+    const auto count = static_cast<std::size_t>(spec_.trace_duration /
+                                                host.load_interval) + 1;
+    machines_.emplace_back(
+        host.machine,
+        machine::LoadTrace::generate(host.load, count, host.load_interval,
+                                     host_seed));
+  }
+  if (spec_.fabric == FabricKind::kSharedSegment) {
+    const std::uint64_t eth_seed = support::splitmix64(sm);
+    fabric_ = std::make_unique<net::SharedEthernet>(engine, spec_.ethernet,
+                                                    eth_seed);
+  } else {
+    net::SwitchedSpec sw = spec_.switched;
+    sw.hosts = spec_.hosts.size();
+    fabric_ = std::make_unique<net::SwitchedEthernet>(engine, sw);
+  }
+}
+
+net::SharedEthernet& Platform::ethernet() {
+  SSPRED_REQUIRE(spec_.fabric == FabricKind::kSharedSegment,
+                 "platform does not use a shared segment");
+  return static_cast<net::SharedEthernet&>(*fabric_);
+}
+
+machine::Machine& Platform::machine(std::size_t i) {
+  SSPRED_REQUIRE(i < machines_.size(), "host index out of range");
+  return machines_[i];
+}
+
+const machine::Machine& Platform::machine(std::size_t i) const {
+  SSPRED_REQUIRE(i < machines_.size(), "host index out of range");
+  return machines_[i];
+}
+
+std::size_t Platform::slowest_host() const {
+  std::size_t slowest = 0;
+  for (std::size_t i = 1; i < machines_.size(); ++i) {
+    if (machines_[i].spec().bm_seconds_per_element >
+        machines_[slowest].spec().bm_seconds_per_element) {
+      slowest = i;
+    }
+  }
+  return slowest;
+}
+
+}  // namespace sspred::cluster

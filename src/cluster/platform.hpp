@@ -1,0 +1,100 @@
+// Platform assembly: heterogeneous machines + a shared ethernet segment.
+//
+// Ships the paper's two production testbeds:
+//   Platform 1 (§3.1): two Sparc-2s, a Sparc-5 and a Sparc-10; tri-modal
+//     CPU load (Fig. 5) with long dwells, so a run stays within one mode.
+//   Platform 2 (§3.2): a Sparc-5, a Sparc-10 and two UltraSparcs; 4-modal
+//     *bursty* load (Figs. 10-11) with short dwells.
+// plus a dedicated platform for the "within 2%" baseline validation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "net/ethernet.hpp"
+#include "net/switched.hpp"
+#include "sim/engine.hpp"
+
+namespace sspred::cluster {
+
+/// Which network fabric connects the hosts.
+enum class FabricKind {
+  kSharedSegment,  ///< the paper's shared 10 Mbit ethernet
+  kSwitched,       ///< full-duplex switched ethernet (per-NIC contention)
+};
+
+/// One host: its machine spec and its load (availability) process.
+struct HostSpec {
+  machine::MachineSpec machine;
+  stats::ModalProcessSpec load;
+  support::Seconds load_interval = 1.0;  ///< load resample period
+};
+
+/// A complete platform description (pure data, reusable across trials).
+struct PlatformSpec {
+  std::string name;
+  std::vector<HostSpec> hosts;
+  FabricKind fabric = FabricKind::kSharedSegment;
+  net::EthernetSpec ethernet;        ///< used when fabric == kSharedSegment
+  net::SwitchedSpec switched;        ///< used when fabric == kSwitched
+  /// Length of the pre-generated per-host load traces. Runs that outlast
+  /// this see the final load value persist.
+  support::Seconds trace_duration = 4000.0;
+};
+
+/// Load process of a dedicated (single-user) host.
+[[nodiscard]] stats::ModalProcessSpec dedicated_load();
+
+/// The tri-modal Platform-1 load (modes near 0.33 / 0.49-longtail / 0.94,
+/// long dwells). `center_only` restricts to the 0.48-mean centre mode — the
+/// regime of the paper's §3.1 experiment.
+[[nodiscard]] stats::ModalProcessSpec platform1_load(bool center_only = false);
+
+/// The 4-modal bursty Platform-2 load (short dwells, Figs. 10-11).
+[[nodiscard]] stats::ModalProcessSpec platform2_load();
+
+/// Long-tailed production cross-traffic for the shared ethernet (Fig. 3:
+/// available bandwidth ~5.25 of 10 Mbit with a tail toward low values).
+[[nodiscard]] stats::ModalProcessSpec production_ethernet_availability();
+
+/// Dedicated platform: `size` identical Sparc-10s, uncontended network.
+[[nodiscard]] PlatformSpec dedicated_platform(std::size_t size = 4);
+
+/// The paper's Platform 1. When `slow_host_center_mode` is true the
+/// slowest host's load is pinned to the centre mode (paper §3.1) and the
+/// others to their quiet mode, so runs stay "within a single mode".
+[[nodiscard]] PlatformSpec platform1(bool slow_host_center_mode = true);
+
+/// The paper's Platform 2 (bursty).
+[[nodiscard]] PlatformSpec platform2();
+
+/// A platform instance bound to an engine: generated load traces and a
+/// live shared-ethernet model, ready to run applications.
+class Platform {
+ public:
+  /// Generates per-host traces (seeded deterministically from `seed`) and
+  /// attaches the ethernet model to `engine`.
+  Platform(sim::Engine& engine, PlatformSpec spec, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t size() const noexcept { return machines_.size(); }
+  [[nodiscard]] machine::Machine& machine(std::size_t i);
+  [[nodiscard]] const machine::Machine& machine(std::size_t i) const;
+  /// The network fabric (whichever kind the spec selected).
+  [[nodiscard]] net::Fabric& fabric() noexcept { return *fabric_; }
+  /// The shared segment; only valid when the spec selected it.
+  [[nodiscard]] net::SharedEthernet& ethernet();
+  [[nodiscard]] const PlatformSpec& spec() const noexcept { return spec_; }
+
+  /// Index of the host with the largest dedicated per-element time.
+  [[nodiscard]] std::size_t slowest_host() const;
+
+ private:
+  PlatformSpec spec_;
+  std::vector<machine::Machine> machines_;
+  std::unique_ptr<net::Fabric> fabric_;
+};
+
+}  // namespace sspred::cluster

@@ -1,0 +1,125 @@
+#include "machine/load_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "support/csv.hpp"
+#include "support/error.hpp"
+
+namespace sspred::machine {
+
+LoadTrace::LoadTrace(support::Seconds dt, std::vector<double> samples)
+    : dt_(dt), samples_(std::move(samples)) {
+  SSPRED_REQUIRE(dt > 0.0, "trace interval must be positive");
+  SSPRED_REQUIRE(!samples_.empty(), "trace needs at least one sample");
+  for (double s : samples_) {
+    SSPRED_REQUIRE(s > 0.0 && s <= 1.0, "availability must be in (0, 1]");
+  }
+}
+
+LoadTrace LoadTrace::constant(double level) {
+  return LoadTrace(1.0, std::vector<double>{level});
+}
+
+LoadTrace LoadTrace::generate(const stats::ModalProcessSpec& spec,
+                              std::size_t count, support::Seconds dt,
+                              std::uint64_t seed) {
+  stats::ModalProcess process(spec, seed);
+  std::vector<double> samples = stats::generate_samples(process, count, dt);
+  // The generator clamps to [spec.lo, spec.hi]; enforce the (0,1] contract.
+  for (double& s : samples) s = std::clamp(s, 1e-3, 1.0);
+  return LoadTrace(dt, std::move(samples));
+}
+
+LoadTrace LoadTrace::with_freeze(support::Seconds t0, support::Seconds t1,
+                                 double residual) const {
+  SSPRED_REQUIRE(t1 > t0 && t0 >= 0.0, "freeze window must be non-empty");
+  SSPRED_REQUIRE(residual > 0.0 && residual <= 1.0,
+                 "freeze residual must be in (0,1]");
+  std::vector<double> samples(samples_.begin(), samples_.end());
+  const auto first = static_cast<std::size_t>(t0 / dt_);
+  const auto last = static_cast<std::size_t>(t1 / dt_);
+  for (std::size_t i = first; i < std::min(last, samples.size()); ++i) {
+    samples[i] = std::min(samples[i], residual);
+  }
+  return LoadTrace(dt_, std::move(samples));
+}
+
+void LoadTrace::save_csv(const std::string& path) const {
+  support::CsvWriter writer(path, {"t", "availability"});
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    writer.write_row({static_cast<double>(i) * dt_, samples_[i]});
+  }
+}
+
+LoadTrace LoadTrace::load_csv(const std::string& path) {
+  std::ifstream in(path);
+  SSPRED_REQUIRE(in.good(), "cannot open trace file: " + path);
+  std::string line;
+  SSPRED_REQUIRE(static_cast<bool>(std::getline(in, line)),
+                 "trace file is empty: " + path);
+  SSPRED_REQUIRE(line == "t,availability",
+                 "unexpected trace header in " + path);
+  std::vector<double> times;
+  std::vector<double> samples;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto comma = line.find(',');
+    SSPRED_REQUIRE(comma != std::string::npos,
+                   "malformed trace row in " + path);
+    times.push_back(std::stod(line.substr(0, comma)));
+    samples.push_back(std::stod(line.substr(comma + 1)));
+  }
+  SSPRED_REQUIRE(samples.size() >= 1, "trace file has no samples: " + path);
+  const support::Seconds dt =
+      times.size() >= 2 ? times[1] - times[0] : 1.0;
+  return LoadTrace(dt, std::move(samples));
+}
+
+double LoadTrace::at(support::Seconds t) const noexcept {
+  if (t < 0.0) return samples_.front();
+  const auto idx = static_cast<std::size_t>(t / dt_);
+  return idx < samples_.size() ? samples_[idx] : samples_.back();
+}
+
+double LoadTrace::average(support::Seconds t0, support::Seconds t1) const {
+  SSPRED_REQUIRE(t1 > t0, "average needs a non-empty interval");
+  // Integrate the step function exactly, segment by segment.
+  double integral = 0.0;
+  support::Seconds t = t0;
+  while (t < t1) {
+    const auto idx = static_cast<std::size_t>(std::max(t, 0.0) / dt_);
+    const support::Seconds seg_end =
+        idx < samples_.size() ? dt_ * static_cast<double>(idx + 1)
+                              : t1;  // last value persists to t1
+    const support::Seconds step_end = std::min(t1, seg_end);
+    integral += at(t) * (step_end - t);
+    t = step_end;
+  }
+  return integral / (t1 - t0);
+}
+
+support::Seconds LoadTrace::finish_time(support::Seconds start,
+                                        support::Seconds work) const {
+  SSPRED_REQUIRE(work >= 0.0, "work must be non-negative");
+  SSPRED_REQUIRE(start >= 0.0, "start must be non-negative");
+  if (work == 0.0) return start;
+  support::Seconds t = start;
+  double remaining = work;
+  for (;;) {
+    const auto idx = static_cast<std::size_t>(t / dt_);
+    const double avail = idx < samples_.size() ? samples_[idx] : samples_.back();
+    if (idx >= samples_.size()) {
+      // Beyond the trace: constant availability forever.
+      return t + remaining / avail;
+    }
+    const support::Seconds seg_end = dt_ * static_cast<double>(idx + 1);
+    const double capacity = avail * (seg_end - t);
+    if (capacity >= remaining) return t + remaining / avail;
+    remaining -= capacity;
+    t = seg_end;
+  }
+}
+
+}  // namespace sspred::machine

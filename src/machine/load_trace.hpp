@@ -1,0 +1,75 @@
+// Piecewise-constant CPU-availability traces.
+//
+// A LoadTrace holds the fraction of CPU available to the application
+// (0..1] sampled at a fixed interval — the quantity the paper's load
+// figures plot and its computation component models divide by. Traces are
+// pre-generated per machine per run, which keeps the simulation
+// deterministic and lets the same run be both measured (by the NWS clone)
+// and re-executed (by the SOR app).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/modal_sampler.hpp"
+#include "support/units.hpp"
+
+namespace sspred::machine {
+
+class LoadTrace {
+ public:
+  /// Trace with samples[i] in effect over [i*dt, (i+1)*dt). Values must be
+  /// in (0, 1]; the last value persists beyond the trace end.
+  LoadTrace(support::Seconds dt, std::vector<double> samples);
+
+  /// Dedicated machine: availability identically `level` (default 1.0).
+  [[nodiscard]] static LoadTrace constant(double level = 1.0);
+
+  /// Generates `count` samples from a modal process.
+  [[nodiscard]] static LoadTrace generate(const stats::ModalProcessSpec& spec,
+                                          std::size_t count,
+                                          support::Seconds dt,
+                                          std::uint64_t seed);
+
+  /// Failure injection: returns a copy whose availability collapses to
+  /// `residual` (default: nearly frozen) over [t0, t1) — a machine
+  /// seizure, a runaway job, a paging storm. Samples outside the window
+  /// are untouched.
+  [[nodiscard]] LoadTrace with_freeze(support::Seconds t0, support::Seconds t1,
+                                      double residual = 0.02) const;
+
+  /// Persists the trace as CSV (header `t,availability`) for external
+  /// analysis or replay. Throws support::Error on I/O failure.
+  void save_csv(const std::string& path) const;
+
+  /// Loads a trace previously written by save_csv. The sample interval is
+  /// recovered from the first two timestamps.
+  [[nodiscard]] static LoadTrace load_csv(const std::string& path);
+
+  /// Availability at time t (t < 0 uses the first sample).
+  [[nodiscard]] double at(support::Seconds t) const noexcept;
+
+  /// Mean availability over [t0, t1] (exact integral of the step function).
+  [[nodiscard]] double average(support::Seconds t0, support::Seconds t1) const;
+
+  /// Virtual time at which `work` dedicated-seconds of computation finish
+  /// when started at `start`: solves  ∫_start^T avail(t) dt = work.
+  [[nodiscard]] support::Seconds finish_time(support::Seconds start,
+                                             support::Seconds work) const;
+
+  [[nodiscard]] support::Seconds sample_interval() const noexcept { return dt_; }
+  [[nodiscard]] support::Seconds duration() const noexcept {
+    return dt_ * static_cast<double>(samples_.size());
+  }
+  [[nodiscard]] std::span<const double> samples() const noexcept {
+    return samples_;
+  }
+
+ private:
+  support::Seconds dt_;
+  std::vector<double> samples_;
+};
+
+}  // namespace sspred::machine

@@ -1,0 +1,57 @@
+#include "machine/machine.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace sspred::machine {
+
+namespace {
+MachineSpec make_spec(std::string name, double sec_per_elem,
+                      double memory_elements) {
+  MachineSpec spec;
+  spec.name = std::move(name);
+  spec.bm_seconds_per_element = sec_per_elem;
+  spec.memory_elements = memory_elements;
+  // A red/black stencil update is ~6 operations; the op-count and
+  // benchmark component models then agree.
+  spec.ops_per_second = 6.0 / sec_per_elem;
+  return spec;
+}
+}  // namespace
+
+// Dedicated per-element stencil-update benchmark times, calibrated so a
+// quarter strip of a 1000-2000 grid takes seconds per iteration on the
+// slow machines — the regime of the paper's Fig. 9/12 run times (1997-era
+// Sparcs were MFLOP-class, and a stencil update is several flops plus
+// memory traffic).
+// Memory capacities (in resident data elements) follow the machines'
+// era RAM sizes; a strip's working set is two arrays of (rows+2)x(n+2).
+MachineSpec sparc2_spec(std::string name) {
+  return make_spec(std::move(name), 4.0e-6, 3.0e6);
+}
+MachineSpec sparc5_spec(std::string name) {
+  return make_spec(std::move(name), 1.6e-6, 4.0e6);
+}
+MachineSpec sparc10_spec(std::string name) {
+  return make_spec(std::move(name), 1.0e-6, 6.0e6);
+}
+MachineSpec ultrasparc_spec(std::string name) {
+  return make_spec(std::move(name), 4.0e-7, 12.0e6);
+}
+
+double MachineSpec::slowdown_factor(double working_set) const noexcept {
+  if (working_set <= memory_elements) return 1.0;
+  const double excess = working_set / memory_elements - 1.0;
+  return std::min(1.0 + thrash_slope * excess, 16.0);
+}
+
+Machine::Machine(MachineSpec spec, LoadTrace trace)
+    : spec_(std::move(spec)), trace_(std::move(trace)) {
+  SSPRED_REQUIRE(spec_.bm_seconds_per_element > 0.0,
+                 "benchmark time per element must be positive");
+  SSPRED_REQUIRE(spec_.memory_elements > 0.0,
+                 "memory capacity must be positive");
+}
+
+}  // namespace sspred::machine

@@ -1,0 +1,91 @@
+// Machine model: a heterogeneous workstation with a CPU-availability trace.
+//
+// Speeds are expressed as the benchmark time to process one data element
+// on the dedicated machine — the paper's BM(Elt_p) model parameter — so a
+// computation of `n` elements costs n * bm_seconds_per_element dedicated
+// seconds, stretched by the availability trace in production.
+#pragma once
+
+#include <string>
+
+#include "machine/load_trace.hpp"
+#include "support/units.hpp"
+
+namespace sspred::machine {
+
+/// Static machine description (the 1997-era workstation zoo).
+struct MachineSpec {
+  std::string name;
+  /// Dedicated benchmark time per data element (BM(Elt_p)), seconds.
+  double bm_seconds_per_element = 1e-6;
+  /// Sustained operation rate (CPU_p in the paper's op-count component
+  /// model Comp = NumElt·Op/CPU). Consistent with the benchmark form when
+  /// ops_per_second == ops_per_element / bm_seconds_per_element.
+  double ops_per_second = 6.0e6;
+  /// Data elements that fit in main memory. Working sets beyond this
+  /// thrash: per-element cost inflates (paper Fig. 9 holds "for problem
+  /// sizes which fit within main memory" — this models why).
+  double memory_elements = 64.0e6;
+  /// Slope of the thrashing penalty: slowdown = 1 + slope·(ws/mem - 1)
+  /// for working sets beyond memory, capped at 16x.
+  double thrash_slope = 4.0;
+
+  /// Thrashing multiplier for a resident working set of `working_set`
+  /// data elements.
+  [[nodiscard]] double slowdown_factor(double working_set) const noexcept;
+};
+
+/// Reference specs used by the shipped platforms. Rough relative speeds of
+/// the paper's machines (Sparc-2 slowest ... UltraSparc fastest).
+[[nodiscard]] MachineSpec sparc2_spec(std::string name = "sparc2");
+[[nodiscard]] MachineSpec sparc5_spec(std::string name = "sparc5");
+[[nodiscard]] MachineSpec sparc10_spec(std::string name = "sparc10");
+[[nodiscard]] MachineSpec ultrasparc_spec(std::string name = "ultra");
+
+/// A machine instance: spec + availability trace for one simulated run.
+class Machine {
+ public:
+  Machine(MachineSpec spec, LoadTrace trace);
+
+  [[nodiscard]] const MachineSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const LoadTrace& trace() const noexcept { return trace_; }
+
+  /// CPU fraction available at virtual time t.
+  [[nodiscard]] double availability(support::Seconds t) const noexcept {
+    return trace_.at(t);
+  }
+
+  /// Virtual completion time of `dedicated_seconds` of work started at t.
+  [[nodiscard]] support::Seconds finish_time(
+      support::Seconds t, support::Seconds dedicated_seconds) const {
+    return trace_.finish_time(t, dedicated_seconds);
+  }
+
+  /// Dedicated cost of processing `elements` data elements.
+  [[nodiscard]] support::Seconds element_work(double elements) const noexcept {
+    return elements * spec_.bm_seconds_per_element;
+  }
+
+  /// Thrashing multiplier for a resident working set of `working_set`
+  /// data elements: 1.0 while it fits in memory, growing linearly (capped
+  /// at 16x) beyond it.
+  [[nodiscard]] double slowdown_factor(double working_set) const noexcept {
+    return spec_.slowdown_factor(working_set);
+  }
+
+  /// Dedicated cost of `elements` updates while `working_set` elements
+  /// are resident.
+  [[nodiscard]] support::Seconds element_work(double elements,
+                                              double working_set) const noexcept {
+    return element_work(elements) * slowdown_factor(working_set);
+  }
+
+  /// Replaces the availability trace (e.g. a fresh trace per trial).
+  void set_trace(LoadTrace trace) { trace_ = std::move(trace); }
+
+ private:
+  MachineSpec spec_;
+  LoadTrace trace_;
+};
+
+}  // namespace sspred::machine

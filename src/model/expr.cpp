@@ -1,0 +1,350 @@
+#include "model/expr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "stoch/montecarlo.hpp"
+#include "support/error.hpp"
+
+namespace sspred::model {
+
+using stoch::Dependence;
+using stoch::ExtremePolicy;
+using stoch::StochasticValue;
+
+void Environment::bind(const std::string& name, StochasticValue value) {
+  bindings_[name] = value;
+}
+
+const StochasticValue& Environment::lookup(const std::string& name) const {
+  const auto it = bindings_.find(name);
+  SSPRED_REQUIRE(it != bindings_.end(), "unbound model parameter: " + name);
+  return it->second;
+}
+
+bool Environment::has(const std::string& name) const noexcept {
+  return bindings_.contains(name);
+}
+
+std::vector<std::string> Environment::names() const {
+  std::vector<std::string> out;
+  out.reserve(bindings_.size());
+  for (const auto& [name, _] : bindings_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Expr::parameters() const {
+  std::vector<std::string> out;
+  collect_params(out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+namespace {
+
+[[nodiscard]] const char* dep_suffix(Dependence dep) {
+  return dep == Dependence::kRelated ? "~rel" : "";
+}
+
+class ConstExpr final : public Expr {
+ public:
+  explicit ConstExpr(StochasticValue v) : value_(v) {}
+  StochasticValue evaluate(const Environment&) const override { return value_; }
+  double evaluate_point(const Environment&) const override {
+    return value_.mean();
+  }
+  double sample(const Environment&, SampleCache&,
+                support::Rng& rng) const override {
+    return stoch::sample(value_, rng);
+  }
+  std::string to_string() const override { return value_.to_string(); }
+  void collect_params(std::vector<std::string>&) const override {}
+
+ private:
+  StochasticValue value_;
+};
+
+class ParamExpr final : public Expr {
+ public:
+  explicit ParamExpr(std::string name) : name_(std::move(name)) {}
+  StochasticValue evaluate(const Environment& env) const override {
+    return env.lookup(name_);
+  }
+  double evaluate_point(const Environment& env) const override {
+    return env.lookup(name_).mean();
+  }
+  double sample(const Environment& env, SampleCache& cache,
+                support::Rng& rng) const override {
+    const auto it = cache.find(name_);
+    if (it != cache.end()) return it->second;
+    const double v = stoch::sample(env.lookup(name_), rng);
+    cache.emplace(name_, v);
+    return v;
+  }
+  std::string to_string() const override { return name_; }
+  void collect_params(std::vector<std::string>& out) const override {
+    out.push_back(name_);
+  }
+
+ private:
+  std::string name_;
+};
+
+class NaryExpr : public Expr {
+ public:
+  explicit NaryExpr(std::vector<ExprPtr> children)
+      : children_(std::move(children)) {
+    SSPRED_REQUIRE(!children_.empty(), "expression needs operands");
+    for (const auto& c : children_) {
+      SSPRED_REQUIRE(c != nullptr, "null operand");
+    }
+  }
+  void collect_params(std::vector<std::string>& out) const override {
+    for (const auto& c : children_) c->collect_params(out);
+  }
+
+ protected:
+  [[nodiscard]] std::string join(const char* op, const char* suffix) const {
+    std::ostringstream os;
+    os << "(";
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+      if (i > 0) os << " " << op << " ";
+      os << children_[i]->to_string();
+    }
+    os << ")" << suffix;
+    return os.str();
+  }
+  std::vector<ExprPtr> children_;
+};
+
+class SumExpr final : public NaryExpr {
+ public:
+  SumExpr(std::vector<ExprPtr> children, Dependence dep)
+      : NaryExpr(std::move(children)), dep_(dep) {}
+  StochasticValue evaluate(const Environment& env) const override {
+    StochasticValue acc = children_[0]->evaluate(env);
+    for (std::size_t i = 1; i < children_.size(); ++i) {
+      acc = stoch::add(acc, children_[i]->evaluate(env), dep_);
+    }
+    return acc;
+  }
+  double evaluate_point(const Environment& env) const override {
+    double acc = 0.0;
+    for (const auto& c : children_) acc += c->evaluate_point(env);
+    return acc;
+  }
+  double sample(const Environment& env, SampleCache& cache,
+                support::Rng& rng) const override {
+    double acc = 0.0;
+    for (const auto& c : children_) acc += c->sample(env, cache, rng);
+    return acc;
+  }
+  std::string to_string() const override { return join("+", dep_suffix(dep_)); }
+
+ private:
+  Dependence dep_;
+};
+
+class ProdExpr final : public NaryExpr {
+ public:
+  ProdExpr(std::vector<ExprPtr> children, Dependence dep)
+      : NaryExpr(std::move(children)), dep_(dep) {}
+  StochasticValue evaluate(const Environment& env) const override {
+    StochasticValue acc = children_[0]->evaluate(env);
+    for (std::size_t i = 1; i < children_.size(); ++i) {
+      acc = stoch::mul(acc, children_[i]->evaluate(env), dep_);
+    }
+    return acc;
+  }
+  double evaluate_point(const Environment& env) const override {
+    double acc = 1.0;
+    for (const auto& c : children_) acc *= c->evaluate_point(env);
+    return acc;
+  }
+  double sample(const Environment& env, SampleCache& cache,
+                support::Rng& rng) const override {
+    double acc = 1.0;
+    for (const auto& c : children_) acc *= c->sample(env, cache, rng);
+    return acc;
+  }
+  std::string to_string() const override { return join("*", dep_suffix(dep_)); }
+
+ private:
+  Dependence dep_;
+};
+
+class DivExpr final : public Expr {
+ public:
+  DivExpr(ExprPtr num, ExprPtr den, Dependence dep)
+      : num_(std::move(num)), den_(std::move(den)), dep_(dep) {
+    SSPRED_REQUIRE(num_ != nullptr && den_ != nullptr, "null operand");
+  }
+  StochasticValue evaluate(const Environment& env) const override {
+    return stoch::div(num_->evaluate(env), den_->evaluate(env), dep_);
+  }
+  double evaluate_point(const Environment& env) const override {
+    const double d = den_->evaluate_point(env);
+    SSPRED_REQUIRE(d != 0.0, "point division by zero");
+    return num_->evaluate_point(env) / d;
+  }
+  double sample(const Environment& env, SampleCache& cache,
+                support::Rng& rng) const override {
+    const double d = den_->sample(env, cache, rng);
+    SSPRED_REQUIRE(d != 0.0, "sampled division by zero");
+    return num_->sample(env, cache, rng) / d;
+  }
+  std::string to_string() const override {
+    return "(" + num_->to_string() + " / " + den_->to_string() + ")" +
+           dep_suffix(dep_);
+  }
+  void collect_params(std::vector<std::string>& out) const override {
+    num_->collect_params(out);
+    den_->collect_params(out);
+  }
+
+ private:
+  ExprPtr num_;
+  ExprPtr den_;
+  Dependence dep_;
+};
+
+class MaxExpr final : public NaryExpr {
+ public:
+  MaxExpr(std::vector<ExprPtr> children, ExtremePolicy policy, bool is_max)
+      : NaryExpr(std::move(children)), policy_(policy), is_max_(is_max) {}
+  StochasticValue evaluate(const Environment& env) const override {
+    std::vector<StochasticValue> values;
+    values.reserve(children_.size());
+    for (const auto& c : children_) values.push_back(c->evaluate(env));
+    return is_max_ ? stoch::smax(values, policy_)
+                   : stoch::smin(values, policy_);
+  }
+  double evaluate_point(const Environment& env) const override {
+    double acc = children_[0]->evaluate_point(env);
+    for (std::size_t i = 1; i < children_.size(); ++i) {
+      const double v = children_[i]->evaluate_point(env);
+      acc = is_max_ ? std::max(acc, v) : std::min(acc, v);
+    }
+    return acc;
+  }
+  double sample(const Environment& env, SampleCache& cache,
+                support::Rng& rng) const override {
+    double acc = children_[0]->sample(env, cache, rng);
+    for (std::size_t i = 1; i < children_.size(); ++i) {
+      const double v = children_[i]->sample(env, cache, rng);
+      acc = is_max_ ? std::max(acc, v) : std::min(acc, v);
+    }
+    return acc;
+  }
+  std::string to_string() const override {
+    return std::string(is_max_ ? "max" : "min") + join(",", "");
+  }
+
+ private:
+  ExtremePolicy policy_;
+  bool is_max_;
+};
+
+class IterateExpr final : public Expr {
+ public:
+  IterateExpr(ExprPtr body, std::size_t iterations, Dependence dep)
+      : body_(std::move(body)), n_(iterations), dep_(dep) {
+    SSPRED_REQUIRE(body_ != nullptr, "null operand");
+    SSPRED_REQUIRE(n_ >= 1, "iterate needs at least one iteration");
+  }
+  StochasticValue evaluate(const Environment& env) const override {
+    const StochasticValue body = body_->evaluate(env);
+    const double n = static_cast<double>(n_);
+    // Related: the same slow machine stays slow every iteration -> n·a.
+    // Unrelated: iteration noise averages out -> sqrt(n)·a.
+    const double half = dep_ == Dependence::kRelated
+                            ? n * body.halfwidth()
+                            : std::sqrt(n) * body.halfwidth();
+    return StochasticValue(n * body.mean(), half);
+  }
+  double evaluate_point(const Environment& env) const override {
+    return static_cast<double>(n_) * body_->evaluate_point(env);
+  }
+  double sample(const Environment& env, SampleCache& cache,
+                support::Rng& rng) const override {
+    if (dep_ == Dependence::kRelated) {
+      // One draw, repeated: the per-iteration quantities are coupled.
+      return static_cast<double>(n_) * body_->sample(env, cache, rng);
+    }
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      SampleCache fresh;  // independent draw each iteration
+      acc += body_->sample(env, fresh, rng);
+    }
+    return acc;
+  }
+  std::string to_string() const override {
+    return "sum_" + std::to_string(n_) + "[" + body_->to_string() + "]" +
+           dep_suffix(dep_);
+  }
+  void collect_params(std::vector<std::string>& out) const override {
+    body_->collect_params(out);
+  }
+
+ private:
+  ExprPtr body_;
+  std::size_t n_;
+  Dependence dep_;
+};
+
+}  // namespace
+
+ExprPtr constant(StochasticValue v) { return std::make_shared<ConstExpr>(v); }
+
+ExprPtr param(std::string name) {
+  return std::make_shared<ParamExpr>(std::move(name));
+}
+
+ExprPtr sum(std::vector<ExprPtr> terms, Dependence dep) {
+  return std::make_shared<SumExpr>(std::move(terms), dep);
+}
+
+ExprPtr add(ExprPtr a, ExprPtr b, Dependence dep) {
+  return sum({std::move(a), std::move(b)}, dep);
+}
+
+ExprPtr prod(std::vector<ExprPtr> factors, Dependence dep) {
+  return std::make_shared<ProdExpr>(std::move(factors), dep);
+}
+
+ExprPtr mul(ExprPtr a, ExprPtr b, Dependence dep) {
+  return prod({std::move(a), std::move(b)}, dep);
+}
+
+ExprPtr quotient(ExprPtr numerator, ExprPtr denominator, Dependence dep) {
+  return std::make_shared<DivExpr>(std::move(numerator), std::move(denominator),
+                                   dep);
+}
+
+ExprPtr vmax(std::vector<ExprPtr> items, ExtremePolicy policy) {
+  return std::make_shared<MaxExpr>(std::move(items), policy, /*is_max=*/true);
+}
+
+ExprPtr vmin(std::vector<ExprPtr> items, ExtremePolicy policy) {
+  return std::make_shared<MaxExpr>(std::move(items), policy, /*is_max=*/false);
+}
+
+ExprPtr iterate(ExprPtr body, std::size_t iterations, Dependence dep) {
+  return std::make_shared<IterateExpr>(std::move(body), iterations, dep);
+}
+
+stoch::StochasticValue monte_carlo(const Expr& expr, const Environment& env,
+                                   support::Rng& rng, std::size_t trials) {
+  SSPRED_REQUIRE(trials >= 2, "monte_carlo needs at least 2 trials");
+  std::vector<double> results;
+  results.reserve(trials);
+  for (std::size_t i = 0; i < trials; ++i) {
+    SampleCache cache;
+    results.push_back(expr.sample(env, cache, rng));
+  }
+  return StochasticValue::from_sample(results);
+}
+
+}  // namespace sspred::model

@@ -1,0 +1,112 @@
+#include "mpi/benchmark.hpp"
+
+#include <memory>
+
+#include "mpi/comm.hpp"
+#include "support/error.hpp"
+
+namespace sspred::mpi {
+
+namespace {
+
+struct PingPongShared {
+  std::vector<std::size_t> sizes;
+  std::size_t repetitions = 0;
+  int host_a = 0;
+  int host_b = 0;
+  std::vector<std::pair<double, double>> samples;  // (bytes, one-way s)
+  int finished = 0;
+};
+
+sim::Process pingpong_rank(mpi::RankCtx ctx, PingPongShared* shared) {
+  constexpr int kPingTag = 7'000'001;
+  constexpr int kPongTag = 7'000'002;
+  if (ctx.rank() == shared->host_a) {
+    for (const std::size_t bytes : shared->sizes) {
+      const auto doubles = std::max<std::size_t>(1, bytes / sizeof(double));
+      for (std::size_t rep = 0; rep < shared->repetitions; ++rep) {
+        const support::Seconds t0 = ctx.now();
+        ctx.send(shared->host_b, kPingTag, Payload(doubles, 1.0));
+        (void)co_await ctx.recv(shared->host_b, kPongTag);
+        const support::Seconds round_trip = ctx.now() - t0;
+        shared->samples.emplace_back(static_cast<double>(doubles) *
+                                         sizeof(double),
+                                     round_trip / 2.0);
+      }
+    }
+    // Tell the echo side it is done.
+    ctx.send(shared->host_b, kPingTag, Payload{0.0});
+  } else if (ctx.rank() == shared->host_b) {
+    const std::size_t total =
+        shared->sizes.size() * shared->repetitions;
+    for (std::size_t i = 0; i < total; ++i) {
+      Message m = co_await ctx.recv(shared->host_a, kPingTag);
+      ctx.send(shared->host_a, kPongTag, std::move(m.data));
+    }
+    (void)co_await ctx.recv(shared->host_a, kPingTag);  // the done marker
+  }
+  ++shared->finished;
+  co_return;
+}
+
+}  // namespace
+
+PointToPointProfile measure_point_to_point(
+    sim::Engine& engine, cluster::Platform& platform, int a, int b,
+    std::span<const std::size_t> message_bytes, std::size_t repetitions) {
+  SSPRED_REQUIRE(a != b, "ping-pong needs two distinct hosts");
+  SSPRED_REQUIRE(a >= 0 && static_cast<std::size_t>(a) < platform.size() &&
+                     b >= 0 && static_cast<std::size_t>(b) < platform.size(),
+                 "host index out of range");
+  SSPRED_REQUIRE(message_bytes.size() >= 2,
+                 "need at least two sizes to fit latency + bandwidth");
+  SSPRED_REQUIRE(repetitions >= 1, "need at least one repetition");
+
+  auto shared = std::make_unique<PingPongShared>();
+  shared->sizes.assign(message_bytes.begin(), message_bytes.end());
+  shared->repetitions = repetitions;
+  shared->host_a = a;
+  shared->host_b = b;
+
+  Comm comm(engine, platform);
+  comm.launch([ptr = shared.get()](RankCtx ctx) {
+    return pingpong_rank(ctx, ptr);
+  });
+  while (shared->finished < comm.size() && engine.step_one()) {
+  }
+  SSPRED_REQUIRE(shared->finished == comm.size(), "ping-pong deadlocked");
+
+  // Least-squares fit: time = latency + bytes / bandwidth.
+  const auto& s = shared->samples;
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  double sum_xx = 0.0;
+  double sum_xy = 0.0;
+  const double n = static_cast<double>(s.size());
+  for (const auto& [bytes, secs] : s) {
+    sum_x += bytes;
+    sum_y += secs;
+    sum_xx += bytes * bytes;
+    sum_xy += bytes * secs;
+  }
+  const double denom = n * sum_xx - sum_x * sum_x;
+  SSPRED_REQUIRE(denom > 0.0, "degenerate size sweep");
+  const double slope = (n * sum_xy - sum_x * sum_y) / denom;
+  const double intercept = (sum_y - slope * sum_x) / n;
+
+  PointToPointProfile profile;
+  profile.latency = std::max(intercept, 0.0);
+  SSPRED_REQUIRE(slope > 0.0, "non-physical bandwidth fit");
+  profile.bandwidth = 1.0 / slope;
+  profile.samples = std::move(shared->samples);
+  return profile;
+}
+
+PointToPointProfile measure_point_to_point(sim::Engine& engine,
+                                           cluster::Platform& platform, int a,
+                                           int b) {
+  const std::vector<std::size_t> sizes{1024, 4096, 16384, 65536, 262144};
+  return measure_point_to_point(engine, platform, a, b, sizes);
+}
+
+}  // namespace sspred::mpi

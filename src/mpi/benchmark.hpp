@@ -1,0 +1,35 @@
+// Point-to-point benchmarking — how the paper's static model parameters
+// DedBW(x,y) and latency are obtained in practice: run a ping-pong across
+// message sizes and fit time = latency + bytes / bandwidth.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "cluster/platform.hpp"
+#include "sim/engine.hpp"
+
+namespace sspred::mpi {
+
+/// Result of a ping-pong sweep between two hosts.
+struct PointToPointProfile {
+  support::Seconds latency = 0.0;           ///< fitted one-way latency
+  support::BytesPerSecond bandwidth = 0.0;  ///< fitted one-way bandwidth
+  /// Raw (bytes, one-way seconds) observations behind the fit.
+  std::vector<std::pair<double, double>> samples;
+};
+
+/// Runs `repetitions` ping-pongs between hosts `a` and `b` at each message
+/// size and least-squares fits the one-way time model. The engine is run
+/// to completion; other traffic present on the fabric perturbs the fit
+/// exactly as it would a real benchmark.
+[[nodiscard]] PointToPointProfile measure_point_to_point(
+    sim::Engine& engine, cluster::Platform& platform, int a, int b,
+    std::span<const std::size_t> message_bytes, std::size_t repetitions = 5);
+
+/// Convenience: the default size sweep (1 KiB .. 256 KiB).
+[[nodiscard]] PointToPointProfile measure_point_to_point(
+    sim::Engine& engine, cluster::Platform& platform, int a = 0, int b = 1);
+
+}  // namespace sspred::mpi

@@ -1,0 +1,168 @@
+#include "mpi/comm.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "support/error.hpp"
+
+namespace sspred::mpi {
+
+namespace {
+// Reserved tags for the collectives (apps should use small non-negative
+// tags; these are far out of that range).
+constexpr int kSumTag = 1'000'001;
+constexpr int kMaxTag = 1'000'002;
+constexpr int kGatherTag = 1'000'003;
+constexpr int kBcastTag = 1'000'004;
+}  // namespace
+
+Comm::Comm(sim::Engine& engine, cluster::Platform& platform)
+    : engine_(&engine),
+      platform_(&platform),
+      mailboxes_(platform.size()),
+      barrier_trigger_(engine) {
+  SSPRED_REQUIRE(platform.size() >= 1, "communicator needs at least one rank");
+}
+
+void Comm::launch(const std::function<sim::Process(RankCtx)>& rank_main) {
+  for (int r = 0; r < size(); ++r) {
+    engine_->spawn(rank_main(RankCtx(*this, r)));
+  }
+}
+
+void Comm::post_send(int src, int dst, int tag, Payload data) {
+  SSPRED_REQUIRE(dst >= 0 && dst < size(), "send destination out of range");
+  SSPRED_REQUIRE(tag >= 0, "message tags must be non-negative");
+  const support::Bytes bytes =
+      static_cast<double>(data.size()) * sizeof(double) + kHeaderBytes;
+  auto msg = std::make_shared<Message>(Message{src, tag, std::move(data)});
+  auto& fabric = platform_->fabric();
+  const auto latency = fabric.latency();
+  fabric.send(src, dst, bytes, [this, dst, msg, latency] {
+    engine_->schedule_in(latency,
+                         [this, dst, msg] { deliver(dst, std::move(*msg)); });
+  });
+}
+
+void Comm::deliver(int dst, Message msg) {
+  ++delivered_;
+  auto& box = mailboxes_[static_cast<std::size_t>(dst)];
+  for (auto it = box.waiters.begin(); it != box.waiters.end(); ++it) {
+    if (matches(**it, msg)) {
+      RecvWaiter* w = *it;
+      box.waiters.erase(it);
+      w->slot.emplace(std::move(msg));
+      engine_->schedule_in(0.0, [h = w->handle] { h.resume(); });
+      return;
+    }
+  }
+  box.pending.push_back(std::move(msg));
+}
+
+bool Comm::RecvAwaiter::await_ready() {
+  auto& box = comm->mailboxes_[static_cast<std::size_t>(dst)];
+  for (auto it = box.pending.begin(); it != box.pending.end(); ++it) {
+    if (matches(waiter, *it)) {
+      waiter.slot.emplace(std::move(*it));
+      box.pending.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Comm::RecvAwaiter::await_suspend(std::coroutine_handle<> h) {
+  waiter.handle = h;
+  comm->mailboxes_[static_cast<std::size_t>(dst)].waiters.push_back(&waiter);
+}
+
+Message Comm::RecvAwaiter::await_resume() {
+  SSPRED_REQUIRE(waiter.slot.has_value(), "recv resumed without a message");
+  return std::move(*waiter.slot);
+}
+
+bool Comm::BarrierAwaiter::await_ready() {
+  ++comm->barrier_arrived_;
+  if (comm->barrier_arrived_ == comm->size()) {
+    comm->barrier_arrived_ = 0;
+    comm->barrier_trigger_.notify_all();
+    return true;  // last arriver proceeds immediately
+  }
+  return false;
+}
+
+void Comm::BarrierAwaiter::await_suspend(std::coroutine_handle<> h) {
+  // Equivalent to Trigger::wait() but usable from a plain awaiter.
+  comm->barrier_trigger_.add_waiter(h);
+}
+
+int RankCtx::size() const noexcept { return comm_->size(); }
+
+sim::Time RankCtx::now() const noexcept { return comm_->engine().now(); }
+
+const machine::Machine& RankCtx::machine() const {
+  return comm_->platform().machine(static_cast<std::size_t>(rank_));
+}
+
+void RankCtx::send(int dst, int tag, Payload data) {
+  comm_->post_send(rank_, dst, tag, std::move(data));
+}
+
+sim::Task<double> RankCtx::allreduce_sum(double value) {
+  if (rank_ == 0) {
+    double acc = value;
+    for (int i = 1; i < size(); ++i) {
+      Message m = co_await recv(kAnySource, kSumTag);
+      acc += m.data.at(0);
+    }
+    for (int i = 1; i < size(); ++i) send(i, kSumTag, {acc});
+    co_return acc;
+  }
+  send(0, kSumTag, {value});
+  Message m = co_await recv(0, kSumTag);
+  co_return m.data.at(0);
+}
+
+sim::Task<double> RankCtx::allreduce_max(double value) {
+  if (rank_ == 0) {
+    double acc = value;
+    for (int i = 1; i < size(); ++i) {
+      Message m = co_await recv(kAnySource, kMaxTag);
+      acc = std::max(acc, m.data.at(0));
+    }
+    for (int i = 1; i < size(); ++i) send(i, kMaxTag, {acc});
+    co_return acc;
+  }
+  send(0, kMaxTag, {value});
+  Message m = co_await recv(0, kMaxTag);
+  co_return m.data.at(0);
+}
+
+sim::Task<Payload> RankCtx::gather(Payload local) {
+  if (rank_ == 0) {
+    Payload all = std::move(local);
+    std::vector<Payload> parts(static_cast<std::size_t>(size()));
+    for (int i = 1; i < size(); ++i) {
+      Message m = co_await recv(kAnySource, kGatherTag);
+      parts[static_cast<std::size_t>(m.source)] = std::move(m.data);
+    }
+    for (int i = 1; i < size(); ++i) {
+      auto& p = parts[static_cast<std::size_t>(i)];
+      all.insert(all.end(), p.begin(), p.end());
+    }
+    co_return all;
+  }
+  send(0, kGatherTag, std::move(local));
+  co_return Payload{};
+}
+
+sim::Task<Payload> RankCtx::bcast(Payload data) {
+  if (rank_ == 0) {
+    for (int i = 1; i < size(); ++i) send(i, kBcastTag, data);
+    co_return data;
+  }
+  Message m = co_await recv(0, kBcastTag);
+  co_return std::move(m.data);
+}
+
+}  // namespace sspred::mpi

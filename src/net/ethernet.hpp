@@ -1,0 +1,117 @@
+// Shared-medium ethernet as a fluid-flow model.
+//
+// All hosts on the paper's platforms share one 10 Mbit ethernet segment,
+// with other users' traffic stealing capacity in a long-tailed fashion
+// (paper Figs. 3-4). The model:
+//   * concurrent transfers split the instantaneous capacity fairly
+//     (capacity = nominal * avail, re-apportioned on every arrival,
+//     departure and availability change);
+//   * `avail` is a modal/long-tailed stochastic process resampled every
+//     `avail_dt` seconds while the segment is busy (lazy — no events are
+//     generated while idle, so Engine::run() terminates).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+#include "stats/modal_sampler.hpp"
+#include "support/units.hpp"
+
+namespace sspred::net {
+
+/// Static description of a shared segment.
+struct EthernetSpec {
+  support::BytesPerSecond nominal_bandwidth = support::mbits_per_sec(10.0);
+  support::Seconds latency = 1.0e-3;  ///< per-message latency (added by users)
+  stats::ModalProcessSpec availability;  ///< cross-traffic process, in (0,1]
+  support::Seconds availability_interval = 1.0;  ///< resample period
+};
+
+/// An `availability` spec for a dedicated (uncontended) segment.
+[[nodiscard]] stats::ModalProcessSpec dedicated_availability();
+
+class SharedEthernet final : public Fabric {
+ public:
+  /// Binds the segment to an engine; `seed` drives the availability noise.
+  SharedEthernet(sim::Engine& engine, EthernetSpec spec, std::uint64_t seed);
+
+  /// Starts a transfer of `bytes`; `on_complete` fires (as an engine event)
+  /// when the last byte is delivered. Latency is NOT included — callers add
+  /// spec().latency themselves (the MPI layer does).
+  TransferId start_transfer(support::Bytes bytes,
+                            std::function<void()> on_complete);
+
+  /// Fabric interface: on a shared segment every pair contends alike, so
+  /// src/dst only need to be distinct hosts.
+  TransferId send(int src, int dst, support::Bytes bytes,
+                  std::function<void()> on_complete) override {
+    (void)src;
+    (void)dst;
+    return start_transfer(bytes, std::move(on_complete));
+  }
+  [[nodiscard]] support::Seconds latency() const override {
+    return spec_.latency;
+  }
+  [[nodiscard]] support::BytesPerSecond nominal_bandwidth() const override {
+    return spec_.nominal_bandwidth;
+  }
+
+  /// Awaitable transfer for coroutine processes: resumes when delivered.
+  [[nodiscard]] auto transfer(support::Bytes bytes) {
+    struct Awaiter {
+      SharedEthernet& eth;
+      support::Bytes bytes;
+      [[nodiscard]] bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        eth.start_transfer(bytes, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, bytes};
+  }
+
+  [[nodiscard]] const EthernetSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::size_t active_transfers() const noexcept {
+    return active_.size();
+  }
+  /// Current availability fraction (resampled while busy).
+  [[nodiscard]] double current_availability() const noexcept { return avail_; }
+  /// Total bytes fully delivered so far.
+  [[nodiscard]] support::Bytes bytes_delivered() const noexcept {
+    return delivered_;
+  }
+
+ private:
+  struct Xfer {
+    TransferId id;
+    support::Bytes total;
+    support::Bytes remaining;
+    std::function<void()> on_complete;
+  };
+
+  /// Applies progress accrued since last_progress_ to all active transfers.
+  void progress();
+  /// Recomputes the next completion event (and the availability tick).
+  void reschedule();
+  /// Fires when the earliest transfer is due to finish.
+  void on_completion_due();
+  /// Periodic availability resample while the segment is busy.
+  void on_tick();
+  [[nodiscard]] double per_transfer_rate() const noexcept;
+
+  sim::Engine& engine_;
+  EthernetSpec spec_;
+  stats::ModalProcess avail_process_;
+  double avail_;
+  std::vector<Xfer> active_;
+  sim::Time last_progress_ = 0.0;
+  sim::EventId completion_event_ = 0;
+  sim::EventId tick_event_ = 0;
+  TransferId next_id_ = 1;
+  support::Bytes delivered_ = 0.0;
+};
+
+}  // namespace sspred::net

@@ -1,0 +1,35 @@
+// Fabric — the interface the message-passing layer sends through.
+//
+// Two implementations ship: the paper's shared 10 Mbit ethernet segment
+// (SharedEthernet: every transfer contends with every other and with
+// cross-traffic) and a switched full-duplex network (SwitchedEthernet:
+// contention only at each host's NIC, max-min fair rates).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "support/units.hpp"
+
+namespace sspred::net {
+
+using TransferId = std::uint64_t;
+
+class Fabric {
+ public:
+  virtual ~Fabric() = default;
+
+  /// Starts a transfer of `bytes` from host `src` to host `dst`;
+  /// `on_complete` fires (as an engine event) when the last byte lands.
+  /// Latency is NOT included — callers add latency() themselves.
+  virtual TransferId send(int src, int dst, support::Bytes bytes,
+                          std::function<void()> on_complete) = 0;
+
+  /// Per-message latency to add on top of the bandwidth term.
+  [[nodiscard]] virtual support::Seconds latency() const = 0;
+
+  /// Nominal point-to-point bandwidth (for models), bytes/second.
+  [[nodiscard]] virtual support::BytesPerSecond nominal_bandwidth() const = 0;
+};
+
+}  // namespace sspred::net

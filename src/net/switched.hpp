@@ -1,0 +1,71 @@
+// Switched full-duplex ethernet: each host owns an ingress and an egress
+// link of fixed capacity; a transfer consumes one egress (at the source)
+// and one ingress (at the destination). Rates are max-min fair across all
+// active transfers (progressive filling / water-filling), recomputed on
+// every arrival and departure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+
+namespace sspred::net {
+
+struct SwitchedSpec {
+  std::size_t hosts = 4;
+  /// Full-duplex per-direction link capacity.
+  support::BytesPerSecond link_bandwidth = support::mbits_per_sec(10.0);
+  support::Seconds latency = 0.5e-3;  ///< switch adds store-and-forward hops
+};
+
+class SwitchedEthernet final : public Fabric {
+ public:
+  SwitchedEthernet(sim::Engine& engine, SwitchedSpec spec);
+
+  TransferId send(int src, int dst, support::Bytes bytes,
+                  std::function<void()> on_complete) override;
+
+  [[nodiscard]] support::Seconds latency() const override {
+    return spec_.latency;
+  }
+  [[nodiscard]] support::BytesPerSecond nominal_bandwidth() const override {
+    return spec_.link_bandwidth;
+  }
+
+  [[nodiscard]] const SwitchedSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::size_t active_transfers() const noexcept {
+    return active_.size();
+  }
+  /// Current max-min fair rate of a live transfer (0 if unknown id).
+  [[nodiscard]] double transfer_rate(TransferId id) const noexcept;
+
+ private:
+  struct Xfer {
+    TransferId id;
+    std::size_t egress;   ///< link index: src's outgoing side
+    std::size_t ingress;  ///< link index: dst's incoming side
+    support::Bytes remaining;
+    double rate = 0.0;
+    std::function<void()> on_complete;
+  };
+
+  /// Applies progress since last_progress_ at the current rates.
+  void progress();
+  /// Max-min fair rate allocation over the two-link paths.
+  void allocate_rates();
+  /// Recomputes rates and the next completion event.
+  void reschedule();
+  void on_completion_due();
+
+  sim::Engine& engine_;
+  SwitchedSpec spec_;
+  std::size_t link_count_;  ///< hosts egress links + hosts ingress links
+  std::vector<Xfer> active_;
+  sim::Time last_progress_ = 0.0;
+  sim::EventId completion_event_ = 0;
+  TransferId next_id_ = 1;
+};
+
+}  // namespace sspred::net

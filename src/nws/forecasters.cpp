@@ -1,0 +1,120 @@
+#include "nws/forecasters.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "stats/descriptive.hpp"
+#include "support/error.hpp"
+
+namespace sspred::nws {
+
+namespace {
+[[nodiscard]] std::span<const double> tail(std::span<const double> xs,
+                                           std::size_t window) {
+  return xs.size() > window ? xs.subspan(xs.size() - window) : xs;
+}
+}  // namespace
+
+double LastValue::predict(std::span<const double> history) const {
+  SSPRED_REQUIRE(!history.empty(), "forecaster needs history");
+  return history.back();
+}
+
+double RunningMean::predict(std::span<const double> history) const {
+  return stats::mean(history);
+}
+
+SlidingMean::SlidingMean(std::size_t window) : window_(window) {
+  SSPRED_REQUIRE(window >= 1, "window must be >= 1");
+}
+
+double SlidingMean::predict(std::span<const double> history) const {
+  return stats::mean(tail(history, window_));
+}
+
+std::string SlidingMean::name() const {
+  return "mean" + std::to_string(window_);
+}
+
+SlidingMedian::SlidingMedian(std::size_t window) : window_(window) {
+  SSPRED_REQUIRE(window >= 1, "window must be >= 1");
+}
+
+double SlidingMedian::predict(std::span<const double> history) const {
+  return stats::median(tail(history, window_));
+}
+
+std::string SlidingMedian::name() const {
+  return "median" + std::to_string(window_);
+}
+
+ExpSmoothing::ExpSmoothing(double alpha) : alpha_(alpha) {
+  SSPRED_REQUIRE(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+}
+
+double ExpSmoothing::predict(std::span<const double> history) const {
+  SSPRED_REQUIRE(!history.empty(), "forecaster needs history");
+  double s = history.front();
+  for (double x : history.subspan(1)) s = alpha_ * x + (1.0 - alpha_) * s;
+  return s;
+}
+
+std::string ExpSmoothing::name() const {
+  return "expsm" + std::to_string(static_cast<int>(alpha_ * 100.0));
+}
+
+AdaptiveMean::AdaptiveMean(std::vector<std::size_t> windows)
+    : windows_(std::move(windows)) {
+  SSPRED_REQUIRE(!windows_.empty(), "adaptive mean needs candidate windows");
+  SSPRED_REQUIRE(std::is_sorted(windows_.begin(), windows_.end()),
+                 "candidate windows must be ascending");
+  SSPRED_REQUIRE(windows_.front() >= 1, "windows must be >= 1");
+}
+
+double AdaptiveMean::predict(std::span<const double> history) const {
+  SSPRED_REQUIRE(!history.empty(), "forecaster needs history");
+  // Postcast each candidate window over the most recent quarter of the
+  // history (at least 4 points) and keep the one with the lowest MSE.
+  const std::size_t eval_points =
+      std::max<std::size_t>(4, history.size() / 4);
+  const std::size_t eval_begin =
+      history.size() > eval_points ? history.size() - eval_points : 1;
+  std::size_t best_window = windows_.front();
+  double best_mse = std::numeric_limits<double>::infinity();
+  for (std::size_t w : windows_) {
+    double se = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = eval_begin; i < history.size(); ++i) {
+      const double pred = stats::mean(tail(history.subspan(0, i), w));
+      const double err = pred - history[i];
+      se += err * err;
+      ++count;
+    }
+    if (count == 0) continue;
+    const double mse = se / static_cast<double>(count);
+    if (mse < best_mse) {
+      best_mse = mse;
+      best_window = w;
+    }
+  }
+  return stats::mean(tail(history, best_window));
+}
+
+std::vector<std::unique_ptr<Forecaster>> default_bank() {
+  std::vector<std::unique_ptr<Forecaster>> bank;
+  bank.push_back(std::make_unique<LastValue>());
+  bank.push_back(std::make_unique<RunningMean>());
+  for (std::size_t w : {5, 10, 20, 50}) {
+    bank.push_back(std::make_unique<SlidingMean>(w));
+  }
+  for (std::size_t w : {5, 15, 31}) {
+    bank.push_back(std::make_unique<SlidingMedian>(w));
+  }
+  for (double a : {0.2, 0.5, 0.8}) {
+    bank.push_back(std::make_unique<ExpSmoothing>(a));
+  }
+  bank.push_back(std::make_unique<AdaptiveMean>());
+  return bank;
+}
+
+}  // namespace sspred::nws

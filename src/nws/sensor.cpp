@@ -1,0 +1,63 @@
+#include "nws/sensor.hpp"
+
+#include "support/error.hpp"
+
+namespace sspred::nws {
+
+std::string cpu_resource(const machine::Machine& m) {
+  return "cpu/" + m.spec().name;
+}
+
+sim::Process cpu_sensor(sim::Engine& engine, const machine::Machine& machine,
+                        Service& service, support::Seconds interval,
+                        support::Seconds until) {
+  SSPRED_REQUIRE(interval > 0.0, "sensor interval must be positive");
+  const std::string resource = cpu_resource(machine);
+  while (engine.now() < until) {
+    service.observe(resource, machine.availability(engine.now()));
+    co_await engine.delay(interval);
+  }
+}
+
+void ingest_cpu_history(const machine::Machine& machine, Service& service,
+                        support::Seconds t0, support::Seconds t1,
+                        support::Seconds interval) {
+  SSPRED_REQUIRE(interval > 0.0, "sensor interval must be positive");
+  SSPRED_REQUIRE(t1 > t0, "history window must be non-empty");
+  const std::string resource = cpu_resource(machine);
+  for (support::Seconds t = t0; t < t1; t += interval) {
+    service.observe(resource, machine.availability(t));
+  }
+}
+
+void attach_cpu_sensors(sim::Engine& engine, cluster::Platform& platform,
+                        Service& service, support::Seconds interval,
+                        support::Seconds until) {
+  for (std::size_t i = 0; i < platform.size(); ++i) {
+    engine.spawn(
+        cpu_sensor(engine, platform.machine(i), service, interval, until));
+  }
+}
+
+std::string ethernet_resource() { return "net/ethernet"; }
+
+sim::Process bandwidth_sensor(sim::Engine& engine,
+                              net::SharedEthernet& ethernet, Service& service,
+                              support::Bytes probe_bytes,
+                              support::Seconds interval,
+                              support::Seconds until) {
+  SSPRED_REQUIRE(interval > 0.0, "sensor interval must be positive");
+  SSPRED_REQUIRE(probe_bytes > 0.0, "probe must move at least one byte");
+  const std::string resource = ethernet_resource();
+  while (engine.now() < until) {
+    const support::Seconds start = engine.now();
+    co_await ethernet.transfer(probe_bytes);
+    const support::Seconds elapsed = engine.now() - start;
+    const double effective = probe_bytes / elapsed;
+    service.observe(resource,
+                    effective / ethernet.spec().nominal_bandwidth);
+    co_await engine.delay(interval);
+  }
+}
+
+}  // namespace sspred::nws

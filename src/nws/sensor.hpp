@@ -1,0 +1,57 @@
+// Sensors: feed machine load and network availability into the Service.
+//
+// Two modes:
+//  * a coroutine sensor process that samples inside a simulation run
+//    (faithful to the real NWS's periodic sensors);
+//  * direct trace ingestion for "load history up to time T" when preparing
+//    a prediction outside a run.
+#pragma once
+
+#include <string>
+
+#include "cluster/platform.hpp"
+#include "nws/service.hpp"
+#include "sim/engine.hpp"
+#include "sim/process.hpp"
+
+namespace sspred::nws {
+
+/// Resource name used for machine `m`'s CPU availability.
+[[nodiscard]] std::string cpu_resource(const machine::Machine& m);
+
+/// Sensor process: every `interval` seconds until `until`, records the
+/// machine's current availability into `service`. The paper's NWS sampled
+/// at 5 second intervals.
+[[nodiscard]] sim::Process cpu_sensor(sim::Engine& engine,
+                                      const machine::Machine& machine,
+                                      Service& service,
+                                      support::Seconds interval,
+                                      support::Seconds until);
+
+/// Ingests the machine's availability trace over [t0, t1) at `interval`
+/// spacing — what a sensor running over that period would have recorded.
+void ingest_cpu_history(const machine::Machine& machine, Service& service,
+                        support::Seconds t0, support::Seconds t1,
+                        support::Seconds interval = 5.0);
+
+/// Spawns cpu sensors for every host of a platform.
+void attach_cpu_sensors(sim::Engine& engine, cluster::Platform& platform,
+                        Service& service, support::Seconds interval,
+                        support::Seconds until);
+
+/// Resource name for a shared segment's availability fraction.
+[[nodiscard]] std::string ethernet_resource();
+
+/// Bandwidth sensor process: every `interval` seconds until `until`,
+/// sends a `probe_bytes` probe through the segment and records the
+/// measured availability fraction (effective / nominal bandwidth). Like
+/// the real NWS's bandwidth sensors, the probes themselves consume a
+/// little bandwidth and see whatever application traffic is in flight.
+[[nodiscard]] sim::Process bandwidth_sensor(sim::Engine& engine,
+                                            net::SharedEthernet& ethernet,
+                                            Service& service,
+                                            support::Bytes probe_bytes,
+                                            support::Seconds interval,
+                                            support::Seconds until);
+
+}  // namespace sspred::nws

@@ -1,0 +1,60 @@
+#include "predict/decomposition_advisor.hpp"
+
+#include <algorithm>
+
+#include "sor/decomposition.hpp"
+#include "support/error.hpp"
+
+namespace sspred::predict {
+
+std::vector<std::size_t> recommend_rows(
+    const cluster::PlatformSpec& platform, std::size_t n,
+    std::span<const stoch::StochasticValue> loads, BalanceStrategy strategy) {
+  const std::size_t hosts = platform.hosts.size();
+  SSPRED_REQUIRE(loads.size() == hosts, "need one load value per host");
+  SSPRED_REQUIRE(n >= hosts, "need at least one row per host");
+
+  if (strategy == BalanceStrategy::kUniform) {
+    const auto d = sor::StripDecomposition::uniform(n, hosts);
+    std::vector<std::size_t> rows(hosts);
+    for (std::size_t p = 0; p < hosts; ++p) rows[p] = d.rows(p);
+    return rows;
+  }
+
+  std::vector<double> capacity(hosts);
+  for (std::size_t p = 0; p < hosts; ++p) {
+    const double load_estimate =
+        strategy == BalanceStrategy::kMeanCapacity
+            ? loads[p].mean()
+            : std::max(loads[p].lower(), 0.05 * loads[p].mean());
+    SSPRED_REQUIRE(load_estimate > 0.0, "load estimate must be positive");
+    capacity[p] =
+        load_estimate / platform.hosts[p].machine.bm_seconds_per_element;
+  }
+  const auto d = sor::StripDecomposition::weighted(n, capacity);
+  std::vector<std::size_t> rows(hosts);
+  for (std::size_t p = 0; p < hosts; ++p) rows[p] = d.rows(p);
+  return rows;
+}
+
+double imbalance(const cluster::PlatformSpec& platform, std::size_t n,
+                 std::span<const std::size_t> rows,
+                 std::span<const stoch::StochasticValue> loads) {
+  const std::size_t hosts = platform.hosts.size();
+  SSPRED_REQUIRE(rows.size() == hosts && loads.size() == hosts,
+                 "rows/loads must match host count");
+  double worst = 0.0;
+  double total = 0.0;
+  for (std::size_t p = 0; p < hosts; ++p) {
+    const double phase =
+        static_cast<double>(rows[p]) * static_cast<double>(n) *
+        platform.hosts[p].machine.bm_seconds_per_element /
+        std::max(loads[p].mean(), 1e-9);
+    worst = std::max(worst, phase);
+    total += phase;
+  }
+  const double mean = total / static_cast<double>(hosts);
+  return worst / mean;
+}
+
+}  // namespace sspred::predict

@@ -1,0 +1,41 @@
+// Time-balancing strip decomposition (paper footnote 2): "To balance load
+// in a distributed setting, we may assign more work to processors with
+// greater capacity, with the goal of having all processors complete at
+// the same time."
+//
+// Capacity is load / BM(Elt): with stochastic loads the advisor can
+// balance on the means or — when mispredictions are penalized (paper
+// §1.2) — on pessimistic capacities, giving high-variance machines less
+// work.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "cluster/platform.hpp"
+#include "stoch/stochastic_value.hpp"
+
+namespace sspred::predict {
+
+enum class BalanceStrategy {
+  kUniform,       ///< equal strips, ignore capacities
+  kMeanCapacity,  ///< rows ∝ load_mean / bm
+  kConservative,  ///< rows ∝ max(load_lower, eps) / bm: distrust swingy hosts
+};
+
+/// Recommends rows-per-rank for an n-row grid on `platform` given each
+/// host's stochastic load.
+[[nodiscard]] std::vector<std::size_t> recommend_rows(
+    const cluster::PlatformSpec& platform, std::size_t n,
+    std::span<const stoch::StochasticValue> loads, BalanceStrategy strategy);
+
+/// Expected per-iteration compute imbalance of a decomposition: the ratio
+/// of the slowest rank's expected phase time to the mean phase time
+/// (1.0 = perfectly balanced).
+[[nodiscard]] double imbalance(const cluster::PlatformSpec& platform,
+                               std::size_t n,
+                               std::span<const std::size_t> rows,
+                               std::span<const stoch::StochasticValue> loads);
+
+}  // namespace sspred::predict

@@ -1,0 +1,88 @@
+// Predict-then-execute experiment harnesses — the machinery behind the
+// paper's §3 evaluation (Figs. 8-9 and 12-17) and the "within 2%"
+// dedicated-setting claim.
+//
+// A trial: (1) the NWS clone ingests the recent load history of every
+// host; (2) the structural model is parameterized with the resulting
+// stochastic loads (or their means, for the point baseline); (3) the real
+// distributed SOR runs on the simulated platform; (4) predicted range vs
+// actual time is recorded.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "predict/sor_model.hpp"
+#include "stoch/metrics.hpp"
+
+namespace sspred::predict {
+
+/// One predict-then-execute outcome.
+struct TrialOutcome {
+  double start_time = 0.0;               ///< virtual timestamp of the run
+  double actual = 0.0;                   ///< measured execution time
+  stoch::StochasticValue predicted;      ///< stochastic prediction
+  std::vector<double> load_at_start;     ///< availability per host at start
+  std::vector<stoch::StochasticValue> load_params;  ///< bound load values
+
+  /// The paper's point baseline: the mean of the stochastic prediction.
+  [[nodiscard]] double point_predicted() const { return predicted.mean(); }
+};
+
+/// How trial load parameters are derived.
+enum class LoadParameterSource {
+  /// One-step NWS forecast over the trailing history window. Best when
+  /// the load is persistent on the run's timescale.
+  kNwsForecast,
+  /// The host's current mode summarized as mean ± 2sd of recent samples
+  /// within the window (Platform-1 single-mode regime, paper §3.1).
+  kRecentSample,
+  /// The paper's §2.1.2 bursty regime: fit a Gaussian mixture to the
+  /// trailing window and average the modes by occupancy,
+  /// Σ Pᵢ(Mᵢ ± SDᵢ) — appropriate when the run outlasts the mode dwell.
+  kModalMix,
+  /// Dedicated: all loads are the point value 1.0.
+  kDedicated,
+};
+
+/// How the bandwidth-availability parameter is derived.
+enum class BandwidthSource {
+  /// Use SeriesConfig::bwavail as-is (e.g. a known segment profile).
+  kFixed,
+  /// Live NWS bandwidth probes through the shared segment; each trial is
+  /// parameterized from the probe service's forecast.
+  kNwsProbe,
+};
+
+struct SeriesConfig {
+  cluster::PlatformSpec platform;
+  sor::SorConfig sor;
+  SorModelOptions model;
+  std::size_t trials = 10;
+  support::Seconds spacing = 150.0;        ///< gap between trial starts
+  support::Seconds first_start = 400.0;    ///< history must exist before it
+  support::Seconds history_window = 300.0; ///< NWS lookback per trial
+  support::Seconds sample_interval = 5.0;  ///< NWS sampling period
+  LoadParameterSource load_source = LoadParameterSource::kNwsForecast;
+  /// Bandwidth-availability parameter for the comm model (kFixed source).
+  stoch::StochasticValue bwavail = stoch::StochasticValue(1.0);
+  BandwidthSource bw_source = BandwidthSource::kFixed;
+  support::Seconds bw_probe_interval = 15.0;   ///< kNwsProbe period
+  support::Bytes bw_probe_bytes = 32.0 * 1024.0;
+  std::uint64_t seed = 20260707;
+};
+
+/// Runs a series of trials at successive start times over one continuous
+/// platform load history (the paper's time-stamped series, Figs. 12-17).
+[[nodiscard]] std::vector<TrialOutcome> run_series(const SeriesConfig& config);
+
+/// Runs one trial per problem size at a fixed start time (Fig. 9's
+/// execution-time-vs-problem-size view).
+[[nodiscard]] std::vector<TrialOutcome> run_size_sweep(
+    const SeriesConfig& config, std::span<const std::size_t> sizes);
+
+/// Convenience: scores a series against the paper's metrics.
+[[nodiscard]] stoch::PredictionScore score(
+    std::span<const TrialOutcome> outcomes);
+
+}  // namespace sspred::predict

@@ -1,0 +1,57 @@
+// Application-level host selection over stochastic predictions.
+//
+// The paper's setting is the authors' AppLeS project: an application-level
+// scheduler that uses NWS data to pick resources. With stochastic
+// execution-time predictions the choice becomes metric-driven (paper
+// §1.2): rank every host subset by expected time, by a high quantile
+// (penalized mispredictions), or by the worst case.
+//
+// Using MORE hosts is not always better: loaded or slow machines can drag
+// the Max-composed SOR model above a smaller, cleaner subset.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "predict/decomposition_advisor.hpp"
+#include "predict/sor_model.hpp"
+
+namespace sspred::predict {
+
+/// What "best" means for a plan.
+enum class PlanMetric {
+  kExpectedTime,  ///< minimize the prediction mean
+  kP95Time,       ///< minimize the 95th-percentile time (risk-averse)
+  kUpperBound,    ///< minimize mean + 2sd (the range's top)
+};
+
+/// One candidate execution plan.
+struct CandidatePlan {
+  std::vector<std::size_t> hosts;      ///< indices into the full platform
+  std::vector<std::size_t> rows;       ///< strip heights per chosen host
+  stoch::StochasticValue predicted;    ///< stochastic ExTime on this subset
+  double score = 0.0;                  ///< metric value (lower is better)
+
+  /// The platform spec restricted to this plan's hosts.
+  [[nodiscard]] cluster::PlatformSpec subset_spec(
+      const cluster::PlatformSpec& full) const;
+};
+
+/// Enumerates every non-empty host subset (platforms up to 16 hosts),
+/// builds the SOR structural model on each with capacity-balanced strips,
+/// and returns plans sorted by the metric (best first).
+[[nodiscard]] std::vector<CandidatePlan> rank_host_subsets(
+    const cluster::PlatformSpec& platform, const sor::SorConfig& config,
+    std::span<const stoch::StochasticValue> loads,
+    stoch::StochasticValue bwavail, PlanMetric metric,
+    const SorModelOptions& options = {});
+
+/// Convenience: the best plan under the metric.
+[[nodiscard]] CandidatePlan select_hosts(
+    const cluster::PlatformSpec& platform, const sor::SorConfig& config,
+    std::span<const stoch::StochasticValue> loads,
+    stoch::StochasticValue bwavail, PlanMetric metric,
+    const SorModelOptions& options = {});
+
+}  // namespace sspred::predict

@@ -1,0 +1,130 @@
+#include "sched/workshare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "stats/descriptive.hpp"
+#include "stoch/arithmetic.hpp"
+#include "stoch/montecarlo.hpp"
+#include "support/error.hpp"
+
+namespace sspred::sched {
+
+std::size_t Allocation::total() const noexcept {
+  return std::accumulate(units.begin(), units.end(), std::size_t{0});
+}
+
+Allocation allocate(std::size_t total_units,
+                    std::span<const MachineProfile> machines,
+                    Strategy strategy, double risk_aversion) {
+  SSPRED_REQUIRE(!machines.empty(), "need at least one machine");
+  SSPRED_REQUIRE(total_units >= machines.size(),
+                 "need at least one unit per machine");
+  SSPRED_REQUIRE(risk_aversion >= 0.0, "risk aversion must be >= 0");
+
+  std::vector<double> rate(machines.size());
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    const auto& t = machines[i].unit_time;
+    SSPRED_REQUIRE(t.mean() > 0.0, "unit time must be positive");
+    double effective = t.mean();
+    switch (strategy) {
+      case Strategy::kMeanBalance:
+        break;
+      case Strategy::kConservative:
+        effective = t.mean() + risk_aversion * t.halfwidth();
+        break;
+      case Strategy::kOptimistic:
+        effective = std::max(t.lower(), 0.05 * t.mean());
+        break;
+    }
+    rate[i] = 1.0 / effective;
+  }
+  const double total_rate = std::accumulate(rate.begin(), rate.end(), 0.0);
+
+  // Largest-remainder apportionment with a one-unit floor.
+  Allocation alloc;
+  alloc.units.assign(machines.size(), 1);
+  std::size_t assigned = machines.size();
+  std::vector<double> ideal(machines.size());
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    ideal[i] = rate[i] / total_rate * static_cast<double>(total_units);
+    const auto extra =
+        static_cast<std::size_t>(std::max(0.0, std::floor(ideal[i]) - 1.0));
+    alloc.units[i] += extra;
+    assigned += extra;
+  }
+  std::vector<std::size_t> order(machines.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double ra = ideal[a] - std::floor(ideal[a]);
+    const double rb = ideal[b] - std::floor(ideal[b]);
+    if (ra != rb) return ra > rb;
+    return a < b;
+  });
+  for (std::size_t i = 0; assigned < total_units;
+       i = (i + 1) % machines.size()) {
+    ++alloc.units[order[i]];
+    ++assigned;
+  }
+  SSPRED_REQUIRE(alloc.total() == total_units, "apportionment failed");
+  return alloc;
+}
+
+stoch::StochasticValue predicted_makespan(
+    const Allocation& alloc, std::span<const MachineProfile> machines,
+    stoch::ExtremePolicy policy) {
+  SSPRED_REQUIRE(alloc.units.size() == machines.size(),
+                 "allocation/machine count mismatch");
+  std::vector<stoch::StochasticValue> finish;
+  finish.reserve(machines.size());
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    finish.push_back(stoch::scale(machines[i].unit_time,
+                                  static_cast<double>(alloc.units[i])));
+  }
+  return stoch::smax(finish, policy);
+}
+
+MakespanStats simulate_makespan(const Allocation& alloc,
+                                std::span<const MachineProfile> machines,
+                                support::Rng& rng, std::size_t trials) {
+  SSPRED_REQUIRE(alloc.units.size() == machines.size(),
+                 "allocation/machine count mismatch");
+  SSPRED_REQUIRE(trials >= 2, "need at least 2 trials");
+  std::vector<double> spans;
+  spans.reserve(trials);
+  for (std::size_t t = 0; t < trials; ++t) {
+    double span = 0.0;
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+      // Per-unit times on one machine are strongly coupled within a run;
+      // draw one unit time and scale (conservative, like the paper's
+      // related-distribution regime).
+      const double unit =
+          std::max(1e-9, stoch::sample(machines[i].unit_time, rng));
+      span = std::max(span, unit * static_cast<double>(alloc.units[i]));
+    }
+    spans.push_back(span);
+  }
+  const auto s = stats::summarize(spans);
+  MakespanStats out;
+  out.mean = s.mean;
+  out.sd = s.sd;
+  out.p95 = stats::quantile(spans, 0.95);
+  out.worst = s.max;
+  return out;
+}
+
+std::vector<double> capacities(std::span<const double> bm_seconds_per_element,
+                               std::span<const double> load_means) {
+  SSPRED_REQUIRE(bm_seconds_per_element.size() == load_means.size(),
+                 "bm/load size mismatch");
+  std::vector<double> caps(bm_seconds_per_element.size());
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    SSPRED_REQUIRE(bm_seconds_per_element[i] > 0.0 && load_means[i] > 0.0,
+                   "bm and load must be positive");
+    caps[i] = load_means[i] / bm_seconds_per_element[i];
+  }
+  return caps;
+}
+
+}  // namespace sspred::sched

@@ -1,0 +1,67 @@
+#include "sim/engine.hpp"
+
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace sspred::sim {
+
+Engine::~Engine() = default;
+
+EventId Engine::schedule_at(Time t, std::function<void()> fn) {
+  SSPRED_REQUIRE(t >= now_, "cannot schedule an event in the past");
+  const EventId id = next_id_++;
+  queue_.push(Item{t, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+EventId Engine::schedule_in(Time dt, std::function<void()> fn) {
+  SSPRED_REQUIRE(dt >= 0.0, "delay must be non-negative");
+  return schedule_at(now_ + dt, std::move(fn));
+}
+
+void Engine::cancel(EventId id) { cancelled_.insert(id); }
+
+bool Engine::step(Time horizon) {
+  while (!queue_.empty()) {
+    if (queue_.top().t > horizon) return false;
+    // priority_queue::top() is const; the item is moved out via const_cast
+    // which is safe because pop() immediately removes it.
+    Item item = std::move(const_cast<Item&>(queue_.top()));
+    queue_.pop();
+    if (auto it = cancelled_.find(item.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = item.t;
+    ++processed_;
+    item.fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run() {
+  while (step(std::numeric_limits<Time>::infinity())) {
+  }
+}
+
+bool Engine::step_one() {
+  return step(std::numeric_limits<Time>::infinity());
+}
+
+void Engine::run_until(Time t) {
+  SSPRED_REQUIRE(t >= now_, "cannot run to a time in the past");
+  while (step(t)) {
+  }
+  now_ = t;
+}
+
+void Engine::spawn(Process process) {
+  SSPRED_REQUIRE(process.valid(), "cannot spawn an empty process");
+  processes_.push_back(std::move(process));
+  const auto h = processes_.back().handle();
+  schedule_in(0.0, [h] { h.resume(); });
+}
+
+}  // namespace sspred::sim

@@ -1,0 +1,124 @@
+// Discrete-event simulation engine with C++20 coroutine processes.
+//
+// Virtual time is a double in seconds. Events are (time, sequence) ordered,
+// so same-time events run in schedule order — the whole simulation is
+// deterministic. Processes are coroutines (`sim::Process`) that suspend on
+// awaitables (delay, triggers, channels) and are resumed by the engine.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/process.hpp"
+#include "support/units.hpp"
+
+namespace sspred::sim {
+
+using Time = support::Seconds;
+
+/// Handle for a scheduled event, usable with Engine::cancel().
+using EventId = std::uint64_t;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  /// Current virtual time.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute time t (>= now). Returns a cancellable id.
+  EventId schedule_at(Time t, std::function<void()> fn);
+
+  /// Schedules `fn` after a non-negative delay.
+  EventId schedule_in(Time dt, std::function<void()> fn);
+
+  /// Cancels a pending event; cancelling an already-fired or unknown id is
+  /// a no-op.
+  void cancel(EventId id);
+
+  /// Runs until the event queue is empty.
+  void run();
+
+  /// Runs all events with time <= t, then advances the clock to exactly t.
+  void run_until(Time t);
+
+  /// Executes exactly one pending event; false when the queue is empty.
+  /// Lets callers run the engine until an application-level condition
+  /// holds (e.g. "all ranks finished") while background processes —
+  /// sensors, probes — keep their own schedules.
+  bool step_one();
+
+  /// Total events executed so far (for tests and the DES microbenchmark).
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return processed_;
+  }
+
+  /// Takes ownership of a process coroutine and schedules its first resume
+  /// at the current time.
+  void spawn(Process process);
+
+  /// Awaitable: suspends the calling process for `dt` virtual seconds.
+  [[nodiscard]] auto delay(Time dt) {
+    struct Awaiter {
+      Engine& engine;
+      Time dt;
+      [[nodiscard]] bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        engine.schedule_in(dt, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, dt};
+  }
+
+  /// Awaitable: suspends until absolute virtual time t (no-op if past).
+  [[nodiscard]] auto until(Time t) {
+    struct Awaiter {
+      Engine& engine;
+      Time t;
+      [[nodiscard]] bool await_ready() const noexcept {
+        return t <= engine.now();
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        engine.schedule_at(t, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, t};
+  }
+
+ private:
+  struct Item {
+    Time t;
+    std::uint64_t seq;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    [[nodiscard]] bool operator()(const Item& a, const Item& b) const noexcept {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops and runs the next non-cancelled event; false when queue is empty
+  /// or the next event is after `horizon`.
+  bool step(Time horizon);
+
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  std::vector<Process> processes_;
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace sspred::sim

@@ -1,0 +1,102 @@
+// sim::Process — the coroutine type for simulation processes.
+//
+// A Process body runs inside the engine's event loop, suspending on
+// engine/sync awaitables. Errors thrown inside a process propagate out of
+// Engine::run() (fail loudly; see promise_type::unhandled_exception).
+#pragma once
+
+#include <coroutine>
+#include <utility>
+#include <vector>
+
+namespace sspred::sim {
+
+class Process {
+ public:
+  struct promise_type {
+    bool done = false;
+    std::vector<std::coroutine_handle<>> joiners;
+
+    Process get_return_object() {
+      return Process(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    [[nodiscard]] std::suspend_always initial_suspend() const noexcept {
+      return {};
+    }
+    // Final suspend resumes joiners inline; the frame stays alive until the
+    // owning Process destroys it.
+    struct FinalAwaiter {
+      [[nodiscard]] bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+        auto& p = h.promise();
+        p.done = true;
+        // Move out first: a joiner may itself finish and re-enter.
+        std::vector<std::coroutine_handle<>> to_resume;
+        to_resume.swap(p.joiners);
+        for (auto j : to_resume) j.resume();
+      }
+      void await_resume() const noexcept {}
+    };
+    [[nodiscard]] FinalAwaiter final_suspend() const noexcept { return {}; }
+    void return_void() noexcept {}
+    // Rethrow: per [dcl.fct.def.coroutine], the coroutine is then treated
+    // as suspended at its final point, so the frame remains destroyable
+    // while the error propagates out of Engine::run().
+    void unhandled_exception() { throw; }
+  };
+
+  Process() = default;
+  explicit Process(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Process(Process&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  Process& operator=(Process&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  ~Process() { destroy(); }
+
+  [[nodiscard]] bool valid() const noexcept { return handle_ != nullptr; }
+  [[nodiscard]] bool done() const noexcept {
+    return handle_ != nullptr && handle_.promise().done;
+  }
+
+  /// Starts or resumes the coroutine (used by the engine).
+  void resume() const { handle_.resume(); }
+
+  [[nodiscard]] std::coroutine_handle<promise_type> handle() const noexcept {
+    return handle_;
+  }
+
+  /// Awaitable completing when this process finishes. The awaiting process
+  /// must not outlive the awaited one.
+  [[nodiscard]] auto join() const {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> target;
+      [[nodiscard]] bool await_ready() const noexcept {
+        return target.promise().done;
+      }
+      void await_suspend(std::coroutine_handle<> h) const {
+        target.promise().joiners.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace sspred::sim

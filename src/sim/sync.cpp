@@ -1,0 +1,36 @@
+#include "sim/sync.hpp"
+
+#include "sim/engine.hpp"
+
+namespace sspred::sim {
+
+namespace detail {
+void schedule_resume(Engine& engine, std::coroutine_handle<> h) {
+  engine.schedule_in(0.0, [h] { h.resume(); });
+}
+}  // namespace detail
+
+void Trigger::notify_all() {
+  std::vector<std::coroutine_handle<>> to_wake;
+  to_wake.swap(waiters_);
+  for (auto h : to_wake) detail::schedule_resume(*engine_, h);
+}
+
+void Trigger::notify_one() {
+  if (waiters_.empty()) return;
+  auto h = waiters_.front();
+  waiters_.erase(waiters_.begin());
+  detail::schedule_resume(*engine_, h);
+}
+
+void Semaphore::release() {
+  if (!waiters_.empty()) {
+    auto h = waiters_.front();
+    waiters_.pop_front();
+    detail::schedule_resume(*engine_, h);
+    return;
+  }
+  ++count_;
+}
+
+}  // namespace sspred::sim

@@ -1,0 +1,149 @@
+// Synchronization primitives for simulation processes: broadcast triggers,
+// counting semaphores and typed FIFO channels.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace sspred::sim {
+
+class Engine;
+
+/// Broadcast wakeup: processes wait(); notify_all()/notify_one() resume
+/// them via zero-delay engine events (so wakeups are ordered after the
+/// notifying event completes).
+class Trigger {
+ public:
+  explicit Trigger(Engine& engine) noexcept : engine_(&engine) {}
+
+  [[nodiscard]] auto wait() {
+    struct Awaiter {
+      Trigger& trigger;
+      [[nodiscard]] bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        trigger.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  void notify_all();
+  void notify_one();
+
+  /// Registers an already-suspending coroutine (for custom awaiters that
+  /// want Trigger-backed wakeup without the wait() awaitable).
+  void add_waiter(std::coroutine_handle<> h) { waiters_.push_back(h); }
+
+  [[nodiscard]] std::size_t waiting() const noexcept { return waiters_.size(); }
+
+ private:
+  Engine* engine_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Counting semaphore over virtual time.
+class Semaphore {
+ public:
+  Semaphore(Engine& engine, std::size_t initial) noexcept
+      : engine_(&engine), count_(initial) {}
+
+  /// Awaitable acquire of one unit.
+  [[nodiscard]] auto acquire() {
+    struct Awaiter {
+      Semaphore& sem;
+      [[nodiscard]] bool await_ready() const noexcept {
+        if (sem.count_ > 0) {
+          --sem.count_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        sem.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  /// Releases one unit, waking the oldest waiter if any.
+  void release();
+
+  [[nodiscard]] std::size_t available() const noexcept { return count_; }
+  [[nodiscard]] std::size_t waiting() const noexcept { return waiters_.size(); }
+
+ private:
+  Engine* engine_;
+  std::size_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+namespace detail {
+/// Schedules a zero-delay resume of `h` on `engine` (defined in sync.cpp to
+/// keep Engine out of this header for the Channel template).
+void schedule_resume(Engine& engine, std::coroutine_handle<> h);
+}  // namespace detail
+
+/// Unbounded typed FIFO channel. recv() suspends while empty; send()
+/// delivers directly into the oldest waiting receiver's slot, so a value
+/// handed to a receiver can never be stolen by a later recv().
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Engine& engine) noexcept : engine_(&engine) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  void send(T value) {
+    if (!receivers_.empty()) {
+      RecvAwaiter* waiter = receivers_.front();
+      receivers_.pop_front();
+      waiter->slot.emplace(std::move(value));
+      detail::schedule_resume(*engine_, waiter->handle);
+      return;
+    }
+    items_.push_back(std::move(value));
+  }
+
+  [[nodiscard]] auto recv() { return RecvAwaiter{this, nullptr, {}}; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] std::size_t waiting() const noexcept {
+    return receivers_.size();
+  }
+
+ private:
+  struct RecvAwaiter {
+    Channel* ch;
+    std::coroutine_handle<> handle;
+    std::optional<T> slot;
+
+    [[nodiscard]] bool await_ready() const noexcept {
+      return !ch->items_.empty();
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      ch->receivers_.push_back(this);
+    }
+    [[nodiscard]] T await_resume() {
+      if (slot.has_value()) return std::move(*slot);
+      SSPRED_REQUIRE(!ch->items_.empty(), "channel woke with no item");
+      T v = std::move(ch->items_.front());
+      ch->items_.pop_front();
+      return v;
+    }
+  };
+
+  Engine* engine_;
+  std::deque<T> items_;
+  std::deque<RecvAwaiter*> receivers_;
+};
+
+}  // namespace sspred::sim

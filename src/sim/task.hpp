@@ -1,0 +1,131 @@
+// sim::Task<T> — an awaitable sub-coroutine for composing simulation logic.
+//
+// A Process is the root of a simulated activity; a Task is a callee it can
+// `co_await` (and Tasks can await further Tasks). The caller's handle is
+// resumed by symmetric transfer when the Task completes, so composition
+// adds no events to the engine queue.
+#pragma once
+
+#include <coroutine>
+#include <optional>
+#include <utility>
+
+namespace sspred::sim {
+
+template <typename T = void>
+class [[nodiscard]] Task;
+
+namespace detail {
+
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;
+
+  [[nodiscard]] std::suspend_always initial_suspend() const noexcept {
+    return {};
+  }
+  struct FinalAwaiter {
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    template <typename Promise>
+    [[nodiscard]] std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) const noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+  [[nodiscard]] FinalAwaiter final_suspend() const noexcept { return {}; }
+  // Propagate errors out of Engine::run() (see sim::Process).
+  void unhandled_exception() { throw; }
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::TaskPromiseBase {
+    std::optional<T> value;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value.emplace(std::move(v)); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  [[nodiscard]] std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<> caller) noexcept {
+    handle_.promise().continuation = caller;
+    return handle_;  // start the task by symmetric transfer
+  }
+  [[nodiscard]] T await_resume() { return std::move(*handle_.promise().value); }
+
+ private:
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::TaskPromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() const noexcept {}
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  [[nodiscard]] std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<> caller) noexcept {
+    handle_.promise().continuation = caller;
+    return handle_;
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace sspred::sim

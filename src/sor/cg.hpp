@@ -1,0 +1,63 @@
+// Distributed Conjugate Gradient for the same Poisson problem — a third
+// application with a qualitatively different communication pattern: per
+// iteration one neighbour ghost exchange (for the matrix-free SpMV) plus
+// TWO global allreduces (the dot products). Where SOR/Jacobi stress
+// boundary bandwidth, CG stresses collective latency.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "cluster/platform.hpp"
+#include "sim/engine.hpp"
+#include "support/units.hpp"
+
+namespace sspred::sor {
+
+/// Serial matrix-free CG reference on the 5-point Poisson system.
+class SerialCg {
+ public:
+  explicit SerialCg(std::size_t n);
+
+  /// Runs up to `max_iterations`, stopping when ||r||_2 < tol (tol <= 0
+  /// disables the check). Returns iterations performed.
+  std::size_t solve(std::size_t max_iterations, double tol = 0.0);
+
+  [[nodiscard]] double residual_norm() const noexcept { return residual_; }
+  [[nodiscard]] double solution_error() const;
+  [[nodiscard]] double at(std::size_t row, std::size_t col) const;
+
+ private:
+  std::size_t n_;
+  double h_;
+  std::vector<double> x_;
+  std::vector<double> b_;
+  double residual_ = std::numeric_limits<double>::infinity();
+};
+
+struct CgConfig {
+  std::size_t n = 256;
+  std::size_t max_iterations = 200;
+  double tolerance = 0.0;  ///< <= 0: run all iterations
+  bool real_numerics = true;
+};
+
+struct CgResult {
+  support::Seconds start_time = 0.0;
+  support::Seconds total_time = 0.0;
+  std::size_t iterations_run = 0;
+  double residual = std::numeric_limits<double>::quiet_NaN();
+  double solution_error = std::numeric_limits<double>::quiet_NaN();
+  /// Per-rank total (compute, neighbour comm, allreduce) seconds.
+  std::vector<std::array<support::Seconds, 3>> rank_totals;
+};
+
+/// Runs the strip-decomposed CG on `platform`.
+[[nodiscard]] CgResult run_distributed_cg(sim::Engine& engine,
+                                          cluster::Platform& platform,
+                                          const CgConfig& config,
+                                          support::Seconds start_time = 0.0);
+
+}  // namespace sspred::sor

@@ -1,0 +1,91 @@
+#include "sor/decomposition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace sspred::sor {
+
+StripDecomposition::StripDecomposition(std::size_t n,
+                                       std::vector<std::size_t> rows_per_rank)
+    : n_(n), rows_(std::move(rows_per_rank)) {
+  SSPRED_REQUIRE(!rows_.empty(), "decomposition needs at least one rank");
+  std::size_t total = 0;
+  for (std::size_t r : rows_) {
+    SSPRED_REQUIRE(r >= 1, "every rank needs at least one row");
+    total += r;
+  }
+  SSPRED_REQUIRE(total == n, "row counts must sum to n");
+  offsets_.resize(rows_.size() + 1);
+  offsets_[0] = 0;
+  std::partial_sum(rows_.begin(), rows_.end(), offsets_.begin() + 1);
+}
+
+StripDecomposition StripDecomposition::uniform(std::size_t n,
+                                               std::size_t ranks) {
+  SSPRED_REQUIRE(ranks >= 1 && ranks <= n, "need 1 <= ranks <= n");
+  std::vector<std::size_t> rows(ranks, n / ranks);
+  for (std::size_t i = 0; i < n % ranks; ++i) ++rows[i];
+  return StripDecomposition(n, std::move(rows));
+}
+
+StripDecomposition StripDecomposition::weighted(
+    std::size_t n, std::span<const double> capacity) {
+  SSPRED_REQUIRE(!capacity.empty() && capacity.size() <= n,
+                 "need 1 <= ranks <= n");
+  double total = 0.0;
+  for (double c : capacity) {
+    SSPRED_REQUIRE(c > 0.0, "capacities must be positive");
+    total += c;
+  }
+  const std::size_t ranks = capacity.size();
+  std::vector<std::size_t> rows(ranks, 1);  // a floor of one row each
+  std::size_t assigned = ranks;
+  // Largest-remainder apportionment of the remaining rows.
+  std::vector<double> ideal(ranks);
+  for (std::size_t i = 0; i < ranks; ++i) {
+    ideal[i] = capacity[i] / total * static_cast<double>(n);
+  }
+  for (std::size_t i = 0; i < ranks; ++i) {
+    const auto extra = static_cast<std::size_t>(
+        std::max(0.0, std::floor(ideal[i]) - 1.0));
+    rows[i] += extra;
+    assigned += extra;
+  }
+  std::vector<std::size_t> order(ranks);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double ra = ideal[a] - std::floor(ideal[a]);
+    const double rb = ideal[b] - std::floor(ideal[b]);
+    if (ra != rb) return ra > rb;
+    return a < b;
+  });
+  for (std::size_t i = 0; assigned < n; i = (i + 1) % ranks) {
+    ++rows[order[i]];
+    ++assigned;
+  }
+  return StripDecomposition(n, std::move(rows));
+}
+
+std::size_t StripDecomposition::rows(std::size_t rank) const {
+  SSPRED_REQUIRE(rank < rows_.size(), "rank out of range");
+  return rows_[rank];
+}
+
+std::size_t StripDecomposition::begin(std::size_t rank) const {
+  SSPRED_REQUIRE(rank < rows_.size(), "rank out of range");
+  return offsets_[rank];
+}
+
+std::size_t StripDecomposition::end(std::size_t rank) const {
+  SSPRED_REQUIRE(rank < rows_.size(), "rank out of range");
+  return offsets_[rank + 1];
+}
+
+double StripDecomposition::elements(std::size_t rank) const {
+  return static_cast<double>(rows(rank)) * static_cast<double>(n_);
+}
+
+}  // namespace sspred::sor

@@ -1,0 +1,42 @@
+// Strip decomposition of the NxN SOR grid across P processors (paper
+// Fig. 6): contiguous blocks of rows, optionally weighted by machine
+// capacity so all processors finish together (paper footnote 2).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sspred::sor {
+
+/// Row ranges of a strip decomposition. Rows are interior grid rows,
+/// 0-based; rank p owns rows [begin(p), end(p)).
+class StripDecomposition {
+ public:
+  /// Explicit row counts per rank (each >= 1, summing to n).
+  StripDecomposition(std::size_t n, std::vector<std::size_t> rows_per_rank);
+
+  /// Near-equal strips (remainder spread over the first ranks).
+  [[nodiscard]] static StripDecomposition uniform(std::size_t n,
+                                                  std::size_t ranks);
+
+  /// Rows proportional to `capacity` (e.g. 1 / (bm_time / availability));
+  /// every rank gets at least one row.
+  [[nodiscard]] static StripDecomposition weighted(
+      std::size_t n, std::span<const double> capacity);
+
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+  [[nodiscard]] std::size_t ranks() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t rows(std::size_t rank) const;
+  [[nodiscard]] std::size_t begin(std::size_t rank) const;
+  [[nodiscard]] std::size_t end(std::size_t rank) const;
+  /// Interior elements owned by `rank` (rows * n).
+  [[nodiscard]] double elements(std::size_t rank) const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::size_t> rows_;
+  std::vector<std::size_t> offsets_;  // ranks()+1 prefix sums
+};
+
+}  // namespace sspred::sor

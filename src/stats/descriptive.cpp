@@ -1,0 +1,137 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace sspred::stats {
+
+Summary summarize(std::span<const double> xs) {
+  SSPRED_REQUIRE(!xs.empty(), "summarize needs a non-empty sample");
+  Summary s;
+  s.count = xs.size();
+  s.min = xs[0];
+  s.max = xs[0];
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double m2 = 0.0;
+  double m3 = 0.0;
+  double m4 = 0.0;
+  for (double x : xs) {
+    const double d = x - s.mean;
+    m2 += d * d;
+    m3 += d * d * d;
+    m4 += d * d * d * d;
+  }
+  const double n = static_cast<double>(xs.size());
+  s.variance = xs.size() > 1 ? m2 / (n - 1.0) : 0.0;
+  s.sd = std::sqrt(s.variance);
+  const double pop_var = m2 / n;
+  if (pop_var > 0.0) {
+    s.skewness = (m3 / n) / std::pow(pop_var, 1.5);
+    s.kurtosis = (m4 / n) / (pop_var * pop_var) - 3.0;
+  }
+  return s;
+}
+
+double mean(std::span<const double> xs) {
+  SSPRED_REQUIRE(!xs.empty(), "mean needs a non-empty sample");
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double m2 = 0.0;
+  for (double x : xs) m2 += (x - m) * (x - m);
+  return m2 / (static_cast<double>(xs.size()) - 1.0);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  SSPRED_REQUIRE(!sorted.empty(), "quantile needs a non-empty sample");
+  SSPRED_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * (static_cast<double>(sorted.size()) - 1.0);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double quantile(std::span<const double> xs, double q) {
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  return quantile_sorted(copy, q);
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double autocorrelation(std::span<const double> xs, std::size_t lag) {
+  SSPRED_REQUIRE(xs.size() > lag, "autocorrelation lag exceeds sample size");
+  const double m = mean(xs);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i + lag < xs.size(); ++i) {
+    num += (xs[i] - m) * (xs[i + lag] - m);
+  }
+  for (double x : xs) den += (x - m) * (x - m);
+  return den > 0.0 ? num / den : 0.0;
+}
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / (static_cast<double>(n_) - 1.0) : 0.0;
+}
+
+double OnlineStats::sd() const noexcept { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double fraction_within(std::span<const double> xs, double lo, double hi) {
+  SSPRED_REQUIRE(!xs.empty(), "fraction_within needs a non-empty sample");
+  std::size_t inside = 0;
+  for (double x : xs) {
+    if (x >= lo && x <= hi) ++inside;
+  }
+  return static_cast<double>(inside) / static_cast<double>(xs.size());
+}
+
+}  // namespace sspred::stats

@@ -1,0 +1,75 @@
+// Descriptive statistics: batch summaries, online (Welford) accumulation,
+// quantiles and autocorrelation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sspred::stats {
+
+/// Batch summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;   ///< unbiased (n-1) sample variance
+  double sd = 0.0;         ///< sqrt(variance)
+  double min = 0.0;
+  double max = 0.0;
+  double skewness = 0.0;   ///< standardized third moment (biased estimator)
+  double kurtosis = 0.0;   ///< excess kurtosis (biased estimator)
+};
+
+/// Computes the full batch summary of `xs`. Requires at least one value.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Arithmetic mean. Requires a non-empty sample.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Unbiased sample variance; 0 for samples of size < 2.
+[[nodiscard]] double variance(std::span<const double> xs);
+
+/// Sample standard deviation; 0 for samples of size < 2.
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0, 1]. Sorts a copy internally.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Quantile over an already ascending-sorted sample (no copy).
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Median (quantile 0.5).
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Lag-k sample autocorrelation; requires xs.size() > k.
+[[nodiscard]] double autocorrelation(std::span<const double> xs, std::size_t lag);
+
+/// Numerically stable online accumulator (Welford) with min/max tracking.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 when count() < 2.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double sd() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void merge(const OnlineStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fraction of values inside the closed interval [lo, hi].
+[[nodiscard]] double fraction_within(std::span<const double> xs, double lo,
+                                     double hi);
+
+}  // namespace sspred::stats

@@ -1,0 +1,156 @@
+#include "stats/distributions.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "support/error.hpp"
+
+namespace sspred::stats {
+
+double normal_cdf(double z) noexcept {
+  return 0.5 * std::erfc(-z / std::numbers::sqrt2);
+}
+
+double normal_pdf(double z) noexcept {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+double normal_quantile(double p) {
+  SSPRED_REQUIRE(p > 0.0 && p < 1.0, "normal_quantile needs p in (0,1)");
+  // Acklam's algorithm.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+  double x = 0.0;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= p_high) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement step for near machine-precision results.
+  const double e = normal_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * std::numbers::pi) * std::exp(x * x / 2.0);
+  x -= u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+Normal::Normal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  SSPRED_REQUIRE(sigma > 0.0, "Normal sigma must be positive");
+}
+
+double Normal::pdf(double x) const noexcept {
+  return normal_pdf((x - mu_) / sigma_) / sigma_;
+}
+
+double Normal::cdf(double x) const noexcept {
+  return normal_cdf((x - mu_) / sigma_);
+}
+
+double Normal::quantile(double p) const {
+  return mu_ + sigma_ * normal_quantile(p);
+}
+
+double Normal::probability_in(double lo, double hi) const noexcept {
+  return cdf(hi) - cdf(lo);
+}
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  SSPRED_REQUIRE(sigma > 0.0, "LogNormal sigma must be positive");
+}
+
+double LogNormal::mean() const noexcept {
+  return std::exp(mu_ + sigma_ * sigma_ / 2.0);
+}
+
+double LogNormal::sd() const noexcept {
+  const double s2 = sigma_ * sigma_;
+  return mean() * std::sqrt(std::exp(s2) - 1.0);
+}
+
+double LogNormal::pdf(double x) const noexcept {
+  if (x <= 0.0) return 0.0;
+  return normal_pdf((std::log(x) - mu_) / sigma_) / (x * sigma_);
+}
+
+double LogNormal::cdf(double x) const noexcept {
+  if (x <= 0.0) return 0.0;
+  return normal_cdf((std::log(x) - mu_) / sigma_);
+}
+
+double LogNormal::quantile(double p) const {
+  return std::exp(mu_ + sigma_ * normal_quantile(p));
+}
+
+LogNormal LogNormal::from_moments(double mean, double sd) {
+  SSPRED_REQUIRE(mean > 0.0, "LogNormal mean must be positive");
+  SSPRED_REQUIRE(sd > 0.0, "LogNormal sd must be positive");
+  const double cv2 = (sd / mean) * (sd / mean);
+  const double sigma2 = std::log(1.0 + cv2);
+  const double mu = std::log(mean) - sigma2 / 2.0;
+  return LogNormal(mu, std::sqrt(sigma2));
+}
+
+Pareto::Pareto(double x_m, double alpha) : x_m_(x_m), alpha_(alpha) {
+  SSPRED_REQUIRE(x_m > 0.0, "Pareto scale must be positive");
+  SSPRED_REQUIRE(alpha > 0.0, "Pareto shape must be positive");
+}
+
+double Pareto::mean() const noexcept {
+  if (alpha_ <= 1.0) return std::numeric_limits<double>::infinity();
+  return alpha_ * x_m_ / (alpha_ - 1.0);
+}
+
+double Pareto::pdf(double x) const noexcept {
+  if (x < x_m_) return 0.0;
+  return alpha_ * std::pow(x_m_, alpha_) / std::pow(x, alpha_ + 1.0);
+}
+
+double Pareto::cdf(double x) const noexcept {
+  if (x < x_m_) return 0.0;
+  return 1.0 - std::pow(x_m_ / x, alpha_);
+}
+
+double Pareto::quantile(double p) const {
+  SSPRED_REQUIRE(p >= 0.0 && p < 1.0, "Pareto quantile needs p in [0,1)");
+  return x_m_ / std::pow(1.0 - p, 1.0 / alpha_);
+}
+
+Exponential::Exponential(double rate) : rate_(rate) {
+  SSPRED_REQUIRE(rate > 0.0, "Exponential rate must be positive");
+}
+
+double Exponential::pdf(double x) const noexcept {
+  return x < 0.0 ? 0.0 : rate_ * std::exp(-rate_ * x);
+}
+
+double Exponential::cdf(double x) const noexcept {
+  return x < 0.0 ? 0.0 : 1.0 - std::exp(-rate_ * x);
+}
+
+double Exponential::quantile(double p) const {
+  SSPRED_REQUIRE(p >= 0.0 && p < 1.0, "Exponential quantile needs p in [0,1)");
+  return -std::log(1.0 - p) / rate_;
+}
+
+}  // namespace sspred::stats

@@ -1,0 +1,86 @@
+// Analytic distributions: pdf / cdf / quantile for the families used by the
+// paper (normal everywhere; lognormal & Pareto as long-tailed generators).
+#pragma once
+
+namespace sspred::stats {
+
+/// Standard-normal CDF Phi(z).
+[[nodiscard]] double normal_cdf(double z) noexcept;
+
+/// Standard-normal PDF phi(z).
+[[nodiscard]] double normal_pdf(double z) noexcept;
+
+/// Inverse standard-normal CDF (Acklam's rational approximation,
+/// |relative error| < 1.15e-9). Requires p in (0, 1).
+[[nodiscard]] double normal_quantile(double p);
+
+/// Normal distribution with mean mu, standard deviation sigma > 0.
+class Normal {
+ public:
+  Normal(double mu, double sigma);
+
+  [[nodiscard]] double mean() const noexcept { return mu_; }
+  [[nodiscard]] double sd() const noexcept { return sigma_; }
+  [[nodiscard]] double pdf(double x) const noexcept;
+  [[nodiscard]] double cdf(double x) const noexcept;
+  [[nodiscard]] double quantile(double p) const;
+  /// P(lo <= X <= hi).
+  [[nodiscard]] double probability_in(double lo, double hi) const noexcept;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Log-normal: X = exp(N(mu, sigma)); mu/sigma are log-space parameters.
+class LogNormal {
+ public:
+  LogNormal(double mu, double sigma);
+
+  /// Distribution mean exp(mu + sigma^2/2).
+  [[nodiscard]] double mean() const noexcept;
+  /// Distribution standard deviation.
+  [[nodiscard]] double sd() const noexcept;
+  [[nodiscard]] double pdf(double x) const noexcept;
+  [[nodiscard]] double cdf(double x) const noexcept;
+  [[nodiscard]] double quantile(double p) const;
+
+  /// Log-space parameters that hit a target (mean, sd) in value space.
+  static LogNormal from_moments(double mean, double sd);
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Pareto with scale x_m > 0 and shape alpha > 0.
+class Pareto {
+ public:
+  Pareto(double x_m, double alpha);
+
+  /// Mean; infinite for alpha <= 1 (returns +inf).
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double pdf(double x) const noexcept;
+  [[nodiscard]] double cdf(double x) const noexcept;
+  [[nodiscard]] double quantile(double p) const;
+
+ private:
+  double x_m_;
+  double alpha_;
+};
+
+/// Exponential with rate lambda > 0.
+class Exponential {
+ public:
+  explicit Exponential(double rate);
+
+  [[nodiscard]] double mean() const noexcept { return 1.0 / rate_; }
+  [[nodiscard]] double pdf(double x) const noexcept;
+  [[nodiscard]] double cdf(double x) const noexcept;
+  [[nodiscard]] double quantile(double p) const;
+
+ private:
+  double rate_;
+};
+
+}  // namespace sspred::stats

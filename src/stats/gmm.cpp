@@ -1,0 +1,170 @@
+#include "stats/gmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/descriptive.hpp"
+#include "stats/distributions.hpp"
+#include "support/error.hpp"
+
+namespace sspred::stats {
+
+double GmmFit::pdf(double x) const noexcept {
+  double p = 0.0;
+  for (const auto& c : components) {
+    p += c.weight * normal_pdf((x - c.mean) / c.sd) / c.sd;
+  }
+  return p;
+}
+
+std::size_t GmmFit::classify(double x) const noexcept {
+  std::size_t best = 0;
+  double best_resp = -1.0;
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    const auto& c = components[i];
+    const double resp = c.weight * normal_pdf((x - c.mean) / c.sd) / c.sd;
+    if (resp > best_resp) {
+      best_resp = resp;
+      best = i;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+/// k-means++-style seeding: spread initial means across the data.
+std::vector<double> init_means(std::span<const double> xs, std::size_t k,
+                               support::Rng& rng) {
+  std::vector<double> means;
+  means.reserve(k);
+  means.push_back(xs[rng.uniform_int(xs.size())]);
+  std::vector<double> d2(xs.size());
+  while (means.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (double m : means) best = std::min(best, (xs[i] - m) * (xs[i] - m));
+      d2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      means.push_back(xs[rng.uniform_int(xs.size())]);
+      continue;
+    }
+    double r = rng.uniform() * total;
+    std::size_t pick = xs.size() - 1;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      r -= d2[i];
+      if (r < 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    means.push_back(xs[pick]);
+  }
+  return means;
+}
+
+GmmFit run_em(std::span<const double> xs, std::size_t k, const GmmOptions& opts,
+              support::Rng& rng) {
+  const std::size_t n = xs.size();
+  GmmFit fit;
+  fit.components.resize(k);
+  const double global_sd = std::max(stddev(xs), opts.min_sd);
+  const auto means = init_means(xs, k, rng);
+  for (std::size_t j = 0; j < k; ++j) {
+    fit.components[j].weight = 1.0 / static_cast<double>(k);
+    fit.components[j].mean = means[j];
+    fit.components[j].sd = global_sd;
+  }
+
+  std::vector<double> resp(n * k);
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
+    // E step.
+    double ll = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double row_sum = 0.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        const auto& c = fit.components[j];
+        const double p =
+            c.weight * normal_pdf((xs[i] - c.mean) / c.sd) / c.sd;
+        resp[i * k + j] = p;
+        row_sum += p;
+      }
+      row_sum = std::max(row_sum, 1e-300);
+      for (std::size_t j = 0; j < k; ++j) resp[i * k + j] /= row_sum;
+      ll += std::log(row_sum);
+    }
+    fit.log_likelihood = ll;
+    fit.iterations = iter + 1;
+    if (std::abs(ll - prev_ll) <= opts.tolerance * std::abs(ll)) {
+      fit.converged = true;
+      break;
+    }
+    prev_ll = ll;
+
+    // M step.
+    for (std::size_t j = 0; j < k; ++j) {
+      double nk = 0.0;
+      double sum = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        nk += resp[i * k + j];
+        sum += resp[i * k + j] * xs[i];
+      }
+      nk = std::max(nk, 1e-12);
+      auto& c = fit.components[j];
+      c.weight = nk / static_cast<double>(n);
+      c.mean = sum / nk;
+      double var = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double d = xs[i] - c.mean;
+        var += resp[i * k + j] * d * d;
+      }
+      c.sd = std::max(std::sqrt(var / nk), opts.min_sd);
+    }
+  }
+
+  std::sort(fit.components.begin(), fit.components.end(),
+            [](const GmmComponent& a, const GmmComponent& b) {
+              return a.mean < b.mean;
+            });
+  const double params = static_cast<double>(3 * k - 1);
+  fit.bic = params * std::log(static_cast<double>(n)) - 2.0 * fit.log_likelihood;
+  return fit;
+}
+
+}  // namespace
+
+GmmFit fit_gmm(std::span<const double> xs, std::size_t k,
+               const GmmOptions& opts) {
+  SSPRED_REQUIRE(k >= 1, "GMM needs at least one component");
+  SSPRED_REQUIRE(xs.size() >= 2 * k, "GMM needs at least 2k samples");
+  support::Rng rng(opts.seed);
+  GmmFit best;
+  best.log_likelihood = -std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < std::max<std::size_t>(opts.restarts, 1); ++r) {
+    GmmFit fit = run_em(xs, k, opts, rng);
+    if (fit.log_likelihood > best.log_likelihood) best = std::move(fit);
+  }
+  return best;
+}
+
+GmmFit fit_gmm_auto(std::span<const double> xs, std::size_t max_k,
+                    const GmmOptions& opts) {
+  SSPRED_REQUIRE(max_k >= 1, "fit_gmm_auto needs max_k >= 1");
+  GmmFit best;
+  double best_bic = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 1; k <= max_k && xs.size() >= 2 * k; ++k) {
+    GmmFit fit = fit_gmm(xs, k, opts);
+    if (fit.bic < best_bic) {
+      best_bic = fit.bic;
+      best = std::move(fit);
+    }
+  }
+  return best;
+}
+
+}  // namespace sspred::stats

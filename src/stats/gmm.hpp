@@ -1,0 +1,54 @@
+// 1-D Gaussian mixture fitting via EM, with BIC model selection.
+//
+// This is the machinery behind the paper's modal-data handling (§2.1.2):
+// a load histogram is decomposed into modes, each summarized as a normal
+// M_i ± SD_i with a weight P_i, which the stochastic calculus then mixes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace sspred::stats {
+
+/// One mixture component.
+struct GmmComponent {
+  double weight = 0.0;  ///< P_i, sums to 1 across components
+  double mean = 0.0;    ///< M_i
+  double sd = 0.0;      ///< SD_i
+};
+
+/// A fitted 1-D Gaussian mixture.
+struct GmmFit {
+  std::vector<GmmComponent> components;  ///< sorted by ascending mean
+  double log_likelihood = 0.0;
+  double bic = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+
+  /// Mixture density at x.
+  [[nodiscard]] double pdf(double x) const noexcept;
+  /// Index of the component with the highest responsibility for x.
+  [[nodiscard]] std::size_t classify(double x) const noexcept;
+};
+
+/// EM options.
+struct GmmOptions {
+  std::size_t max_iterations = 300;
+  double tolerance = 1e-7;    ///< relative log-likelihood change
+  double min_sd = 1e-4;       ///< variance floor to avoid collapse
+  std::uint64_t seed = 42;    ///< k-means++-style initialization seed
+  std::size_t restarts = 3;   ///< best-of-N random restarts
+};
+
+/// Fits a k-component mixture to `xs`. Requires xs.size() >= 2*k.
+[[nodiscard]] GmmFit fit_gmm(std::span<const double> xs, std::size_t k,
+                             const GmmOptions& opts = {});
+
+/// Fits mixtures for k in [1, max_k] and returns the fit with lowest BIC.
+[[nodiscard]] GmmFit fit_gmm_auto(std::span<const double> xs,
+                                  std::size_t max_k = 5,
+                                  const GmmOptions& opts = {});
+
+}  // namespace sspred::stats

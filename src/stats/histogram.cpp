@@ -1,0 +1,99 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "support/error.hpp"
+
+namespace sspred::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  SSPRED_REQUIRE(lo < hi, "histogram range must be non-empty");
+  SSPRED_REQUIRE(bins >= 1, "histogram needs at least one bin");
+}
+
+Histogram Histogram::from_data(std::span<const double> xs, std::size_t bins) {
+  SSPRED_REQUIRE(!xs.empty(), "histogram needs data");
+  const auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+  double lo = *mn;
+  double hi = *mx;
+  if (!(lo < hi)) {
+    lo -= 0.5;
+    hi += 0.5;
+  } else {
+    // Widen slightly so the maximum lands inside the last bin.
+    hi += (hi - lo) * 1e-9;
+  }
+  Histogram h(lo, hi, bins);
+  h.add_all(xs);
+  return h;
+}
+
+void Histogram::add(double x) noexcept {
+  auto idx = static_cast<long>(std::floor((x - lo_) / width_));
+  idx = std::clamp(idx, 0L, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) noexcept {
+  for (double x : xs) add(x);
+}
+
+std::size_t Histogram::count(std::size_t i) const {
+  SSPRED_REQUIRE(i < counts_.size(), "bin index out of range");
+  return counts_[i];
+}
+
+double Histogram::center(std::size_t i) const {
+  SSPRED_REQUIRE(i < counts_.size(), "bin index out of range");
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+std::vector<double> Histogram::edges() const {
+  std::vector<double> e(counts_.size() + 1);
+  for (std::size_t i = 0; i <= counts_.size(); ++i) {
+    e[i] = lo_ + static_cast<double>(i) * width_;
+  }
+  return e;
+}
+
+std::vector<double> Histogram::counts_as_double() const {
+  std::vector<double> c(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    c[i] = static_cast<double>(counts_[i]);
+  }
+  return c;
+}
+
+std::vector<double> Histogram::density() const {
+  std::vector<double> d = counts_as_double();
+  const double norm = static_cast<double>(std::max<std::size_t>(total_, 1)) * width_;
+  for (double& v : d) v /= norm;
+  return d;
+}
+
+std::vector<double> Histogram::percentages() const {
+  std::vector<double> p = counts_as_double();
+  const double norm = static_cast<double>(std::max<std::size_t>(total_, 1));
+  for (double& v : p) v = v / norm * 100.0;
+  return p;
+}
+
+Ecdf::Ecdf(std::span<const double> xs) : sorted_(xs.begin(), xs.end()) {
+  SSPRED_REQUIRE(!sorted_.empty(), "ECDF needs data");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::operator()(double x) const noexcept {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const { return quantile_sorted(sorted_, q); }
+
+}  // namespace sspred::stats

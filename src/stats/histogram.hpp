@@ -1,0 +1,71 @@
+// Histograms and empirical CDFs — the representations behind the paper's
+// PDF/CDF figures (Figs. 1-5, 10).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace sspred::stats {
+
+/// Fixed-width histogram over [lo, hi) with values clamped into the
+/// boundary bins (so no sample is silently dropped).
+class Histogram {
+ public:
+  /// Explicit range and bin count. Requires lo < hi and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Builds a histogram spanning the sample range with `bins` bins
+  /// and accumulates the sample.
+  static Histogram from_data(std::span<const double> xs, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add_all(std::span<const double> xs) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_width() const noexcept { return width_; }
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+
+  /// Raw count in bin i.
+  [[nodiscard]] std::size_t count(std::size_t i) const;
+  /// Bin centre of bin i.
+  [[nodiscard]] double center(std::size_t i) const;
+  /// Bin edges (bin_count()+1 values).
+  [[nodiscard]] std::vector<double> edges() const;
+  /// Counts as doubles (for plotting).
+  [[nodiscard]] std::vector<double> counts_as_double() const;
+  /// Density estimate per bin: count / (total * bin_width).
+  [[nodiscard]] std::vector<double> density() const;
+  /// Percentage of values per bin, in [0, 100] (the paper's PDF y-axis).
+  [[nodiscard]] std::vector<double> percentages() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Empirical cumulative distribution function of a sample.
+class Ecdf {
+ public:
+  explicit Ecdf(std::span<const double> xs);
+
+  /// P(X <= x) under the empirical distribution.
+  [[nodiscard]] double operator()(double x) const noexcept;
+
+  /// Inverse ECDF (empirical quantile), q in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] const std::vector<double>& sorted() const noexcept {
+    return sorted_;
+  }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace sspred::stats

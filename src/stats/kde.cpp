@@ -1,0 +1,70 @@
+#include "stats/kde.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "stats/distributions.hpp"
+#include "support/error.hpp"
+
+namespace sspred::stats {
+
+Kde::Kde(std::span<const double> xs, double bandwidth)
+    : data_(xs.begin(), xs.end()), h_(bandwidth) {
+  SSPRED_REQUIRE(data_.size() >= 2, "KDE needs at least 2 samples");
+  if (h_ <= 0.0) {
+    // Silverman's rule with the IQR refinement.
+    const double sd = stddev(data_);
+    std::vector<double> sorted = data_;
+    std::sort(sorted.begin(), sorted.end());
+    const double iqr =
+        quantile_sorted(sorted, 0.75) - quantile_sorted(sorted, 0.25);
+    double spread = sd;
+    if (iqr > 0.0) spread = std::min(sd, iqr / 1.34);
+    if (spread <= 0.0) spread = std::max(sd, 1e-9);
+    h_ = 0.9 * spread * std::pow(static_cast<double>(data_.size()), -0.2);
+    if (h_ <= 0.0) h_ = 1e-9;
+  }
+}
+
+double Kde::operator()(double x) const noexcept {
+  double sum = 0.0;
+  for (double xi : data_) sum += normal_pdf((x - xi) / h_);
+  return sum / (static_cast<double>(data_.size()) * h_);
+}
+
+std::pair<std::vector<double>, std::vector<double>> Kde::grid(
+    std::size_t points) const {
+  SSPRED_REQUIRE(points >= 8, "KDE grid needs at least 8 points");
+  const auto [mn, mx] = std::minmax_element(data_.begin(), data_.end());
+  const double lo = *mn - 3.0 * h_;
+  const double hi = *mx + 3.0 * h_;
+  std::vector<double> xs(points);
+  std::vector<double> ds(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    xs[i] = lo + (hi - lo) * static_cast<double>(i) /
+                     static_cast<double>(points - 1);
+    ds[i] = (*this)(xs[i]);
+  }
+  return {std::move(xs), std::move(ds)};
+}
+
+std::vector<DensityPeak> Kde::peaks(std::size_t points,
+                                    double min_relative) const {
+  const auto [xs, ds] = grid(points);
+  const double global_max = *std::max_element(ds.begin(), ds.end());
+  std::vector<DensityPeak> result;
+  for (std::size_t i = 1; i + 1 < ds.size(); ++i) {
+    if (ds[i] > ds[i - 1] && ds[i] >= ds[i + 1] &&
+        ds[i] >= min_relative * global_max) {
+      result.push_back({xs[i], ds[i]});
+    }
+  }
+  std::sort(result.begin(), result.end(),
+            [](const DensityPeak& a, const DensityPeak& b) {
+              return a.density > b.density;
+            });
+  return result;
+}
+
+}  // namespace sspred::stats

@@ -1,0 +1,42 @@
+// Gaussian kernel density estimation with mode (peak) detection — used to
+// recover the modal structure of CPU-load traces (paper §2.1.2, Figs. 5/10).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace sspred::stats {
+
+/// A local maximum of the estimated density.
+struct DensityPeak {
+  double location = 0.0;  ///< x at the peak
+  double density = 0.0;   ///< estimated density at the peak
+};
+
+/// Gaussian KDE over a 1-D sample.
+class Kde {
+ public:
+  /// bandwidth <= 0 selects Silverman's rule of thumb.
+  explicit Kde(std::span<const double> xs, double bandwidth = 0.0);
+
+  [[nodiscard]] double bandwidth() const noexcept { return h_; }
+
+  /// Density estimate at x.
+  [[nodiscard]] double operator()(double x) const noexcept;
+
+  /// Evaluates the density on `points` equally spaced values across
+  /// [min - 3h, max + 3h]; returns (xs, densities).
+  [[nodiscard]] std::pair<std::vector<double>, std::vector<double>> grid(
+      std::size_t points = 256) const;
+
+  /// Local maxima of the gridded density, highest first, dropping peaks
+  /// below `min_relative` times the global maximum.
+  [[nodiscard]] std::vector<DensityPeak> peaks(std::size_t points = 256,
+                                               double min_relative = 0.05) const;
+
+ private:
+  std::vector<double> data_;
+  double h_;
+};
+
+}  // namespace sspred::stats

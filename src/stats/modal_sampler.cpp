@@ -1,0 +1,96 @@
+#include "stats/modal_sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace sspred::stats {
+
+double sample_mode(const ModeShape& shape, support::Rng& rng) {
+  switch (shape.tail) {
+    case Tail::kNone:
+      return rng.normal(shape.center, shape.sd);
+    case Tail::kDown: {
+      const double mean_excess = shape.tail_alpha / (shape.tail_alpha - 1.0);
+      const double e = rng.pareto(1.0, shape.tail_alpha);
+      return shape.center + shape.sd * (mean_excess - e);
+    }
+    case Tail::kUp: {
+      const double mean_excess = shape.tail_alpha / (shape.tail_alpha - 1.0);
+      const double e = rng.pareto(1.0, shape.tail_alpha);
+      return shape.center - shape.sd * (mean_excess - e);
+    }
+    case Tail::kLaplace: {
+      // Asymmetric Laplace with the down-side scale twice the up-side,
+      // shifted to keep the mean at the centre.
+      constexpr double kUpScale = 1.0;
+      constexpr double kDownScale = 2.0;
+      constexpr double kUpProb = kDownScale / (kUpScale + kDownScale);
+      const double mean_offset =
+          kUpProb * kUpScale - (1.0 - kUpProb) * kDownScale;
+      const double draw = rng.uniform() < kUpProb
+                              ? rng.exponential(1.0 / kUpScale)
+                              : -rng.exponential(1.0 / kDownScale);
+      return shape.center + shape.sd * (draw - mean_offset);
+    }
+  }
+  SSPRED_REQUIRE(false, "unknown Tail");
+  return shape.center;  // unreachable
+}
+
+ModalProcess::ModalProcess(ModalProcessSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), rng_(seed) {
+  SSPRED_REQUIRE(!spec_.modes.empty(), "modal process needs at least one mode");
+  SSPRED_REQUIRE(spec_.lo < spec_.hi, "modal clamp range must be non-empty");
+  for (const auto& m : spec_.modes) {
+    SSPRED_REQUIRE(m.shape.sd > 0.0, "mode sd must be positive");
+    SSPRED_REQUIRE(m.shape.tail_alpha > 1.0, "tail alpha must exceed 1");
+    SSPRED_REQUIRE(m.mean_dwell > 0.0, "mean dwell must be positive");
+    SSPRED_REQUIRE(m.weight >= 0.0, "mode weight must be >= 0");
+  }
+  switch_mode();
+}
+
+void ModalProcess::switch_mode() {
+  std::vector<double> weights;
+  weights.reserve(spec_.modes.size());
+  for (const auto& m : spec_.modes) weights.push_back(m.weight);
+  mode_ = rng_.choose(weights);
+  remaining_dwell_ = rng_.exponential(1.0 / spec_.modes[mode_].mean_dwell);
+}
+
+double ModalProcess::next(double dt) {
+  SSPRED_REQUIRE(dt > 0.0, "dt must be positive");
+  remaining_dwell_ -= dt;
+  while (remaining_dwell_ <= 0.0) {
+    const double deficit = remaining_dwell_;
+    switch_mode();
+    remaining_dwell_ += deficit;  // carry overshoot into the new dwell
+    if (remaining_dwell_ <= 0.0 && spec_.modes.size() == 1) break;
+  }
+  const double v = sample_mode(spec_.modes[mode_].shape, rng_);
+  return std::clamp(v, spec_.lo, spec_.hi);
+}
+
+std::vector<double> ModalProcess::stationary_occupancy() const {
+  std::vector<double> occ;
+  occ.reserve(spec_.modes.size());
+  double total = 0.0;
+  for (const auto& m : spec_.modes) {
+    occ.push_back(m.weight * m.mean_dwell);
+    total += occ.back();
+  }
+  for (double& o : occ) o /= total;
+  return occ;
+}
+
+std::vector<double> generate_samples(ModalProcess& process, std::size_t count,
+                                     double dt) {
+  std::vector<double> xs;
+  xs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) xs.push_back(process.next(dt));
+  return xs;
+}
+
+}  // namespace sspred::stats

@@ -1,0 +1,88 @@
+// Modal stochastic process generator.
+//
+// The paper's production platforms exhibit CPU-load and bandwidth
+// distributions that are mixtures of modes — some normal, some long-tailed
+// (§2.1.1-2.1.2, Figs. 3, 5, 10) — with semi-Markov switching between
+// modes ("bursty" on Platform 2, slow on Platform 1). ModalProcess
+// generates exactly that shape.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace sspred::stats {
+
+/// Within-mode tail shape.
+enum class Tail {
+  kNone,     ///< symmetric normal around the centre
+  kDown,     ///< bounded above near the centre, heavy tail toward low values
+  kUp,       ///< bounded below near the centre, heavy tail toward high values
+  kLaplace,  ///< asymmetric Laplace: peaked centre, exponential tails with
+             ///< the heavier side toward low values (leptokurtic — the
+             ///< ±2sd interval covers ~91-94% instead of a normal's ~95%)
+};
+
+/// Shape of a single mode.
+struct ModeShape {
+  double center = 0.5;  ///< mode location (distribution mean)
+  double sd = 0.05;     ///< within-mode spread
+  Tail tail = Tail::kNone;
+  double tail_alpha = 2.5;  ///< Pareto shape for long-tailed modes (>1)
+};
+
+/// Draws one value from a mode. Long-tailed modes use a shifted Pareto:
+/// x = center ± sd*(mean_excess - Pareto(1, alpha)), which keeps the mean
+/// at `center`, bounds one side near the centre, and gives the other side
+/// a power-law tail (median lands between the bound and the mean, as the
+/// paper describes for its bandwidth data).
+[[nodiscard]] double sample_mode(const ModeShape& shape, support::Rng& rng);
+
+/// One state of the semi-Markov modal process.
+struct ModeState {
+  ModeShape shape;
+  double mean_dwell = 60.0;  ///< mean seconds per visit (exponential dwell)
+  double weight = 1.0;       ///< relative visit frequency
+};
+
+/// Configuration for a modal process.
+struct ModalProcessSpec {
+  std::vector<ModeState> modes;  ///< at least one
+  double lo = 0.0;               ///< clamp floor for emitted values
+  double hi = 1.0;               ///< clamp ceiling for emitted values
+};
+
+/// Stateful generator: each call to next(dt) advances the process by dt
+/// seconds (switching modes when the dwell expires) and emits one value.
+class ModalProcess {
+ public:
+  ModalProcess(ModalProcessSpec spec, std::uint64_t seed);
+
+  /// Advances by dt seconds and samples the current mode.
+  [[nodiscard]] double next(double dt);
+
+  /// Index of the currently occupied mode.
+  [[nodiscard]] std::size_t current_mode() const noexcept { return mode_; }
+
+  /// Expected long-run occupancy fraction of each mode
+  /// (weight_i * dwell_i, normalized).
+  [[nodiscard]] std::vector<double> stationary_occupancy() const;
+
+  [[nodiscard]] const ModalProcessSpec& spec() const noexcept { return spec_; }
+
+ private:
+  void switch_mode();
+
+  ModalProcessSpec spec_;
+  support::Rng rng_;
+  std::size_t mode_ = 0;
+  double remaining_dwell_ = 0.0;
+};
+
+/// Generates `count` samples spaced dt apart.
+[[nodiscard]] std::vector<double> generate_samples(ModalProcess& process,
+                                                   std::size_t count,
+                                                   double dt);
+
+}  // namespace sspred::stats

@@ -1,0 +1,202 @@
+#include "stats/normality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "stats/distributions.hpp"
+#include "support/error.hpp"
+
+namespace sspred::stats {
+
+namespace {
+
+/// KS statistic of a sorted sample against the standard-normal CDF after
+/// standardization with (mu, sigma).
+[[nodiscard]] double ks_statistic(std::span<const double> sorted, double mu,
+                                  double sigma) {
+  const double n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double f = normal_cdf((sorted[i] - mu) / sigma);
+    const double d_plus = (static_cast<double>(i) + 1.0) / n - f;
+    const double d_minus = f - static_cast<double>(i) / n;
+    d = std::max({d, d_plus, d_minus});
+  }
+  return d;
+}
+
+/// Regularized lower incomplete gamma P(a, x) by series / continued fraction.
+[[nodiscard]] double gamma_p(double a, double x) {
+  if (x <= 0.0) return 0.0;
+  const double gln = std::lgamma(a);
+  if (x < a + 1.0) {
+    // Series representation.
+    double ap = a;
+    double sum = 1.0 / a;
+    double del = sum;
+    for (int i = 0; i < 500; ++i) {
+      ap += 1.0;
+      del *= x / ap;
+      sum += del;
+      if (std::abs(del) < std::abs(sum) * 1e-15) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - gln);
+  }
+  // Continued fraction for Q(a, x), then P = 1 - Q.
+  double b = x + 1.0 - a;
+  double c = 1e300;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < 1e-300) d = 1e-300;
+    c = b + an / c;
+    if (std::abs(c) < 1e-300) c = 1e-300;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < 1e-15) break;
+  }
+  const double q = std::exp(-x + a * std::log(x) - gln) * h;
+  return 1.0 - q;
+}
+
+}  // namespace
+
+double kolmogorov_q(double t) noexcept {
+  if (t <= 0.0) return 1.0;
+  // Q(t) = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 t^2)
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * t * t);
+    sum += sign * term;
+    sign = -sign;
+    if (term < 1e-12) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+double chi_square_sf(double x, double k) {
+  SSPRED_REQUIRE(k > 0.0, "chi-square dof must be positive");
+  if (x <= 0.0) return 1.0;
+  return 1.0 - gamma_p(k / 2.0, x / 2.0);
+}
+
+GofResult ks_test_normal(std::span<const double> xs, double mu, double sigma) {
+  SSPRED_REQUIRE(xs.size() >= 5, "KS test needs at least 5 samples");
+  SSPRED_REQUIRE(sigma > 0.0, "KS test sigma must be positive");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  GofResult r;
+  r.statistic = ks_statistic(sorted, mu, sigma);
+  const double n = static_cast<double>(xs.size());
+  const double t = (std::sqrt(n) + 0.12 + 0.11 / std::sqrt(n)) * r.statistic;
+  r.p_value = kolmogorov_q(t);
+  r.reject_at_05 = r.p_value < 0.05;
+  return r;
+}
+
+GofResult lilliefors_test(std::span<const double> xs) {
+  SSPRED_REQUIRE(xs.size() >= 5, "Lilliefors test needs at least 5 samples");
+  const Summary s = summarize(xs);
+  SSPRED_REQUIRE(s.sd > 0.0, "Lilliefors test needs non-degenerate sample");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  GofResult r;
+  r.statistic = ks_statistic(sorted, s.mean, s.sd);
+  // Dallal-Wilkinson (1986) p-value approximation.
+  const double n = static_cast<double>(xs.size());
+  const double d = r.statistic;
+  const double nd = n > 100.0 ? 100.0 : n;
+  const double dd = n > 100.0 ? d * std::pow(n / 100.0, 0.49) : d;
+  double p = std::exp(-7.01256 * dd * dd * (nd + 2.78019) +
+                      2.99587 * dd * std::sqrt(nd + 2.78019) - 0.122119 +
+                      0.974598 / std::sqrt(nd) + 1.67997 / nd);
+  r.p_value = std::clamp(p, 0.0, 1.0);
+  r.reject_at_05 = r.p_value < 0.05;
+  return r;
+}
+
+GofResult anderson_darling_normal(std::span<const double> xs) {
+  SSPRED_REQUIRE(xs.size() >= 8, "AD test needs at least 8 samples");
+  const Summary s = summarize(xs);
+  SSPRED_REQUIRE(s.sd > 0.0, "AD test needs non-degenerate sample");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double a2 = -n;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double zi = normal_cdf((sorted[i] - s.mean) / s.sd);
+    const double zni =
+        normal_cdf((sorted[sorted.size() - 1 - i] - s.mean) / s.sd);
+    const double fi = std::clamp(zi, 1e-15, 1.0 - 1e-15);
+    const double fni = std::clamp(zni, 1e-15, 1.0 - 1e-15);
+    a2 -= (2.0 * static_cast<double>(i) + 1.0) / n *
+          (std::log(fi) + std::log(1.0 - fni));
+  }
+  // Stephens' modification for estimated parameters.
+  const double a2_star = a2 * (1.0 + 0.75 / n + 2.25 / (n * n));
+  GofResult r;
+  r.statistic = a2_star;
+  // D'Agostino (1986) p-value fit.
+  double p = 0.0;
+  if (a2_star < 0.2) {
+    p = 1.0 - std::exp(-13.436 + 101.14 * a2_star - 223.73 * a2_star * a2_star);
+  } else if (a2_star < 0.34) {
+    p = 1.0 - std::exp(-8.318 + 42.796 * a2_star - 59.938 * a2_star * a2_star);
+  } else if (a2_star < 0.6) {
+    p = std::exp(0.9177 - 4.279 * a2_star - 1.38 * a2_star * a2_star);
+  } else {
+    p = std::exp(1.2937 - 5.709 * a2_star + 0.0186 * a2_star * a2_star);
+  }
+  r.p_value = std::clamp(p, 0.0, 1.0);
+  r.reject_at_05 = r.p_value < 0.05;
+  return r;
+}
+
+GofResult chi_square_normal(std::span<const double> xs, double mu, double sigma,
+                            std::size_t bins) {
+  SSPRED_REQUIRE(bins >= 3, "chi-square test needs at least 3 bins");
+  SSPRED_REQUIRE(xs.size() >= 5 * bins,
+                 "chi-square test needs >= 5 samples per bin");
+  SSPRED_REQUIRE(sigma > 0.0, "chi-square sigma must be positive");
+  const Normal dist(mu, sigma);
+  const double expected = static_cast<double>(xs.size()) /
+                          static_cast<double>(bins);
+  std::vector<std::size_t> observed(bins, 0);
+  for (double x : xs) {
+    const double u = dist.cdf(x);
+    auto idx = static_cast<std::size_t>(u * static_cast<double>(bins));
+    idx = std::min(idx, bins - 1);
+    ++observed[idx];
+  }
+  double stat = 0.0;
+  for (std::size_t o : observed) {
+    const double d = static_cast<double>(o) - expected;
+    stat += d * d / expected;
+  }
+  GofResult r;
+  r.statistic = stat;
+  r.p_value = chi_square_sf(stat, static_cast<double>(bins - 1));
+  r.reject_at_05 = r.p_value < 0.05;
+  return r;
+}
+
+GofResult jarque_bera(std::span<const double> xs) {
+  SSPRED_REQUIRE(xs.size() >= 8, "Jarque-Bera needs at least 8 samples");
+  const Summary s = summarize(xs);
+  const double n = static_cast<double>(xs.size());
+  GofResult r;
+  r.statistic =
+      n / 6.0 * (s.skewness * s.skewness + s.kurtosis * s.kurtosis / 4.0);
+  r.p_value = chi_square_sf(r.statistic, 2.0);
+  r.reject_at_05 = r.p_value < 0.05;
+  return r;
+}
+
+}  // namespace sspred::stats

@@ -1,0 +1,42 @@
+// Goodness-of-fit tests used to decide whether a sample is "close enough"
+// to normal for the paper's normality assumption (§2.1).
+#pragma once
+
+#include <span>
+
+namespace sspred::stats {
+
+/// Result of a goodness-of-fit test.
+struct GofResult {
+  double statistic = 0.0;  ///< test statistic
+  double p_value = 0.0;    ///< approximate p-value (asymptotic)
+  bool reject_at_05 = false;  ///< reject H0 "sample is normal" at alpha=0.05
+};
+
+/// One-sample Kolmogorov-Smirnov test against N(mu, sigma) with
+/// *specified* parameters (not estimated from the sample).
+[[nodiscard]] GofResult ks_test_normal(std::span<const double> xs, double mu,
+                                       double sigma);
+
+/// Lilliefors variant: parameters estimated from the sample; critical
+/// values adjusted accordingly (Dallal-Wilkinson approximation).
+[[nodiscard]] GofResult lilliefors_test(std::span<const double> xs);
+
+/// Anderson-Darling test of composite normality (case 3: both parameters
+/// estimated), with Stephens' small-sample modification and p-value fit.
+[[nodiscard]] GofResult anderson_darling_normal(std::span<const double> xs);
+
+/// Chi-square goodness-of-fit vs N(mu, sigma) using equiprobable bins.
+[[nodiscard]] GofResult chi_square_normal(std::span<const double> xs, double mu,
+                                          double sigma, std::size_t bins = 10);
+
+/// Jarque-Bera normality test (skewness + kurtosis based).
+[[nodiscard]] GofResult jarque_bera(std::span<const double> xs);
+
+/// Kolmogorov distribution survival function Q(t) = P(D > t) (asymptotic).
+[[nodiscard]] double kolmogorov_q(double t) noexcept;
+
+/// Chi-square distribution survival function (upper tail) with k dof.
+[[nodiscard]] double chi_square_sf(double x, double k);
+
+}  // namespace sspred::stats

@@ -1,0 +1,111 @@
+#include "stoch/arithmetic.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace sspred::stoch {
+
+StochasticValue add_point(const StochasticValue& x, double p) {
+  return StochasticValue(x.mean() + p, x.halfwidth());
+}
+
+StochasticValue scale(const StochasticValue& x, double p) {
+  return StochasticValue(x.mean() * p, std::abs(p) * x.halfwidth());
+}
+
+StochasticValue add(const StochasticValue& x, const StochasticValue& y,
+                    Dependence dep) {
+  const double mean = x.mean() + y.mean();
+  const double a = x.halfwidth();
+  const double b = y.halfwidth();
+  const double half = dep == Dependence::kRelated
+                          ? a + b
+                          : std::sqrt(a * a + b * b);
+  return StochasticValue(mean, half);
+}
+
+StochasticValue sub(const StochasticValue& x, const StochasticValue& y,
+                    Dependence dep) {
+  return add(x, scale(y, -1.0), dep);
+}
+
+StochasticValue sum(std::span<const StochasticValue> xs, Dependence dep) {
+  StochasticValue acc;  // zero point value is the additive identity
+  for (const auto& x : xs) acc = add(acc, x, dep);
+  return acc;
+}
+
+StochasticValue mul(const StochasticValue& x, const StochasticValue& y,
+                    Dependence dep) {
+  // Paper §2.3.2: a zero mean operand makes the product the zero point value.
+  if (x.mean() == 0.0 || y.mean() == 0.0) return StochasticValue();
+  const double mean = x.mean() * y.mean();
+  const double a = x.halfwidth();
+  const double b = y.halfwidth();
+  double half = 0.0;
+  if (dep == Dependence::kRelated) {
+    half = std::abs(a * y.mean()) + std::abs(b * x.mean()) + std::abs(a * b);
+  } else {
+    const double ra = a / x.mean();
+    const double rb = b / y.mean();
+    half = std::abs(mean) * std::sqrt(ra * ra + rb * rb);
+  }
+  return StochasticValue(mean, half);
+}
+
+StochasticValue inverse(const StochasticValue& y) {
+  SSPRED_REQUIRE(y.mean() != 0.0, "cannot invert a zero-mean stochastic value");
+  SSPRED_REQUIRE(!y.contains(0.0),
+                 "cannot invert a stochastic value whose range spans zero");
+  const double inv_mean = 1.0 / y.mean();
+  const double inv_half = std::abs(y.halfwidth() / (y.mean() * y.mean()));
+  return StochasticValue(inv_mean, inv_half);
+}
+
+StochasticValue div(const StochasticValue& x, const StochasticValue& y,
+                    Dependence dep) {
+  return mul(x, inverse(y), dep);
+}
+
+StochasticValue add_correlated(const StochasticValue& x,
+                               const StochasticValue& y, double rho) {
+  SSPRED_REQUIRE(rho >= -1.0 && rho <= 1.0, "correlation must be in [-1,1]");
+  const double a = x.halfwidth();
+  const double b = y.halfwidth();
+  const double var = a * a + b * b + 2.0 * rho * a * b;
+  return StochasticValue(x.mean() + y.mean(), std::sqrt(std::max(var, 0.0)));
+}
+
+StochasticValue mul_correlated(const StochasticValue& x,
+                               const StochasticValue& y, double rho) {
+  SSPRED_REQUIRE(rho >= -1.0 && rho <= 1.0, "correlation must be in [-1,1]");
+  if (x.mean() == 0.0 || y.mean() == 0.0) return StochasticValue();
+  const double a = x.halfwidth();
+  const double b = y.halfwidth();
+  const double ta = y.mean() * a;
+  const double tb = x.mean() * b;
+  const double var = ta * ta + tb * tb + 2.0 * rho * ta * tb;
+  return StochasticValue(x.mean() * y.mean(),
+                         std::sqrt(std::max(var, 0.0)));
+}
+
+StochasticValue operator+(const StochasticValue& x, const StochasticValue& y) {
+  return add(x, y, Dependence::kUnrelated);
+}
+
+StochasticValue operator-(const StochasticValue& x, const StochasticValue& y) {
+  return sub(x, y, Dependence::kUnrelated);
+}
+
+StochasticValue operator*(const StochasticValue& x, const StochasticValue& y) {
+  return mul(x, y, Dependence::kUnrelated);
+}
+
+StochasticValue operator/(const StochasticValue& x, const StochasticValue& y) {
+  return div(x, y, Dependence::kUnrelated);
+}
+
+StochasticValue operator-(const StochasticValue& x) { return scale(x, -1.0); }
+
+}  // namespace sspred::stoch

@@ -1,0 +1,100 @@
+// The paper's Table 2: arithmetic combination rules for stochastic values.
+//
+// Two regimes (paper §2.3):
+//  * related   — the underlying distributions have a causal connection
+//                (e.g. latency and bandwidth under shared traffic). The
+//                rules are conservative error sums so the result is never
+//                "over-smoothed".
+//  * unrelated — independent quantities; the rules are the probabilistic
+//                root-sum-of-squares forms.
+//
+// Because normals are closed under linear combination, sums/differences of
+// normal stochastic values are normal; products are long-tailed but are
+// approximated as normal per §2.1.1.
+#pragma once
+
+#include <span>
+
+#include "stoch/stochastic_value.hpp"
+
+namespace sspred::stoch {
+
+/// Whether two stochastic operands share a causal connection (paper §2.3.1).
+enum class Dependence {
+  kRelated,
+  kUnrelated,
+};
+
+/// (X ± a) + P = (X+P) ± a — point shift leaves the spread alone.
+[[nodiscard]] StochasticValue add_point(const StochasticValue& x, double p);
+
+/// P·(X ± a) = PX ± |P|a — point scale scales the spread.
+[[nodiscard]] StochasticValue scale(const StochasticValue& x, double p);
+
+/// Sum of two stochastic values under the given dependence:
+///  related:   (Xi+Xj) ± (|ai| + |aj|)            [conservative]
+///  unrelated: (Xi+Xj) ± sqrt(ai^2 + aj^2)        [RSS]
+[[nodiscard]] StochasticValue add(const StochasticValue& x,
+                                  const StochasticValue& y, Dependence dep);
+
+/// Difference: addition with the second mean negated (paper §2.3.1);
+/// spreads combine exactly as in add().
+[[nodiscard]] StochasticValue sub(const StochasticValue& x,
+                                  const StochasticValue& y, Dependence dep);
+
+/// Sum over a sequence under one dependence regime.
+[[nodiscard]] StochasticValue sum(std::span<const StochasticValue> xs,
+                                  Dependence dep);
+
+/// Product of two stochastic values:
+///  related:   XiXj ± (|ai Xj| + |aj Xi| + |ai aj|)
+///  unrelated: XiXj ± |XiXj|·sqrt((ai/Xi)^2 + (aj/Xj)^2)
+/// If either mean is zero the product is defined to be the zero point
+/// value (paper §2.3.2).
+[[nodiscard]] StochasticValue mul(const StochasticValue& x,
+                                  const StochasticValue& y, Dependence dep);
+
+/// Multiplicative inverse of Y ± b via the first-order delta method:
+/// (1/Y) ± |b / Y^2|. Requires the range of Y to exclude zero, otherwise
+/// the inverse has no meaningful normal approximation.
+///
+/// Note: the paper's footnote 5 writes the inverse as "Y^-1 ± b^-1", which
+/// does not reduce to the point-value rule as b -> 0; we follow standard
+/// error propagation instead (documented in DESIGN.md).
+[[nodiscard]] StochasticValue inverse(const StochasticValue& y);
+
+/// Division x / y = mul(x, inverse(y), dep).
+[[nodiscard]] StochasticValue div(const StochasticValue& x,
+                                  const StochasticValue& y, Dependence dep);
+
+/// Generalization of the paper's two regimes to an explicit correlation
+/// coefficient rho in [-1, 1]:
+///   Var[X+Y] = Var[X] + Var[Y] + 2·rho·SD[X]·SD[Y].
+/// rho = 0 reduces to the unrelated RSS rule; rho = 1 to the conservative
+/// related sum.
+[[nodiscard]] StochasticValue add_correlated(const StochasticValue& x,
+                                             const StochasticValue& y,
+                                             double rho);
+
+/// First-order (delta-method) product of correlated operands:
+///   Var[XY] ≈ (Y·sx)^2 + (X·sy)^2 + 2·rho·XY·sx·sy.
+/// rho = 0 matches the unrelated rule; the related rule remains the
+/// conservative upper bound for rho = 1.
+[[nodiscard]] StochasticValue mul_correlated(const StochasticValue& x,
+                                             const StochasticValue& y,
+                                             double rho);
+
+// Operator sugar for the UNRELATED regime (the common case for combining
+// measurements of different quantities). Use the named functions when the
+// related/conservative rules are intended.
+[[nodiscard]] StochasticValue operator+(const StochasticValue& x,
+                                        const StochasticValue& y);
+[[nodiscard]] StochasticValue operator-(const StochasticValue& x,
+                                        const StochasticValue& y);
+[[nodiscard]] StochasticValue operator*(const StochasticValue& x,
+                                        const StochasticValue& y);
+[[nodiscard]] StochasticValue operator/(const StochasticValue& x,
+                                        const StochasticValue& y);
+[[nodiscard]] StochasticValue operator-(const StochasticValue& x);
+
+}  // namespace sspred::stoch

@@ -1,0 +1,62 @@
+#include "stoch/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/distributions.hpp"
+#include "support/error.hpp"
+
+namespace sspred::stoch {
+
+double relative_error(double predicted, double actual) {
+  SSPRED_REQUIRE(actual != 0.0, "relative error undefined for zero actual");
+  return std::abs(predicted - actual) / std::abs(actual);
+}
+
+FractionInterval wilson_interval(std::size_t successes, std::size_t trials,
+                                 double confidence) {
+  SSPRED_REQUIRE(trials >= 1, "need at least one trial");
+  SSPRED_REQUIRE(successes <= trials, "successes exceed trials");
+  SSPRED_REQUIRE(confidence > 0.0 && confidence < 1.0,
+                 "confidence must be in (0,1)");
+  const double z = stats::normal_quantile(0.5 + confidence / 2.0);
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double spread =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - spread), std::min(1.0, center + spread)};
+}
+
+PredictionScore score_predictions(std::span<const StochasticValue> predictions,
+                                  std::span<const double> observations) {
+  SSPRED_REQUIRE(predictions.size() == observations.size(),
+                 "predictions/observations size mismatch");
+  SSPRED_REQUIRE(!predictions.empty(), "need at least one prediction");
+  PredictionScore s;
+  s.count = predictions.size();
+  std::size_t captured = 0;
+  double sum_range_err = 0.0;
+  double sum_mean_err = 0.0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    const auto& pred = predictions[i];
+    const double obs = observations[i];
+    SSPRED_REQUIRE(obs > 0.0, "observations must be positive");
+    if (pred.contains(obs)) ++captured;
+    const double range_err = pred.out_of_range_distance(obs) / obs;
+    const double mean_err = relative_error(pred.mean(), obs);
+    s.max_range_error = std::max(s.max_range_error, range_err);
+    s.max_mean_error = std::max(s.max_mean_error, mean_err);
+    sum_range_err += range_err;
+    sum_mean_err += mean_err;
+  }
+  const double n = static_cast<double>(predictions.size());
+  s.capture_fraction = static_cast<double>(captured) / n;
+  s.mean_range_error = sum_range_err / n;
+  s.mean_mean_error = sum_mean_err / n;
+  return s;
+}
+
+}  // namespace sspred::stoch

@@ -1,0 +1,53 @@
+// Scoring predictions against observed values — the quantities the paper's
+// evaluation reports (capture fraction, out-of-range error, point error).
+#pragma once
+
+#include <span>
+
+#include "stoch/stochastic_value.hpp"
+
+namespace sspred::stoch {
+
+/// Aggregate quality of a set of stochastic predictions vs observations.
+struct PredictionScore {
+  std::size_t count = 0;
+  /// Fraction of observations inside their prediction's range
+  /// (the paper's "we capture approximately 80% of the actual times").
+  double capture_fraction = 0.0;
+  /// Max relative error of observations *outside* the range, measured per
+  /// paper footnote 6 as distance-to-range / observation.
+  double max_range_error = 0.0;
+  /// Mean of the same relative range error over all observations
+  /// (zero contribution from captured points).
+  double mean_range_error = 0.0;
+  /// Max relative error of the prediction MEAN vs the observation —
+  /// what a point-valued prediction would score.
+  double max_mean_error = 0.0;
+  /// Mean relative error of the prediction mean vs the observation.
+  double mean_mean_error = 0.0;
+};
+
+/// Scores paired (prediction, observation) sequences. Sizes must match and
+/// observations must be positive (they are execution times).
+[[nodiscard]] PredictionScore score_predictions(
+    std::span<const StochasticValue> predictions,
+    std::span<const double> observations);
+
+/// Relative error |predicted - actual| / actual for point predictions.
+[[nodiscard]] double relative_error(double predicted, double actual);
+
+/// Wilson-score confidence interval for a binomial fraction (e.g. the
+/// capture fraction over a small number of trials — the paper's "~80%"
+/// over ~16 points carries real uncertainty).
+struct FractionInterval {
+  double lower = 0.0;
+  double upper = 1.0;
+};
+
+/// Wilson interval for `successes`/`trials` at the given confidence
+/// (default 95%). Requires trials >= 1.
+[[nodiscard]] FractionInterval wilson_interval(std::size_t successes,
+                                               std::size_t trials,
+                                               double confidence = 0.95);
+
+}  // namespace sspred::stoch

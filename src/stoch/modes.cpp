@@ -1,0 +1,69 @@
+#include "stoch/modes.hpp"
+
+#include <cmath>
+
+#include "stoch/arithmetic.hpp"
+#include "support/error.hpp"
+
+namespace sspred::stoch {
+
+namespace {
+void check_occupancies(std::span<const Mode> modes) {
+  SSPRED_REQUIRE(!modes.empty(), "need at least one mode");
+  double total = 0.0;
+  for (const auto& m : modes) {
+    SSPRED_REQUIRE(m.occupancy >= 0.0, "mode occupancy must be >= 0");
+    total += m.occupancy;
+  }
+  SSPRED_REQUIRE(std::abs(total - 1.0) < 1e-6, "mode occupancies must sum to 1");
+}
+}  // namespace
+
+StochasticValue mix_modes(std::span<const Mode> modes) {
+  check_occupancies(modes);
+  StochasticValue acc;
+  for (const auto& m : modes) {
+    // P_i (M_i ± SD_i): a point scale followed by a related (conservative)
+    // sum — the modes describe the same underlying quantity.
+    acc = add(acc, scale(m.value, m.occupancy), Dependence::kRelated);
+  }
+  return acc;
+}
+
+StochasticValue mixture_moments(std::span<const Mode> modes) {
+  check_occupancies(modes);
+  double mean = 0.0;
+  for (const auto& m : modes) mean += m.occupancy * m.value.mean();
+  double var = 0.0;
+  for (const auto& m : modes) {
+    const double d = m.value.mean() - mean;
+    var += m.occupancy * (m.value.sd() * m.value.sd() + d * d);
+  }
+  return StochasticValue::from_mean_sd(mean, std::sqrt(var));
+}
+
+std::vector<Mode> modes_from_gmm(const stats::GmmFit& fit) {
+  SSPRED_REQUIRE(!fit.components.empty(), "GMM fit has no components");
+  std::vector<Mode> modes;
+  modes.reserve(fit.components.size());
+  for (const auto& c : fit.components) {
+    modes.push_back({c.weight, StochasticValue::from_mean_sd(c.mean, c.sd)});
+  }
+  return modes;
+}
+
+const Mode& nearest_mode(std::span<const Mode> modes, double current_level) {
+  SSPRED_REQUIRE(!modes.empty(), "need at least one mode");
+  const Mode* best = &modes[0];
+  double best_dist = std::abs(modes[0].value.mean() - current_level);
+  for (const auto& m : modes.subspan(1)) {
+    const double d = std::abs(m.value.mean() - current_level);
+    if (d < best_dist) {
+      best_dist = d;
+      best = &m;
+    }
+  }
+  return *best;
+}
+
+}  // namespace sspred::stoch

@@ -1,0 +1,45 @@
+// Modal stochastic data (paper §2.1.2).
+//
+// Multi-modal characteristics (e.g. CPU load) are represented as a set of
+// modes, each a normal M_i ± SD_i with an occupancy fraction P_i. When data
+// stays in one mode during a run, the single mode's stochastic value is
+// used directly; for bursty data the modes are averaged by occupancy:
+//     P1(M1 ± SD1) + P2(M2 ± SD2) + ... .
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stats/gmm.hpp"
+#include "stoch/stochastic_value.hpp"
+
+namespace sspred::stoch {
+
+/// One mode of a multi-modal characteristic.
+struct Mode {
+  double occupancy = 0.0;    ///< P_i: fraction of time spent in this mode
+  StochasticValue value;     ///< M_i ± (2·SD_i)
+};
+
+/// The paper's modal average: sum of occupancy-scaled modes. Each scaled
+/// mode is normal, so the result is treated as normal; occupancies must be
+/// non-negative and sum to ~1.
+[[nodiscard]] StochasticValue mix_modes(std::span<const Mode> modes);
+
+/// Moment-matched mixture summary: the exact mean and standard deviation
+/// of the Gaussian mixture defined by the modes (law of total variance),
+/// reported as mean ± 2sd. This is the statistically faithful alternative
+/// to mix_modes(); the ablation bench compares both.
+[[nodiscard]] StochasticValue mixture_moments(std::span<const Mode> modes);
+
+/// Converts a fitted Gaussian mixture into modes (weights become
+/// occupancies; each component becomes M_i ± 2·SD_i).
+[[nodiscard]] std::vector<Mode> modes_from_gmm(const stats::GmmFit& fit);
+
+/// Selects the mode whose mean is nearest to `current_level` — the paper's
+/// "data remains within a single mode" regime (§3.1): predictions use the
+/// occupied mode's distribution alone.
+[[nodiscard]] const Mode& nearest_mode(std::span<const Mode> modes,
+                                       double current_level);
+
+}  // namespace sspred::stoch

@@ -1,0 +1,49 @@
+// Monte-Carlo cross-validation of the stochastic calculus.
+//
+// Each Table-2 rule is a closed form; these helpers sample the operand
+// distributions, combine samples elementwise, and summarize the empirical
+// result so tests and the Table-2 bench can compare closed form vs truth.
+#pragma once
+
+#include <functional>
+
+#include "stoch/stochastic_value.hpp"
+#include "support/rng.hpp"
+
+namespace sspred::stoch {
+
+/// Draws one value from the normal associated with `v` (a point value
+/// always yields its mean).
+[[nodiscard]] double sample(const StochasticValue& v, support::Rng& rng);
+
+/// Empirically combines two stochastic values with independent sampling:
+/// draws n pairs, applies `op`, and summarizes the results as mean ± 2sd.
+[[nodiscard]] StochasticValue empirical_combine(
+    const StochasticValue& x, const StochasticValue& y,
+    const std::function<double(double, double)>& op, support::Rng& rng,
+    std::size_t n = 100'000);
+
+/// Like empirical_combine, but the operands are comonotonic (driven by one
+/// shared standard-normal draw) — the sampling analogue of "related"
+/// distributions with perfect positive coupling.
+[[nodiscard]] StochasticValue empirical_combine_related(
+    const StochasticValue& x, const StochasticValue& y,
+    const std::function<double(double, double)>& op, support::Rng& rng,
+    std::size_t n = 100'000);
+
+/// Gaussian-copula sampling at an explicit correlation rho in [-1, 1]:
+/// z_y = rho·z_x + sqrt(1-rho²)·z'. Ground truth for the *_correlated
+/// closed forms.
+[[nodiscard]] StochasticValue empirical_combine_correlated(
+    const StochasticValue& x, const StochasticValue& y, double rho,
+    const std::function<double(double, double)>& op, support::Rng& rng,
+    std::size_t n = 100'000);
+
+/// Fraction of samples of `v`'s distribution that land inside `range`.
+/// Used to check ±2sd coverage claims (≈95% for true normals).
+[[nodiscard]] double empirical_coverage(const StochasticValue& v,
+                                        const StochasticValue& range,
+                                        support::Rng& rng,
+                                        std::size_t n = 100'000);
+
+}  // namespace sspred::stoch

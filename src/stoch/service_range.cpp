@@ -1,0 +1,45 @@
+#include "stoch/service_range.hpp"
+
+#include "stats/distributions.hpp"
+#include "support/error.hpp"
+
+namespace sspred::stoch {
+
+double probability_below(const StochasticValue& v, double x) {
+  if (v.is_point()) return x >= v.mean() ? 1.0 : 0.0;
+  return v.to_normal().cdf(x);
+}
+
+double probability_above(const StochasticValue& v, double x) {
+  return 1.0 - probability_below(v, x);
+}
+
+double quantile(const StochasticValue& v, double p) {
+  SSPRED_REQUIRE(p > 0.0 && p < 1.0, "quantile needs p in (0,1)");
+  if (v.is_point()) return v.mean();
+  return v.to_normal().quantile(p);
+}
+
+ServiceRange service_range(const StochasticValue& v, double confidence) {
+  SSPRED_REQUIRE(confidence > 0.0 && confidence < 1.0,
+                 "confidence must be in (0,1)");
+  ServiceRange r;
+  r.confidence = confidence;
+  if (v.is_point()) {
+    r.lower = v.mean();
+    r.upper = v.mean();
+    return r;
+  }
+  const double tail = (1.0 - confidence) / 2.0;
+  r.lower = quantile(v, tail);
+  r.upper = quantile(v, 1.0 - tail);
+  return r;
+}
+
+double deadline_for(const StochasticValue& v, double confidence) {
+  SSPRED_REQUIRE(confidence > 0.0 && confidence < 1.0,
+                 "confidence must be in (0,1)");
+  return quantile(v, confidence);
+}
+
+}  // namespace sspred::stoch

@@ -1,0 +1,41 @@
+// Service ranges (paper §1.2): "stochastic values could be used to specify
+// a 'service range' as an alternative to Quality of Service guarantees.
+// Probabilities associated with values in the service range could be used
+// in instances where poor performance can be tolerated a small percentage
+// of the time."
+//
+// These helpers read a stochastic value as the normal distribution it
+// summarizes and answer exactly those questions.
+#pragma once
+
+#include "stoch/stochastic_value.hpp"
+
+namespace sspred::stoch {
+
+/// P(X <= x) under the value's normal distribution. A point value yields
+/// a 0/1 step.
+[[nodiscard]] double probability_below(const StochasticValue& v, double x);
+
+/// P(X > x) — e.g. the probability of missing deadline x.
+[[nodiscard]] double probability_above(const StochasticValue& v, double x);
+
+/// The p-quantile of the value's distribution (p in (0,1)); a point value
+/// returns its mean for every p.
+[[nodiscard]] double quantile(const StochasticValue& v, double p);
+
+/// A symmetric service range covering `confidence` of the distribution.
+struct ServiceRange {
+  double lower = 0.0;
+  double upper = 0.0;
+  double confidence = 0.0;  ///< probability mass inside [lower, upper]
+};
+
+/// The central interval holding `confidence` (in (0,1)) of the mass —
+/// e.g. service_range(pred, 0.99) is a "99% of the time" guarantee band.
+[[nodiscard]] ServiceRange service_range(const StochasticValue& v,
+                                         double confidence);
+
+/// The deadline met with probability `confidence`: quantile(v, confidence).
+[[nodiscard]] double deadline_for(const StochasticValue& v, double confidence);
+
+}  // namespace sspred::stoch

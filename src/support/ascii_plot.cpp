@@ -1,0 +1,134 @@
+#include "support/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace sspred::support {
+
+namespace {
+
+[[nodiscard]] std::string format_num(double v) {
+  char buf[32];
+  if (std::abs(v) >= 1000.0 || (std::abs(v) < 0.01 && v != 0.0)) {
+    std::snprintf(buf, sizeof buf, "%.3g", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+  }
+  return buf;
+}
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  void add(double v) noexcept {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  void widen_if_degenerate() noexcept {
+    if (!(lo < hi)) {
+      lo -= 0.5;
+      hi += 0.5;
+    }
+  }
+  [[nodiscard]] double span() const noexcept { return hi - lo; }
+};
+
+}  // namespace
+
+std::string render_histogram(std::span<const double> edges,
+                             std::span<const double> counts,
+                             const PlotOptions& opts) {
+  SSPRED_REQUIRE(edges.size() == counts.size() + 1,
+                 "histogram edges must be counts+1");
+  SSPRED_REQUIRE(!counts.empty(), "histogram needs at least one bin");
+  std::ostringstream os;
+  if (!opts.title.empty()) os << opts.title << "\n";
+  const double max_count = std::max(
+      1e-300, *std::max_element(counts.begin(), counts.end()));
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const int bar =
+        static_cast<int>(std::lround(counts[i] / max_count * opts.width));
+    char label[48];
+    std::snprintf(label, sizeof label, "[%8s,%8s)",
+                  format_num(edges[i]).c_str(),
+                  format_num(edges[i + 1]).c_str());
+    os << label << " |" << std::string(static_cast<std::size_t>(bar), '#')
+       << " " << format_num(counts[i]) << "\n";
+  }
+  if (!opts.x_label.empty()) os << "  (" << opts.x_label << ")\n";
+  return os.str();
+}
+
+std::string render_series(std::span<const double> ys, const PlotOptions& opts) {
+  Series s;
+  s.name = opts.y_label.empty() ? "series" : opts.y_label;
+  s.ys.assign(ys.begin(), ys.end());
+  s.xs.resize(ys.size());
+  for (std::size_t i = 0; i < ys.size(); ++i) s.xs[i] = static_cast<double>(i);
+  return render_xy(std::span<const Series>(&s, 1), opts);
+}
+
+std::string render_xy(std::span<const Series> series, const PlotOptions& opts) {
+  SSPRED_REQUIRE(!series.empty(), "need at least one series");
+  Range xr;
+  Range yr;
+  for (const auto& s : series) {
+    SSPRED_REQUIRE(s.xs.size() == s.ys.size(), "series x/y size mismatch");
+    for (double x : s.xs) xr.add(x);
+    for (double y : s.ys) yr.add(y);
+  }
+  SSPRED_REQUIRE(std::isfinite(xr.lo) && std::isfinite(yr.lo),
+                 "series must contain points");
+  xr.widen_if_degenerate();
+  yr.widen_if_degenerate();
+
+  const int w = std::max(opts.width, 8);
+  const int h = std::max(opts.height, 4);
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      const int col = static_cast<int>(
+          std::lround((s.xs[i] - xr.lo) / xr.span() * (w - 1)));
+      const int row = static_cast<int>(
+          std::lround((s.ys[i] - yr.lo) / yr.span() * (h - 1)));
+      const int r = h - 1 - row;  // row 0 is the top of the plot
+      grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(col)] =
+          s.glyph;
+    }
+  }
+
+  std::ostringstream os;
+  if (!opts.title.empty()) os << opts.title << "\n";
+  if (!opts.y_label.empty()) os << opts.y_label << "\n";
+  for (int r = 0; r < h; ++r) {
+    const double y_at_row = yr.hi - yr.span() * r / (h - 1);
+    char margin[16];
+    std::snprintf(margin, sizeof margin, "%9s |",
+                  (r == 0 || r == h - 1 || r == h / 2)
+                      ? format_num(y_at_row).c_str()
+                      : "");
+    os << margin << grid[static_cast<std::size_t>(r)] << "\n";
+  }
+  os << std::string(10, ' ') << '+' << std::string(static_cast<std::size_t>(w), '-')
+     << "\n";
+  os << std::string(11, ' ') << format_num(xr.lo)
+     << std::string(static_cast<std::size_t>(std::max(
+            1, w - 2 - static_cast<int>(format_num(xr.lo).size() +
+                                        format_num(xr.hi).size()))),
+                    ' ')
+     << format_num(xr.hi) << "\n";
+  if (!opts.x_label.empty()) os << std::string(11, ' ') << "(" << opts.x_label << ")\n";
+  for (const auto& s : series) {
+    os << "    " << s.glyph << " = " << s.name << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sspred::support

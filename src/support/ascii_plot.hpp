@@ -1,0 +1,46 @@
+// ASCII rendering of histograms, time series and scatter/interval plots.
+//
+// The bench harness regenerates the paper's figures; these helpers render
+// them directly into the terminal / bench_output.txt so the *shape* of each
+// figure can be eyeballed without a plotting stack.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sspred::support {
+
+/// Options shared by the plotters.
+struct PlotOptions {
+  int width = 72;        ///< plot body width in characters
+  int height = 16;       ///< plot body height in rows (series plots)
+  std::string title;     ///< printed above the plot when non-empty
+  std::string x_label;   ///< printed below the x axis when non-empty
+  std::string y_label;   ///< printed above the y axis when non-empty
+};
+
+/// Renders a pre-binned histogram as horizontal bars.
+/// `edges` has bin_count + 1 entries; `counts` has bin_count entries.
+[[nodiscard]] std::string render_histogram(std::span<const double> edges,
+                                           std::span<const double> counts,
+                                           const PlotOptions& opts = {});
+
+/// Renders one y-series against an implicit 0..n-1 x axis.
+[[nodiscard]] std::string render_series(std::span<const double> ys,
+                                        const PlotOptions& opts = {});
+
+/// A named series for multi-series plots. Each series supplies matching
+/// x/y vectors; the glyph distinguishes series in the plot body.
+struct Series {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  char glyph = '*';
+};
+
+/// Renders several series on shared axes, with a legend line per series.
+[[nodiscard]] std::string render_xy(std::span<const Series> series,
+                                    const PlotOptions& opts = {});
+
+}  // namespace sspred::support

@@ -1,0 +1,36 @@
+#include "support/csv.hpp"
+
+#include <cstdio>
+
+#include "support/error.hpp"
+
+namespace sspred::support {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : out_(path), columns_(header.size()) {
+  SSPRED_REQUIRE(out_.good(), "cannot open CSV output file: " + path);
+  SSPRED_REQUIRE(columns_ > 0, "CSV header must not be empty");
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << header[i];
+  }
+  out_ << '\n';
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::initializer_list<std::string> header)
+    : CsvWriter(path, std::vector<std::string>(header)) {}
+
+void CsvWriter::write_row(const std::vector<double>& values) {
+  SSPRED_REQUIRE(values.size() == columns_, "CSV row width mismatch");
+  char buf[64];
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out_ << ',';
+    std::snprintf(buf, sizeof buf, "%.10g", values[i]);
+    out_ << buf;
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace sspred::support

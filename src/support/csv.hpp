@@ -1,0 +1,31 @@
+// Minimal CSV writing, used by benches to dump raw experiment data
+// alongside the printed tables/plots.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace sspred::support {
+
+/// Writes rows of doubles (plus a header) to a CSV file.
+/// Throws support::Error if the file cannot be opened.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+  CsvWriter(const std::string& path, std::initializer_list<std::string> header);
+
+  /// Writes a data row; must match the header width.
+  void write_row(const std::vector<double>& values);
+
+  /// Number of data rows written so far.
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace sspred::support

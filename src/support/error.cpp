@@ -1,0 +1,15 @@
+#include "support/error.hpp"
+
+#include <sstream>
+
+namespace sspred::support {
+
+void raise(std::string_view condition, std::string_view message,
+           std::string_view file, int line) {
+  std::ostringstream os;
+  os << file << ":" << line << ": requirement failed: " << condition;
+  if (!message.empty()) os << " — " << message;
+  throw Error(os.str());
+}
+
+}  // namespace sspred::support

@@ -1,0 +1,68 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace sspred::support {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SSPRED_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+Table::Table(std::initializer_list<std::string> headers)
+    : Table(std::vector<std::string>(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  SSPRED_REQUIRE(cells.size() == headers_.size(),
+                 "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row(const std::string& label, const std::vector<double>& values,
+                    int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(fmt(v, precision));
+  add_row(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(widths[c] - row[c].size() + 2, ' ');
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string fmt_pm(double mean, double halfwidth, int precision) {
+  return fmt(mean, precision) + " ± " + fmt(halfwidth, precision);
+}
+
+std::string fmt_pct(double ratio, int precision) {
+  return fmt(ratio * 100.0, precision) + "%";
+}
+
+}  // namespace sspred::support

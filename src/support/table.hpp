@@ -1,0 +1,48 @@
+// Aligned plain-text table rendering for the bench harness.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace sspred::support {
+
+/// Builds and renders a column-aligned text table.
+///
+/// Usage:
+///   Table t({"Machine", "Dedicated", "Production"});
+///   t.add_row({"A", "10 sec", "12 sec ± 5%"});
+///   std::cout << t.render();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  Table(std::initializer_list<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each double with `precision` digits.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 3);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with a header underline and 2-space column gaps.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for table cells).
+[[nodiscard]] std::string fmt(double value, int precision = 3);
+
+/// Formats "mean ± halfwidth" the way the paper reports stochastic values.
+[[nodiscard]] std::string fmt_pm(double mean, double halfwidth,
+                                 int precision = 3);
+
+/// Formats a ratio as a percentage string, e.g. 0.097 -> "9.7%".
+[[nodiscard]] std::string fmt_pct(double ratio, int precision = 1);
+
+}  // namespace sspred::support

@@ -1,0 +1,32 @@
+// Lightweight unit aliases and conversion helpers.
+//
+// The simulation uses plain doubles for speed, but every quantity-bearing
+// API names its unit through these aliases, and the constants below keep
+// conversions out of call sites.
+#pragma once
+
+namespace sspred::support {
+
+/// Virtual time and durations, in seconds.
+using Seconds = double;
+
+/// Data sizes, in bytes.
+using Bytes = double;
+
+/// Bandwidths, in bytes per second.
+using BytesPerSecond = double;
+
+/// Units used by the paper (10 Mbit ethernet, bandwidth plots in Mbit/s).
+inline constexpr double kBitsPerByte = 8.0;
+
+/// Converts megabits per second to bytes per second.
+[[nodiscard]] constexpr BytesPerSecond mbits_per_sec(double mbits) noexcept {
+  return mbits * 1.0e6 / kBitsPerByte;
+}
+
+/// Converts bytes per second to megabits per second (for reporting).
+[[nodiscard]] constexpr double to_mbits_per_sec(BytesPerSecond bps) noexcept {
+  return bps * kBitsPerByte / 1.0e6;
+}
+
+}  // namespace sspred::support

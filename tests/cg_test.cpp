@@ -1,0 +1,115 @@
+// Tests for the Conjugate Gradient application (serial + distributed) and
+// the KS two-sample check it motivated.
+#include <gtest/gtest.h>
+
+#include "sor/cg.hpp"
+#include "sor/distributed.hpp"
+#include "support/error.hpp"
+
+namespace sspred::sor {
+namespace {
+
+TEST(SerialCg, ConvergesFastOnPoisson) {
+  SerialCg cg(33);
+  const std::size_t iters = cg.solve(500, 1e-10);
+  EXPECT_LT(iters, 200u);
+  EXPECT_LT(cg.residual_norm(), 1e-10);
+  EXPECT_LT(cg.solution_error(), 1e-3);
+}
+
+TEST(SerialCg, ResidualDecreasesWithMoreIterations) {
+  SerialCg a(25);
+  (void)a.solve(5);
+  SerialCg b(25);
+  (void)b.solve(40);
+  EXPECT_LT(b.residual_norm(), 0.1 * a.residual_norm());
+}
+
+TEST(DistributedCg, MatchesSerialConvergence) {
+  CgConfig cfg;
+  cfg.n = 33;
+  cfg.max_iterations = 80;
+  sim::Engine engine;
+  cluster::Platform platform(engine, cluster::dedicated_platform(3), 5);
+  const CgResult result = run_distributed_cg(engine, platform, cfg);
+
+  SerialCg serial(cfg.n);
+  (void)serial.solve(cfg.max_iterations);
+  // Dot-product summation order differs across ranks; agreement is to
+  // rounding, not bitwise.
+  EXPECT_NEAR(result.residual, serial.residual_norm(),
+              1e-8 + 1e-6 * serial.residual_norm());
+  EXPECT_NEAR(result.solution_error, serial.solution_error(), 1e-8);
+  EXPECT_EQ(result.iterations_run, cfg.max_iterations);
+}
+
+class CgRankSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CgRankSweep, ConvergesToToleranceOnAnyRankCount) {
+  CgConfig cfg;
+  cfg.n = 25;
+  cfg.max_iterations = 300;
+  cfg.tolerance = 1e-9;
+  sim::Engine engine;
+  cluster::Platform platform(engine,
+                             cluster::dedicated_platform(GetParam()), 7);
+  const CgResult result = run_distributed_cg(engine, platform, cfg);
+  EXPECT_LT(result.residual, 1e-9);
+  EXPECT_LT(result.iterations_run, 300u);
+  EXPECT_LT(result.solution_error, 1e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CgRankSweep, ::testing::Values(1, 2, 4, 5));
+
+TEST(DistributedCg, AllreduceDominatesCommOnSmallGrids) {
+  // CG's per-iteration collectives are latency-bound: on a small grid the
+  // allreduce time exceeds the neighbour-exchange time.
+  CgConfig cfg;
+  cfg.n = 32;
+  cfg.max_iterations = 30;
+  cfg.real_numerics = false;
+  sim::Engine engine;
+  cluster::Platform platform(engine, cluster::dedicated_platform(4), 9);
+  const CgResult result = run_distributed_cg(engine, platform, cfg);
+  const auto& [comp, ghost, collective] = result.rank_totals[1];
+  EXPECT_GT(collective, ghost);
+  EXPECT_GT(comp, 0.0);
+}
+
+TEST(DistributedCg, CollectiveShareShrinksWithGridSize) {
+  auto collective_share = [](std::size_t n) {
+    CgConfig cfg;
+    cfg.n = n;
+    cfg.max_iterations = 20;
+    cfg.real_numerics = false;
+    sim::Engine engine;
+    cluster::Platform platform(engine, cluster::dedicated_platform(4), 11);
+    const CgResult r = run_distributed_cg(engine, platform, cfg);
+    const auto& [comp, ghost, collective] = r.rank_totals[1];
+    return collective / (comp + ghost + collective);
+  };
+  EXPECT_GT(collective_share(64), collective_share(1024));
+}
+
+TEST(DistributedCg, ProductionLoadStretchesRun) {
+  CgConfig cfg;
+  cfg.n = 256;
+  cfg.max_iterations = 25;
+  cfg.real_numerics = false;
+
+  sim::Engine e1;
+  cluster::Platform p1(e1, cluster::dedicated_platform(4), 13);
+  const double t_ded = run_distributed_cg(e1, p1, cfg).total_time;
+
+  cluster::PlatformSpec loaded = cluster::dedicated_platform(4);
+  for (auto& h : loaded.hosts) {
+    h.load = cluster::platform1_load(/*center_only=*/true);
+  }
+  sim::Engine e2;
+  cluster::Platform p2(e2, loaded, 13);
+  const double t_loaded = run_distributed_cg(e2, p2, cfg).total_time;
+  EXPECT_GT(t_loaded, 1.3 * t_ded);
+}
+
+}  // namespace
+}  // namespace sspred::sor

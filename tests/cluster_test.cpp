@@ -1,0 +1,147 @@
+// Unit tests for platform assembly and the shipped paper testbeds.
+#include <gtest/gtest.h>
+
+#include "cluster/platform.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/gmm.hpp"
+#include "support/error.hpp"
+
+namespace sspred::cluster {
+namespace {
+
+TEST(PlatformSpecs, DedicatedHostsAreUniform) {
+  const PlatformSpec spec = dedicated_platform(4);
+  ASSERT_EQ(spec.hosts.size(), 4u);
+  for (const auto& h : spec.hosts) {
+    EXPECT_DOUBLE_EQ(h.machine.bm_seconds_per_element,
+                     machine::sparc10_spec().bm_seconds_per_element);
+  }
+}
+
+TEST(PlatformSpecs, Platform1HasPaperMachines) {
+  const PlatformSpec spec = platform1();
+  ASSERT_EQ(spec.hosts.size(), 4u);  // 2x Sparc-2, Sparc-5, Sparc-10
+  EXPECT_EQ(spec.hosts[0].machine.name, "sparc2-a");
+  EXPECT_EQ(spec.hosts[3].machine.name, "sparc10");
+}
+
+TEST(PlatformSpecs, Platform2HasUltras) {
+  const PlatformSpec spec = platform2();
+  ASSERT_EQ(spec.hosts.size(), 4u);
+  EXPECT_EQ(spec.hosts[2].machine.name, "ultra-a");
+  EXPECT_EQ(spec.hosts[3].machine.name, "ultra-b");
+}
+
+TEST(Platform, BuildsMachinesWithTraces) {
+  sim::Engine eng;
+  Platform p(eng, dedicated_platform(3), 42);
+  EXPECT_EQ(p.size(), 3u);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_GE(p.machine(i).trace().duration(), 4000.0);
+  }
+}
+
+TEST(Platform, DeterministicForSeed) {
+  sim::Engine e1;
+  sim::Engine e2;
+  Platform a(e1, platform2(), 7);
+  Platform b(e2, platform2(), 7);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto sa = a.machine(i).trace().samples();
+    const auto sb = b.machine(i).trace().samples();
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t j = 0; j < sa.size(); ++j) {
+      EXPECT_DOUBLE_EQ(sa[j], sb[j]);
+    }
+  }
+}
+
+TEST(Platform, DifferentSeedsGiveDifferentTraces) {
+  sim::Engine e1;
+  sim::Engine e2;
+  Platform a(e1, platform2(), 1);
+  Platform b(e2, platform2(), 2);
+  const auto sa = a.machine(0).trace().samples();
+  const auto sb = b.machine(0).trace().samples();
+  int same = 0;
+  for (std::size_t j = 0; j < sa.size(); ++j) {
+    if (sa[j] == sb[j]) ++same;
+  }
+  EXPECT_LT(same, static_cast<int>(sa.size() / 10));
+}
+
+TEST(Platform, HostsGetIndependentTraces) {
+  sim::Engine eng;
+  Platform p(eng, platform2(), 11);
+  const auto s0 = p.machine(0).trace().samples();
+  const auto s1 = p.machine(1).trace().samples();
+  int same = 0;
+  for (std::size_t j = 0; j < std::min(s0.size(), s1.size()); ++j) {
+    if (s0[j] == s1[j]) ++same;
+  }
+  EXPECT_LT(same, static_cast<int>(s0.size() / 10));
+}
+
+TEST(Platform, SlowestHostIsSparc2OnPlatform1) {
+  sim::Engine eng;
+  Platform p(eng, platform1(), 3);
+  EXPECT_EQ(p.slowest_host(), 0u);  // sparc2-a
+}
+
+TEST(Platform, HostIndexOutOfRangeThrows) {
+  sim::Engine eng;
+  Platform p(eng, dedicated_platform(2), 1);
+  EXPECT_THROW((void)p.machine(2), support::Error);
+}
+
+TEST(Platform1Load, CenterModeMatchesPaperParameters) {
+  // §3.1: centre mode mean 0.48, stochastic value 0.48 ± 0.05.
+  const auto spec = platform1_load(/*center_only=*/true);
+  ASSERT_EQ(spec.modes.size(), 1u);
+  machine::LoadTrace trace =
+      machine::LoadTrace::generate(spec, 5'000, 1.0, 99);
+  const auto s = stats::summarize(
+      std::vector<double>(trace.samples().begin(), trace.samples().end()));
+  EXPECT_NEAR(s.mean, 0.48, 0.01);
+  EXPECT_NEAR(2.0 * s.sd, 0.05, 0.02);  // two sigma ≈ the paper's ±0.05
+}
+
+TEST(Platform1Load, FullSpecIsTrimodal) {
+  const auto spec = platform1_load();
+  EXPECT_EQ(spec.modes.size(), 3u);
+  machine::LoadTrace trace =
+      machine::LoadTrace::generate(spec, 30'000, 1.0, 101);
+  const std::vector<double> xs(trace.samples().begin(),
+                               trace.samples().end());
+  const auto fit = stats::fit_gmm(xs, 3);
+  EXPECT_NEAR(fit.components[0].mean, 0.33, 0.05);
+  EXPECT_NEAR(fit.components[1].mean, 0.48, 0.05);
+  EXPECT_NEAR(fit.components[2].mean, 0.94, 0.05);
+}
+
+TEST(Platform2Load, IsBurstyAcrossFourModes) {
+  const auto spec = platform2_load();
+  EXPECT_EQ(spec.modes.size(), 4u);
+  // Dwells of minutes: bursty on the experiment horizon, but persistent
+  // enough that a single SOR run sees only one or two modes.
+  for (const auto& m : spec.modes) EXPECT_LE(m.mean_dwell, 120.0);
+  machine::LoadTrace trace =
+      machine::LoadTrace::generate(spec, 5'000, 1.0, 103);
+  const std::vector<double> xs(trace.samples().begin(),
+                               trace.samples().end());
+  const auto s = stats::summarize(xs);
+  EXPECT_GT(s.sd, 0.2);  // wide swings, unlike the single-mode case
+}
+
+TEST(EthernetAvailability, ProductionMeanNearHalf) {
+  const auto spec = production_ethernet_availability();
+  stats::ModalProcess p(spec, 17);
+  double sum = 0.0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) sum += p.next(1.0);
+  // Fig. 3: ~5.25 of 10 Mbit available on average.
+  EXPECT_NEAR(sum / n, 0.525, 0.03);
+}
+
+}  // namespace
+}  // namespace sspred::cluster

@@ -1,0 +1,119 @@
+// Tests for the time-balancing decomposition advisor (paper footnote 2 +
+// the §1.2 conservative strategy applied to strip decomposition).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "predict/decomposition_advisor.hpp"
+#include "sor/distributed.hpp"
+#include "support/error.hpp"
+
+namespace sspred::predict {
+namespace {
+
+std::vector<stoch::StochasticValue> dedicated_loads(std::size_t n) {
+  return std::vector<stoch::StochasticValue>(n, stoch::StochasticValue(1.0));
+}
+
+TEST(DecompositionAdvisor, UniformIgnoresCapacities) {
+  const auto spec = cluster::platform1();
+  const auto rows = recommend_rows(spec, 100, dedicated_loads(4),
+                                   BalanceStrategy::kUniform);
+  EXPECT_EQ(rows, (std::vector<std::size_t>{25, 25, 25, 25}));
+}
+
+TEST(DecompositionAdvisor, MeanCapacityFavorsFastHosts) {
+  const auto spec = cluster::platform1();  // sparc2 x2, sparc5, sparc10
+  const auto rows = recommend_rows(spec, 400, dedicated_loads(4),
+                                   BalanceStrategy::kMeanCapacity);
+  EXPECT_EQ(std::accumulate(rows.begin(), rows.end(), std::size_t{0}), 400u);
+  // sparc10 (4x the speed of sparc2) gets ~4x the rows.
+  EXPECT_GT(rows[3], 3 * rows[0]);
+  // sparc5 sits between.
+  EXPECT_GT(rows[2], rows[0]);
+  EXPECT_LT(rows[2], rows[3]);
+}
+
+TEST(DecompositionAdvisor, LoadScalesCapacity) {
+  const auto spec = cluster::dedicated_platform(2);
+  std::vector<stoch::StochasticValue> loads{stoch::StochasticValue(1.0),
+                                            stoch::StochasticValue(0.5)};
+  const auto rows =
+      recommend_rows(spec, 300, loads, BalanceStrategy::kMeanCapacity);
+  // Identical machines, host 1 at half availability -> ~half the rows.
+  EXPECT_NEAR(static_cast<double>(rows[0]) / static_cast<double>(rows[1]),
+              2.0, 0.1);
+}
+
+TEST(DecompositionAdvisor, ConservativePenalizesSwingyHosts) {
+  const auto spec = cluster::dedicated_platform(2);
+  // Same mean load, host 1 swings wildly.
+  std::vector<stoch::StochasticValue> loads{
+      stoch::StochasticValue(0.6, 0.05), stoch::StochasticValue(0.6, 0.5)};
+  const auto mean_rows =
+      recommend_rows(spec, 300, loads, BalanceStrategy::kMeanCapacity);
+  const auto cons_rows =
+      recommend_rows(spec, 300, loads, BalanceStrategy::kConservative);
+  EXPECT_EQ(mean_rows[0], mean_rows[1]);   // means are equal
+  EXPECT_GT(cons_rows[0], cons_rows[1]);   // pessimism shifts work to host 0
+}
+
+TEST(DecompositionAdvisor, ImbalanceMetricDetectsSkew) {
+  const auto spec = cluster::platform1();
+  const auto loads = dedicated_loads(4);
+  const auto uniform =
+      recommend_rows(spec, 400, loads, BalanceStrategy::kUniform);
+  const auto balanced =
+      recommend_rows(spec, 400, loads, BalanceStrategy::kMeanCapacity);
+  const double imb_uniform = imbalance(spec, 400, uniform, loads);
+  const double imb_balanced = imbalance(spec, 400, balanced, loads);
+  EXPECT_GT(imb_uniform, 1.5);  // slow sparc2 dominates uniform strips
+  EXPECT_LT(imb_balanced, 1.1);
+  EXPECT_GE(imb_balanced, 1.0);
+}
+
+TEST(DecompositionAdvisor, BalancedDecompositionSpeedsUpRealRun) {
+  const auto spec = cluster::platform1();
+  sor::SorConfig cfg;
+  cfg.n = 400;
+  cfg.iterations = 10;
+  cfg.real_numerics = false;
+
+  sim::Engine e1;
+  cluster::Platform p1(e1, spec, 11);
+  const double t_uniform = sor::run_distributed_sor(e1, p1, cfg).total_time;
+
+  // Speed-only balancing (dedicated loads assumed) already helps...
+  cfg.rows_per_rank = recommend_rows(spec, cfg.n, dedicated_loads(4),
+                                     BalanceStrategy::kMeanCapacity);
+  sim::Engine e2;
+  cluster::Platform p2(e2, spec, 11);
+  const double t_speed = sor::run_distributed_sor(e2, p2, cfg).total_time;
+  EXPECT_LT(t_speed, 0.7 * t_uniform);
+
+  // ...and folding the measured stochastic loads in (the paper's
+  // capacity = load/BM) helps much more: host 0 sits at 0.48.
+  const std::vector<stoch::StochasticValue> measured{
+      stoch::StochasticValue(0.48, 0.05), stoch::StochasticValue(0.92, 0.03),
+      stoch::StochasticValue(0.92, 0.03), stoch::StochasticValue(0.92, 0.03)};
+  cfg.rows_per_rank =
+      recommend_rows(spec, cfg.n, measured, BalanceStrategy::kMeanCapacity);
+  sim::Engine e3;
+  cluster::Platform p3(e3, spec, 11);
+  const double t_load_aware = sor::run_distributed_sor(e3, p3, cfg).total_time;
+  EXPECT_LT(t_load_aware, 0.55 * t_uniform);
+  EXPECT_LT(t_load_aware, t_speed);
+}
+
+TEST(DecompositionAdvisor, ValidationErrors) {
+  const auto spec = cluster::dedicated_platform(2);
+  EXPECT_THROW((void)recommend_rows(spec, 1, dedicated_loads(2),
+                                    BalanceStrategy::kUniform),
+               support::Error);
+  EXPECT_THROW((void)recommend_rows(spec, 100, dedicated_loads(3),
+                                    BalanceStrategy::kUniform),
+               support::Error);
+}
+
+}  // namespace
+}  // namespace sspred::predict

@@ -1,0 +1,117 @@
+// End-to-end integration tests reproducing the paper's headline result in
+// miniature: on a bursty production platform, stochastic predictions
+// bracket the range of actual behaviour far better than point values.
+#include <gtest/gtest.h>
+
+#include "nws/sensor.hpp"
+#include "nws/service.hpp"
+#include "predict/experiment.hpp"
+#include "stats/gmm.hpp"
+#include "stoch/modes.hpp"
+#include "support/rng.hpp"
+
+namespace sspred {
+namespace {
+
+predict::SeriesConfig platform2_series(std::size_t trials) {
+  predict::SeriesConfig cfg;
+  cfg.platform = cluster::platform2();
+  cfg.sor.n = 800;
+  cfg.sor.iterations = 12;
+  cfg.sor.real_numerics = false;  // virtual times are identical
+  cfg.trials = trials;
+  cfg.spacing = 120.0;
+  cfg.load_source = predict::LoadParameterSource::kNwsForecast;
+  cfg.bwavail = stoch::StochasticValue::from_mean_sd(0.525, 0.06);
+  return cfg;
+}
+
+TEST(Integration, BurstyPlatformStochasticBeatsPointPredictions) {
+  const auto outcomes = predict::run_series(platform2_series(10));
+  ASSERT_EQ(outcomes.size(), 10u);
+  const auto s = predict::score(outcomes);
+
+  // Paper §3.2 shape: a healthy majority of actual times inside the
+  // stochastic range...
+  EXPECT_GE(s.capture_fraction, 0.5);
+  // ...with the out-of-range error (stochastic) well below the
+  // point-value error (38.6% vs 14% in the paper).
+  EXPECT_LT(s.max_range_error, s.max_mean_error);
+  EXPECT_LT(s.mean_range_error, s.mean_mean_error);
+}
+
+TEST(Integration, PredictionsRespondToLoad) {
+  // Trials that started under heavier load must run longer; the model's
+  // predictions should co-vary with the actuals.
+  const auto outcomes = predict::run_series(platform2_series(12));
+  double cov = 0.0;
+  double mean_a = 0.0;
+  double mean_p = 0.0;
+  for (const auto& o : outcomes) {
+    mean_a += o.actual;
+    mean_p += o.predicted.mean();
+  }
+  mean_a /= static_cast<double>(outcomes.size());
+  mean_p /= static_cast<double>(outcomes.size());
+  for (const auto& o : outcomes) {
+    cov += (o.actual - mean_a) * (o.predicted.mean() - mean_p);
+  }
+  EXPECT_GT(cov, 0.0);
+}
+
+TEST(Integration, NwsForecastFeedsModelEndToEnd) {
+  sim::Engine engine;
+  cluster::Platform platform(engine, cluster::platform2(), 77);
+  nws::Service service;
+  // Run sensors (in-simulation) for 10 virtual minutes.
+  nws::attach_cpu_sensors(engine, platform, service, 5.0, 600.0);
+  engine.run();
+  for (std::size_t p = 0; p < platform.size(); ++p) {
+    const auto f = service.forecast(nws::cpu_resource(platform.machine(p)));
+    EXPECT_GT(f.value, 0.0);
+    EXPECT_LE(f.value, 1.2);
+    EXPECT_GT(f.error_sd, 0.0);  // bursty load -> nonzero uncertainty
+  }
+}
+
+TEST(Integration, ModalAnalysisRecoversPlatform2Structure) {
+  // Fit a mixture to a Platform-2 load trace, convert to modes, and check
+  // the time-weighted mixture lands near the process's long-run mean.
+  sim::Engine engine;
+  cluster::PlatformSpec spec = cluster::platform2();
+  spec.trace_duration = 20'000.0;
+  cluster::Platform platform(engine, spec, 31);
+  const auto samples = platform.machine(0).trace().samples();
+  const std::vector<double> xs(samples.begin(), samples.end());
+
+  const auto fit = stats::fit_gmm_auto(xs, 5);
+  EXPECT_GE(fit.components.size(), 3u);  // bursty multi-modal structure
+
+  const auto modes = stoch::modes_from_gmm(fit);
+  const auto mixed = stoch::mixture_moments(modes);
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  EXPECT_NEAR(mixed.mean(), mean, 0.02);
+}
+
+TEST(Integration, SingleModeRegimeTighterThanBursty) {
+  // Platform 1 (within-mode) predictions should be much tighter than
+  // Platform 2 (bursty) ones, mirroring Figs. 9 vs 12.
+  predict::SeriesConfig p1 = platform2_series(5);
+  p1.platform = cluster::platform1();
+  p1.load_source = predict::LoadParameterSource::kRecentSample;
+  const auto o1 = predict::run_series(p1);
+
+  const auto o2 = predict::run_series(platform2_series(5));
+
+  auto mean_relative_width = [](const std::vector<predict::TrialOutcome>& os) {
+    double acc = 0.0;
+    for (const auto& o : os) acc += o.predicted.halfwidth() / o.predicted.mean();
+    return acc / static_cast<double>(os.size());
+  };
+  EXPECT_LT(mean_relative_width(o1), mean_relative_width(o2));
+}
+
+}  // namespace
+}  // namespace sspred

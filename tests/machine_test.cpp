@@ -1,0 +1,139 @@
+// Unit tests for load traces and the machine model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "machine/load_trace.hpp"
+#include "machine/machine.hpp"
+#include "support/error.hpp"
+
+namespace sspred::machine {
+namespace {
+
+TEST(LoadTrace, AtReturnsStepValues) {
+  const LoadTrace t(1.0, {0.5, 0.25, 1.0});
+  EXPECT_DOUBLE_EQ(t.at(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(t.at(0.99), 0.5);
+  EXPECT_DOUBLE_EQ(t.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(t.at(2.5), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(100.0), 1.0);  // last value persists
+  EXPECT_DOUBLE_EQ(t.at(-5.0), 0.5);   // before start: first value
+}
+
+TEST(LoadTrace, ValidationRejectsBadInput) {
+  EXPECT_THROW(LoadTrace(0.0, {0.5}), support::Error);
+  EXPECT_THROW(LoadTrace(1.0, {}), support::Error);
+  EXPECT_THROW(LoadTrace(1.0, {0.0}), support::Error);   // must be > 0
+  EXPECT_THROW(LoadTrace(1.0, {1.5}), support::Error);   // must be <= 1
+}
+
+TEST(LoadTrace, AverageIntegratesExactly) {
+  const LoadTrace t(1.0, {0.5, 1.0});
+  EXPECT_DOUBLE_EQ(t.average(0.0, 2.0), 0.75);
+  EXPECT_DOUBLE_EQ(t.average(0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(t.average(0.5, 1.5), 0.75);
+  EXPECT_DOUBLE_EQ(t.average(2.0, 4.0), 1.0);  // beyond end
+}
+
+TEST(LoadTrace, FinishTimeOnConstantTrace) {
+  const LoadTrace t = LoadTrace::constant(0.5);
+  // 2 dedicated-seconds at 50% availability takes 4 wall seconds.
+  EXPECT_DOUBLE_EQ(t.finish_time(0.0, 2.0), 4.0);
+  EXPECT_DOUBLE_EQ(t.finish_time(10.0, 1.0), 12.0);
+  EXPECT_DOUBLE_EQ(t.finish_time(3.0, 0.0), 3.0);
+}
+
+TEST(LoadTrace, FinishTimeAcrossSteps) {
+  const LoadTrace t(1.0, {1.0, 0.5, 0.25});
+  // 1 dedicated-second: done exactly at t=1.
+  EXPECT_DOUBLE_EQ(t.finish_time(0.0, 1.0), 1.0);
+  // 1.5 dedicated-seconds: 1 in [0,1), then 0.5 at rate 0.5 -> 1 more sec.
+  EXPECT_DOUBLE_EQ(t.finish_time(0.0, 1.5), 2.0);
+  // 2 dedicated-seconds: + 0.5 work at rate 0.25 -> 2 more sec after t=2.
+  EXPECT_DOUBLE_EQ(t.finish_time(0.0, 2.0), 4.0);
+}
+
+TEST(LoadTrace, FinishTimeStartsMidSegment) {
+  const LoadTrace t(1.0, {1.0, 0.5});
+  // Start at 0.5: half a dedicated-second available before the step.
+  EXPECT_DOUBLE_EQ(t.finish_time(0.5, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(t.finish_time(0.5, 1.0), 2.0);
+}
+
+TEST(LoadTrace, FinishTimeConsistentWithAverage) {
+  const LoadTrace t(1.0, {0.9, 0.3, 0.6, 0.8, 0.2, 0.95});
+  const double start = 0.7;
+  const double work = 2.0;
+  const double finish = t.finish_time(start, work);
+  // The average availability over [start, finish] times elapsed == work.
+  EXPECT_NEAR(t.average(start, finish) * (finish - start), work, 1e-9);
+}
+
+TEST(LoadTrace, GenerateClampsIntoUnitInterval) {
+  stats::ModalProcessSpec spec;
+  stats::ModeState m;
+  m.shape.center = 0.5;
+  m.shape.sd = 2.0;  // wild spread to force clamping
+  m.mean_dwell = 10.0;
+  spec.modes.push_back(m);
+  spec.lo = 0.0;
+  spec.hi = 1.0;
+  const LoadTrace t = LoadTrace::generate(spec, 1'000, 1.0, 42);
+  EXPECT_EQ(t.samples().size(), 1'000u);
+  for (double s : t.samples()) {
+    EXPECT_GT(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(LoadTrace, GenerateDeterministicPerSeed) {
+  stats::ModalProcessSpec spec;
+  stats::ModeState m;
+  m.shape.center = 0.5;
+  m.shape.sd = 0.05;
+  m.mean_dwell = 50.0;
+  spec.modes.push_back(m);
+  spec.lo = 0.0;
+  spec.hi = 1.0;
+  const LoadTrace a = LoadTrace::generate(spec, 100, 1.0, 7);
+  const LoadTrace b = LoadTrace::generate(spec, 100, 1.0, 7);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.samples()[i], b.samples()[i]);
+  }
+}
+
+TEST(MachineSpecs, SpeedOrderingMatchesHardwareEra) {
+  EXPECT_GT(sparc2_spec().bm_seconds_per_element,
+            sparc5_spec().bm_seconds_per_element);
+  EXPECT_GT(sparc5_spec().bm_seconds_per_element,
+            sparc10_spec().bm_seconds_per_element);
+  EXPECT_GT(sparc10_spec().bm_seconds_per_element,
+            ultrasparc_spec().bm_seconds_per_element);
+}
+
+TEST(Machine, ElementWorkUsesBenchmarkTime) {
+  Machine m(sparc10_spec(), LoadTrace::constant(1.0));
+  EXPECT_DOUBLE_EQ(m.element_work(1e6),
+                   1e6 * sparc10_spec().bm_seconds_per_element);
+}
+
+TEST(Machine, FinishTimeDelegatesToTrace) {
+  Machine m(sparc10_spec(), LoadTrace::constant(0.5));
+  EXPECT_DOUBLE_EQ(m.finish_time(0.0, 3.0), 6.0);
+  EXPECT_DOUBLE_EQ(m.availability(0.0), 0.5);
+}
+
+TEST(Machine, SetTraceSwapsAvailability) {
+  Machine m(sparc10_spec(), LoadTrace::constant(1.0));
+  m.set_trace(LoadTrace::constant(0.25));
+  EXPECT_DOUBLE_EQ(m.finish_time(0.0, 1.0), 4.0);
+}
+
+TEST(Machine, InvalidSpecRejected) {
+  MachineSpec bad = sparc10_spec();
+  bad.bm_seconds_per_element = 0.0;
+  EXPECT_THROW(Machine(bad, LoadTrace::constant(1.0)), support::Error);
+}
+
+}  // namespace
+}  // namespace sspred::machine

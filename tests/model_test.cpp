@@ -1,0 +1,191 @@
+// Unit tests for the structural-modeling expression framework.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/expr.hpp"
+#include "support/error.hpp"
+
+namespace sspred::model {
+namespace {
+
+using stoch::Dependence;
+using stoch::ExtremePolicy;
+using stoch::StochasticValue;
+
+TEST(Environment, BindLookupRoundTrip) {
+  Environment env;
+  env.bind("load", StochasticValue(0.48, 0.05));
+  EXPECT_TRUE(env.has("load"));
+  EXPECT_FALSE(env.has("other"));
+  EXPECT_DOUBLE_EQ(env.lookup("load").mean(), 0.48);
+  EXPECT_THROW((void)env.lookup("other"), support::Error);
+  env.bind("load", StochasticValue(0.9));
+  EXPECT_DOUBLE_EQ(env.lookup("load").mean(), 0.9);  // rebinding
+}
+
+TEST(Expr, ConstantEvaluates) {
+  const auto c = constant(StochasticValue(5.0, 1.0));
+  Environment env;
+  EXPECT_EQ(c->evaluate(env), StochasticValue(5.0, 1.0));
+  EXPECT_DOUBLE_EQ(c->evaluate_point(env), 5.0);
+}
+
+TEST(Expr, ParamResolvesFromEnvironment) {
+  const auto p = param("x");
+  Environment env;
+  env.bind("x", StochasticValue(3.0, 0.6));
+  EXPECT_EQ(p->evaluate(env), StochasticValue(3.0, 0.6));
+  EXPECT_DOUBLE_EQ(p->evaluate_point(env), 3.0);
+  Environment empty;
+  EXPECT_THROW(p->evaluate(empty), support::Error);
+}
+
+TEST(Expr, SumUsesDependenceRegime) {
+  const auto x = constant(StochasticValue(10.0, 3.0));
+  const auto y = constant(StochasticValue(5.0, 4.0));
+  Environment env;
+  EXPECT_DOUBLE_EQ(sum({x, y}, Dependence::kRelated)->evaluate(env).halfwidth(),
+                   7.0);
+  EXPECT_DOUBLE_EQ(
+      sum({x, y}, Dependence::kUnrelated)->evaluate(env).halfwidth(), 5.0);
+}
+
+TEST(Expr, QuotientMatchesCalculus) {
+  Environment env;
+  env.bind("load", StochasticValue(0.5, 0.1));
+  const auto e = quotient(constant(StochasticValue(10.0)), param("load"),
+                          Dependence::kUnrelated);
+  const StochasticValue v = e->evaluate(env);
+  EXPECT_DOUBLE_EQ(v.mean(), 20.0);
+  EXPECT_DOUBLE_EQ(e->evaluate_point(env), 20.0);
+  EXPECT_GT(v.halfwidth(), 0.0);
+}
+
+TEST(Expr, MaxPolicyLargestMean) {
+  Environment env;
+  const auto e = vmax({constant(StochasticValue(4.0, 0.5)),
+                       constant(StochasticValue(3.0, 2.0))},
+                      ExtremePolicy::kLargestMean);
+  EXPECT_EQ(e->evaluate(env), StochasticValue(4.0, 0.5));
+  EXPECT_DOUBLE_EQ(e->evaluate_point(env), 4.0);
+}
+
+TEST(Expr, MinPointEvaluation) {
+  Environment env;
+  const auto e = vmin({constant(StochasticValue(4.0, 0.5)),
+                       constant(StochasticValue(3.0, 2.0))},
+                      ExtremePolicy::kLargestMean);
+  EXPECT_DOUBLE_EQ(e->evaluate_point(env), 3.0);
+}
+
+TEST(Expr, IterateScalesMeanLinearly) {
+  Environment env;
+  const auto body = constant(StochasticValue(2.0, 0.4));
+  const auto rel = iterate(body, 25, Dependence::kRelated);
+  EXPECT_DOUBLE_EQ(rel->evaluate(env).mean(), 50.0);
+  EXPECT_DOUBLE_EQ(rel->evaluate(env).halfwidth(), 10.0);
+  const auto unrel = iterate(body, 25, Dependence::kUnrelated);
+  EXPECT_DOUBLE_EQ(unrel->evaluate(env).mean(), 50.0);
+  EXPECT_DOUBLE_EQ(unrel->evaluate(env).halfwidth(), 2.0);  // sqrt(25)*0.4
+  EXPECT_DOUBLE_EQ(rel->evaluate_point(env), 50.0);
+}
+
+TEST(Expr, ParametersCollectsDistinctNames) {
+  const auto e = add(quotient(constant(StochasticValue(1.0)), param("load"),
+                              Dependence::kUnrelated),
+                     mul(param("bw"), param("load")));
+  const auto names = e->parameters();
+  EXPECT_EQ(names, (std::vector<std::string>{"bw", "load"}));
+}
+
+TEST(Expr, ToStringMentionsStructure) {
+  const auto e =
+      vmax({param("a"), param("b")}, ExtremePolicy::kLargestMean);
+  const std::string s = e->to_string();
+  EXPECT_NE(s.find("max"), std::string::npos);
+  EXPECT_NE(s.find('a'), std::string::npos);
+}
+
+TEST(Expr, EmptyOperandsRejected) {
+  EXPECT_THROW((void)sum({}), support::Error);
+  EXPECT_THROW((void)vmax({}, ExtremePolicy::kClark), support::Error);
+  EXPECT_THROW((void)iterate(param("x"), 0), support::Error);
+}
+
+TEST(MonteCarlo, MatchesClosedFormForLinearModel) {
+  // Sum of unrelated params: MC and calculus should agree closely.
+  Environment env;
+  env.bind("a", StochasticValue(10.0, 2.0));
+  env.bind("b", StochasticValue(20.0, 1.0));
+  const auto e = sum({param("a"), param("b")}, Dependence::kUnrelated);
+  support::Rng rng(3);
+  const StochasticValue mc = monte_carlo(*e, env, rng, 100'000);
+  const StochasticValue cf = e->evaluate(env);
+  EXPECT_NEAR(mc.mean(), cf.mean(), 0.05);
+  EXPECT_NEAR(mc.halfwidth(), cf.halfwidth(), 0.05);
+}
+
+TEST(MonteCarlo, SharedParamsAreCoupledWithinTrial) {
+  // x - x must be exactly zero in every trial when x is cached per trial.
+  Environment env;
+  env.bind("x", StochasticValue(5.0, 3.0));
+  const auto e = sum({param("x"), mul(constant(StochasticValue(-1.0)),
+                                      param("x"))},
+                     Dependence::kUnrelated);
+  support::Rng rng(5);
+  const StochasticValue mc = monte_carlo(*e, env, rng, 10'000);
+  EXPECT_NEAR(mc.mean(), 0.0, 1e-9);
+  EXPECT_NEAR(mc.halfwidth(), 0.0, 1e-9);
+}
+
+TEST(MonteCarlo, QuotientTracksCalculusForSmallSpread) {
+  Environment env;
+  env.bind("load", StochasticValue(0.5, 0.04));
+  const auto e = quotient(constant(StochasticValue(100.0)), param("load"),
+                          Dependence::kUnrelated);
+  support::Rng rng(7);
+  const StochasticValue mc = monte_carlo(*e, env, rng, 200'000);
+  const StochasticValue cf = e->evaluate(env);
+  EXPECT_NEAR(mc.mean(), cf.mean(), 0.5);
+  EXPECT_NEAR(mc.halfwidth(), cf.halfwidth(), 0.06 * cf.halfwidth() + 0.1);
+}
+
+TEST(MonteCarlo, MaxAgreesWithClarkPolicy) {
+  Environment env;
+  env.bind("a", StochasticValue::from_mean_sd(10.0, 1.0));
+  env.bind("b", StochasticValue::from_mean_sd(10.5, 0.8));
+  const auto e = vmax({param("a"), param("b")}, ExtremePolicy::kClark);
+  support::Rng rng(9);
+  const StochasticValue mc = monte_carlo(*e, env, rng, 200'000);
+  const StochasticValue cf = e->evaluate(env);
+  EXPECT_NEAR(mc.mean(), cf.mean(), 0.05);
+  EXPECT_NEAR(mc.sd(), cf.sd(), 0.06);
+}
+
+TEST(MonteCarlo, SorShapedModelEndToEnd) {
+  // A miniature SOR-shaped model: iterate(max(comp) + comm).
+  Environment env;
+  env.bind("load0", StochasticValue(0.48, 0.05));
+  env.bind("load1", StochasticValue(0.9, 0.02));
+  env.bind("bw", StochasticValue(0.5, 0.1));
+  const auto comp0 = quotient(constant(StochasticValue(1.0)), param("load0"),
+                              Dependence::kUnrelated);
+  const auto comp1 = quotient(constant(StochasticValue(0.6)), param("load1"),
+                              Dependence::kUnrelated);
+  const auto comm = quotient(constant(StochasticValue(0.05)), param("bw"),
+                             Dependence::kUnrelated);
+  const auto iter = add(vmax({comp0, comp1}, ExtremePolicy::kLargestMean),
+                        comm, Dependence::kUnrelated);
+  const auto run = iterate(iter, 30, Dependence::kRelated);
+  support::Rng rng(11);
+  const StochasticValue cf = run->evaluate(env);
+  const StochasticValue mc = monte_carlo(*run, env, rng, 50'000);
+  // comp0 dominates: mean ≈ 30*(1/0.48 + 0.05/0.5) ≈ 65.5.
+  EXPECT_NEAR(cf.mean(), mc.mean(), 0.05 * mc.mean());
+  // The calculus interval must cover the MC spread (conservative).
+  EXPECT_GE(cf.halfwidth(), 0.8 * mc.halfwidth());
+}
+
+}  // namespace
+}  // namespace sspred::model

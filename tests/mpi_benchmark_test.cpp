@@ -1,0 +1,75 @@
+// Tests for the ping-pong parameter benchmark (DedBW / latency fitting).
+#include <gtest/gtest.h>
+
+#include "mpi/benchmark.hpp"
+#include "support/error.hpp"
+
+namespace sspred::mpi {
+namespace {
+
+TEST(PingPong, RecoversDedicatedSegmentParameters) {
+  sim::Engine engine;
+  cluster::Platform platform(engine, cluster::dedicated_platform(2), 3);
+  const auto profile = measure_point_to_point(engine, platform);
+  // 10 Mbit ethernet = 1.25e6 B/s; the paper's "determined statically".
+  EXPECT_NEAR(profile.bandwidth, 1.25e6, 0.05 * 1.25e6);
+  // One-way latency ≈ the segment's configured 1 ms.
+  EXPECT_NEAR(profile.latency, 1.0e-3, 0.5e-3);
+  EXPECT_EQ(profile.samples.size(), 25u);  // 5 sizes x 5 reps
+}
+
+TEST(PingPong, RecoversSwitchedLinkParameters) {
+  cluster::PlatformSpec spec = cluster::dedicated_platform(2);
+  spec.fabric = cluster::FabricKind::kSwitched;
+  sim::Engine engine;
+  cluster::Platform platform(engine, spec, 3);
+  const auto profile = measure_point_to_point(engine, platform);
+  EXPECT_NEAR(profile.bandwidth, spec.switched.link_bandwidth,
+              0.05 * spec.switched.link_bandwidth);
+  EXPECT_NEAR(profile.latency, spec.switched.latency, 0.5e-3);
+}
+
+TEST(PingPong, SeesCrossTrafficOnProductionSegment) {
+  // On the loaded production segment the fitted bandwidth drops toward
+  // the ~52% availability profile (Fig. 3).
+  sim::Engine engine;
+  cluster::PlatformSpec spec = cluster::dedicated_platform(2);
+  spec.ethernet.availability = cluster::production_ethernet_availability();
+  cluster::Platform platform(engine, spec, 5);
+  const auto profile = measure_point_to_point(engine, platform);
+  EXPECT_LT(profile.bandwidth, 0.85 * 1.25e6);
+  EXPECT_GT(profile.bandwidth, 0.25 * 1.25e6);
+}
+
+TEST(PingPong, OneWayTimesGrowWithSize) {
+  sim::Engine engine;
+  cluster::Platform platform(engine, cluster::dedicated_platform(2), 7);
+  const std::vector<std::size_t> sizes{1024, 8192, 65536};
+  const auto profile =
+      measure_point_to_point(engine, platform, 0, 1, sizes, 3);
+  double prev_mean = 0.0;
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    double mean = 0.0;
+    for (std::size_t r = 0; r < 3; ++r) {
+      mean += profile.samples[s * 3 + r].second;
+    }
+    mean /= 3.0;
+    EXPECT_GT(mean, prev_mean);
+    prev_mean = mean;
+  }
+}
+
+TEST(PingPong, Validation) {
+  sim::Engine engine;
+  cluster::Platform platform(engine, cluster::dedicated_platform(2), 9);
+  const std::vector<std::size_t> one{1024};
+  EXPECT_THROW((void)measure_point_to_point(engine, platform, 0, 0),
+               support::Error);
+  EXPECT_THROW((void)measure_point_to_point(engine, platform, 0, 5),
+               support::Error);
+  EXPECT_THROW((void)measure_point_to_point(engine, platform, 0, 1, one),
+               support::Error);
+}
+
+}  // namespace
+}  // namespace sspred::mpi

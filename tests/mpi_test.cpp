@@ -1,0 +1,243 @@
+// Unit tests for the MPI-like message-passing layer.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "support/error.hpp"
+
+namespace sspred::mpi {
+namespace {
+
+struct Fixture {
+  sim::Engine engine;
+  cluster::Platform platform;
+  Comm comm;
+
+  explicit Fixture(std::size_t ranks)
+      : platform(engine, cluster::dedicated_platform(ranks), 42),
+        comm(engine, platform) {}
+};
+
+TEST(Comm, PingPongDeliversPayload) {
+  Fixture f(2);
+  Payload received;
+  f.comm.launch([&](RankCtx ctx) -> sim::Process {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 7, {1.0, 2.0, 3.0});
+    } else {
+      Message m = co_await ctx.recv(0, 7);
+      received = m.data;
+      EXPECT_EQ(m.source, 0);
+      EXPECT_EQ(m.tag, 7);
+    }
+    co_return;
+  });
+  f.engine.run();
+  EXPECT_EQ(received, (Payload{1.0, 2.0, 3.0}));
+  EXPECT_EQ(f.comm.messages_delivered(), 1u);
+}
+
+TEST(Comm, MessageTransferTakesPositiveTime) {
+  Fixture f(2);
+  double recv_time = -1.0;
+  f.comm.launch([&](RankCtx ctx) -> sim::Process {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 0, Payload(10'000, 1.0));  // 80 KB
+    } else {
+      (void)co_await ctx.recv(0, 0);
+      recv_time = ctx.now();
+    }
+    co_return;
+  });
+  f.engine.run();
+  // 80 KB at 1.25 MB/s ≈ 64 ms plus latency.
+  EXPECT_GT(recv_time, 0.05);
+  EXPECT_LT(recv_time, 0.2);
+}
+
+TEST(Comm, TagMatchingSelectsRightMessage) {
+  Fixture f(2);
+  std::vector<double> got;
+  f.comm.launch([&](RankCtx ctx) -> sim::Process {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 5, {5.0});
+      ctx.send(1, 9, {9.0});
+    } else {
+      Message m9 = co_await ctx.recv(0, 9);  // request the later tag first
+      Message m5 = co_await ctx.recv(0, 5);
+      got = {m9.data[0], m5.data[0]};
+    }
+    co_return;
+  });
+  f.engine.run();
+  EXPECT_EQ(got, (std::vector<double>{9.0, 5.0}));
+}
+
+TEST(Comm, WildcardSourceAndTag) {
+  Fixture f(3);
+  std::vector<int> sources;
+  f.comm.launch([&](RankCtx ctx) -> sim::Process {
+    if (ctx.rank() == 0) {
+      for (int i = 1; i < 3; ++i) {
+        Message m = co_await ctx.recv(kAnySource, kAnyTag);
+        sources.push_back(m.source);
+      }
+    } else {
+      ctx.send(0, ctx.rank() * 10, {static_cast<double>(ctx.rank())});
+    }
+    co_return;
+  });
+  f.engine.run();
+  ASSERT_EQ(sources.size(), 2u);
+  EXPECT_NE(sources[0], sources[1]);
+}
+
+TEST(Comm, SameTagFifoOrderPreserved) {
+  Fixture f(2);
+  std::vector<double> got;
+  f.comm.launch([&](RankCtx ctx) -> sim::Process {
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < 4; ++i) {
+        ctx.send(1, 0, {static_cast<double>(i)});
+      }
+    } else {
+      for (int i = 0; i < 4; ++i) {
+        Message m = co_await ctx.recv(0, 0);
+        got.push_back(m.data[0]);
+      }
+    }
+    co_return;
+  });
+  f.engine.run();
+  EXPECT_EQ(got, (std::vector<double>{0.0, 1.0, 2.0, 3.0}));
+}
+
+TEST(Comm, BarrierSynchronizesRanks) {
+  Fixture f(3);
+  std::vector<double> after_times;
+  f.comm.launch([&](RankCtx ctx) -> sim::Process {
+    // Stagger arrival: rank r computes r dedicated-seconds first.
+    if (ctx.rank() > 0) {
+      co_await ctx.compute(static_cast<double>(ctx.rank()));
+    }
+    co_await ctx.barrier();
+    after_times.push_back(ctx.now());
+  });
+  f.engine.run();
+  ASSERT_EQ(after_times.size(), 3u);
+  for (double t : after_times) {
+    EXPECT_NEAR(t, after_times[0], 1e-9);  // all released together
+    EXPECT_GE(t, 2.0);                     // not before the last arriver
+  }
+}
+
+TEST(Comm, BarrierReusableAcrossPhases) {
+  Fixture f(2);
+  int phase_count = 0;
+  f.comm.launch([&](RankCtx ctx) -> sim::Process {
+    for (int i = 0; i < 3; ++i) {
+      co_await ctx.compute(0.1 * (ctx.rank() + 1));
+      co_await ctx.barrier();
+      if (ctx.rank() == 0) ++phase_count;
+    }
+  });
+  f.engine.run();
+  EXPECT_EQ(phase_count, 3);
+}
+
+TEST(Comm, AllreduceSumAgreesOnAllRanks) {
+  Fixture f(4);
+  std::vector<double> results(4, 0.0);
+  f.comm.launch([&](RankCtx ctx) -> sim::Process {
+    const double v = static_cast<double>(ctx.rank() + 1);
+    results[static_cast<std::size_t>(ctx.rank())] =
+        co_await ctx.allreduce_sum(v);
+  });
+  f.engine.run();
+  for (double r : results) EXPECT_DOUBLE_EQ(r, 10.0);
+}
+
+TEST(Comm, AllreduceMaxAgreesOnAllRanks) {
+  Fixture f(3);
+  std::vector<double> results(3, 0.0);
+  f.comm.launch([&](RankCtx ctx) -> sim::Process {
+    const double v = ctx.rank() == 1 ? 42.0 : 1.0;
+    results[static_cast<std::size_t>(ctx.rank())] =
+        co_await ctx.allreduce_max(v);
+  });
+  f.engine.run();
+  for (double r : results) EXPECT_DOUBLE_EQ(r, 42.0);
+}
+
+TEST(Comm, GatherCollectsInRankOrder) {
+  Fixture f(3);
+  Payload gathered;
+  f.comm.launch([&](RankCtx ctx) -> sim::Process {
+    Payload local{static_cast<double>(ctx.rank()),
+                  static_cast<double>(ctx.rank() * 10)};
+    Payload all = co_await ctx.gather(std::move(local));
+    if (ctx.rank() == 0) gathered = std::move(all);
+  });
+  f.engine.run();
+  EXPECT_EQ(gathered, (Payload{0.0, 0.0, 1.0, 10.0, 2.0, 20.0}));
+}
+
+TEST(Comm, BcastDistributesFromRoot) {
+  Fixture f(4);
+  std::vector<Payload> got(4);
+  f.comm.launch([&](RankCtx ctx) -> sim::Process {
+    Payload data;
+    if (ctx.rank() == 0) data = {3.14, 2.71};
+    got[static_cast<std::size_t>(ctx.rank())] =
+        co_await ctx.bcast(std::move(data));
+  });
+  f.engine.run();
+  for (const auto& p : got) EXPECT_EQ(p, (Payload{3.14, 2.71}));
+}
+
+TEST(Comm, ComputeStretchesWithAvailability) {
+  sim::Engine engine;
+  cluster::PlatformSpec spec = cluster::dedicated_platform(1);
+  cluster::Platform platform(engine, spec, 1);
+  platform.machine(0).set_trace(machine::LoadTrace::constant(0.5));
+  Comm comm(engine, platform);
+  double done = -1.0;
+  comm.launch([&](RankCtx ctx) -> sim::Process {
+    co_await ctx.compute(3.0);
+    done = ctx.now();
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(done, 6.0);
+}
+
+TEST(Comm, SendValidation) {
+  Fixture f(2);
+  f.comm.launch([&](RankCtx ctx) -> sim::Process {
+    if (ctx.rank() == 0) {
+      EXPECT_THROW(ctx.send(5, 0, {1.0}), support::Error);   // bad rank
+      EXPECT_THROW(ctx.send(1, -3, {1.0}), support::Error);  // bad tag
+    }
+    co_return;
+  });
+  f.engine.run();
+}
+
+TEST(Comm, SendRecvCrossExchangeNoDeadlock) {
+  // The SOR pattern: both neighbours send first, then receive.
+  Fixture f(2);
+  std::vector<double> got(2, -1.0);
+  f.comm.launch([&](RankCtx ctx) -> sim::Process {
+    const int other = 1 - ctx.rank();
+    ctx.send(other, 0, {static_cast<double>(ctx.rank())});
+    Message m = co_await ctx.recv(other, 0);
+    got[static_cast<std::size_t>(ctx.rank())] = m.data[0];
+  });
+  f.engine.run();
+  EXPECT_DOUBLE_EQ(got[0], 1.0);
+  EXPECT_DOUBLE_EQ(got[1], 0.0);
+}
+
+}  // namespace
+}  // namespace sspred::mpi

@@ -1,0 +1,186 @@
+// Unit tests for the Network Weather Service clone: forecasters, dynamic
+// selection, sensors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "nws/forecasters.hpp"
+#include "nws/sensor.hpp"
+#include "nws/service.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace sspred::nws {
+namespace {
+
+TEST(Forecasters, LastValue) {
+  const std::vector<double> h{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(LastValue().predict(h), 3.0);
+}
+
+TEST(Forecasters, RunningMean) {
+  const std::vector<double> h{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(RunningMean().predict(h), 2.5);
+}
+
+TEST(Forecasters, SlidingMeanUsesWindowOnly) {
+  const std::vector<double> h{100.0, 1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(SlidingMean(3).predict(h), 2.0);
+  EXPECT_DOUBLE_EQ(SlidingMean(10).predict(h), 26.5);  // whole history
+}
+
+TEST(Forecasters, SlidingMedianRobustToSpike) {
+  const std::vector<double> h{1.0, 1.0, 50.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(SlidingMedian(5).predict(h), 1.0);
+}
+
+TEST(Forecasters, ExpSmoothingConvergesToConstant) {
+  std::vector<double> h(50, 4.2);
+  EXPECT_NEAR(ExpSmoothing(0.3).predict(h), 4.2, 1e-9);
+}
+
+TEST(Forecasters, ExpSmoothingTracksTrend) {
+  std::vector<double> h;
+  for (int i = 0; i < 20; ++i) h.push_back(static_cast<double>(i));
+  // High-gain smoothing should be close to the latest values.
+  EXPECT_GT(ExpSmoothing(0.8).predict(h), 15.0);
+}
+
+TEST(Forecasters, InvalidConstruction) {
+  EXPECT_THROW(SlidingMean(0), support::Error);
+  EXPECT_THROW(ExpSmoothing(0.0), support::Error);
+  EXPECT_THROW(ExpSmoothing(1.5), support::Error);
+}
+
+TEST(Forecasters, DefaultBankHasVariety) {
+  const auto bank = default_bank();
+  EXPECT_GE(bank.size(), 8u);
+  std::vector<std::string> names;
+  for (const auto& f : bank) names.push_back(f->name());
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST(Service, HistoryCapEnforced) {
+  ServiceOptions opts;
+  opts.history_capacity = 16;
+  Service svc(opts);
+  for (int i = 0; i < 100; ++i) {
+    svc.observe("cpu/x", static_cast<double>(i));
+  }
+  EXPECT_EQ(svc.history_size("cpu/x"), 16u);
+  EXPECT_DOUBLE_EQ(svc.history("cpu/x").front(), 84.0);  // oldest kept
+}
+
+TEST(Service, UnknownResourceThrows) {
+  Service svc;
+  EXPECT_THROW((void)svc.history("cpu/nope"), support::Error);
+  EXPECT_THROW((void)svc.forecast("cpu/nope"), support::Error);
+  EXPECT_EQ(svc.history_size("cpu/nope"), 0u);
+}
+
+TEST(Service, ForecastOfConstantSeriesIsExact) {
+  Service svc;
+  for (int i = 0; i < 60; ++i) svc.observe("cpu/c", 0.48);
+  const Forecast f = svc.forecast("cpu/c");
+  EXPECT_DOUBLE_EQ(f.value, 0.48);
+  EXPECT_DOUBLE_EQ(f.error_sd, 0.0);
+  EXPECT_TRUE(f.sv().is_point());
+}
+
+TEST(Service, ForecastTracksNoisyStationarySeries) {
+  Service svc;
+  support::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    svc.observe("cpu/n", rng.normal(0.48, 0.025));
+  }
+  const Forecast f = svc.forecast("cpu/n");
+  EXPECT_NEAR(f.value, 0.48, 0.02);
+  EXPECT_GT(f.error_sd, 0.0);
+  EXPECT_LT(f.error_sd, 0.08);
+  // The ±2sd stochastic value should cover the process mean comfortably.
+  EXPECT_TRUE(f.sv().contains(0.48));
+}
+
+TEST(Service, MeanBeatsLastValueOnWhiteNoise) {
+  Service svc;
+  support::Rng rng(7);
+  for (int i = 0; i < 300; ++i) svc.observe("cpu/w", rng.normal(0.5, 0.1));
+  const auto errors = svc.postcast_errors("cpu/w");
+  double last_mse = -1.0;
+  double best_mean_mse = 1e9;
+  for (const auto& [name, mse] : errors) {
+    if (name == "last") last_mse = mse;
+    if (name.find("mean") != std::string::npos) {
+      best_mean_mse = std::min(best_mean_mse, mse);
+    }
+  }
+  ASSERT_GE(last_mse, 0.0);
+  EXPECT_LT(best_mean_mse, last_mse);
+}
+
+TEST(Service, LastValueWinsOnRandomWalk) {
+  Service svc;
+  support::Rng rng(9);
+  double x = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    x += rng.normal(0.0, 1.0);
+    svc.observe("cpu/rw", x);
+  }
+  const Forecast f = svc.forecast("cpu/rw");
+  // On a random walk, trackers (last value / high-gain smoothing) dominate
+  // long averages.
+  EXPECT_TRUE(f.forecaster == "last" || f.forecaster.find("expsm") == 0 ||
+              f.forecaster == "mean5" || f.forecaster == "median5")
+      << "winner was " << f.forecaster;
+}
+
+TEST(Service, ForecastRequiresWarmup) {
+  Service svc;
+  for (int i = 0; i < 5; ++i) svc.observe("cpu/short", 1.0);
+  EXPECT_THROW((void)svc.forecast("cpu/short"), support::Error);
+}
+
+TEST(Sensor, IngestSamplesTraceWindow) {
+  sim::Engine eng;
+  cluster::Platform platform(eng, cluster::dedicated_platform(1), 1);
+  Service svc;
+  ingest_cpu_history(platform.machine(0), svc, 0.0, 250.0, 5.0);
+  EXPECT_EQ(svc.history_size(cpu_resource(platform.machine(0))), 50u);
+}
+
+TEST(Sensor, ProcessSamplesAtInterval) {
+  sim::Engine eng;
+  cluster::Platform platform(eng, cluster::dedicated_platform(1), 1);
+  Service svc;
+  eng.spawn(cpu_sensor(eng, platform.machine(0), svc, 5.0, 100.0));
+  eng.run();
+  EXPECT_EQ(svc.history_size(cpu_resource(platform.machine(0))), 20u);
+  EXPECT_GE(eng.now(), 100.0);
+}
+
+TEST(Sensor, AttachCoversAllHosts) {
+  sim::Engine eng;
+  cluster::Platform platform(eng, cluster::dedicated_platform(3), 1);
+  Service svc;
+  attach_cpu_sensors(eng, platform, svc, 5.0, 50.0);
+  eng.run();
+  for (std::size_t i = 0; i < platform.size(); ++i) {
+    EXPECT_EQ(svc.history_size(cpu_resource(platform.machine(i))), 10u);
+  }
+}
+
+TEST(Sensor, ForecastFromGeneratedQuietTraceIsTight) {
+  sim::Engine eng;
+  cluster::Platform platform(eng, cluster::platform1(), 5);
+  Service svc;
+  // Host 0 carries the paper's centre-mode load 0.48 ± 0.05.
+  ingest_cpu_history(platform.machine(0), svc, 0.0, 400.0, 5.0);
+  const Forecast f = svc.forecast(cpu_resource(platform.machine(0)));
+  EXPECT_NEAR(f.value, 0.48, 0.05);
+  EXPECT_LT(f.sv().halfwidth(), 0.15);
+}
+
+}  // namespace
+}  // namespace sspred::nws

@@ -1,0 +1,105 @@
+// Tests for the communication/computation-overlap SOR variant.
+#include <gtest/gtest.h>
+
+#include "sor/distributed.hpp"
+#include "sor/serial.hpp"
+
+namespace sspred::sor {
+namespace {
+
+TEST(OverlapSor, NumericallyIdenticalToBlocking) {
+  SorConfig cfg;
+  cfg.n = 24;
+  cfg.iterations = 10;
+  cfg.gather_solution = true;
+
+  sim::Engine e1;
+  cluster::Platform p1(e1, cluster::dedicated_platform(3), 5);
+  const SorResult blocking = run_distributed_sor(e1, p1, cfg);
+
+  cfg.overlap_comm = true;
+  sim::Engine e2;
+  cluster::Platform p2(e2, cluster::dedicated_platform(3), 5);
+  const SorResult overlapped = run_distributed_sor(e2, p2, cfg);
+
+  ASSERT_EQ(blocking.solution.size(), overlapped.solution.size());
+  for (std::size_t i = 0; i < blocking.solution.size(); ++i) {
+    ASSERT_DOUBLE_EQ(blocking.solution[i], overlapped.solution[i]);
+  }
+  // And both equal the serial reference.
+  SerialSor serial(cfg.n);
+  serial.iterate(cfg.iterations);
+  for (std::size_t i = 0; i < cfg.n; ++i) {
+    for (std::size_t j = 0; j < cfg.n; ++j) {
+      ASSERT_DOUBLE_EQ(overlapped.solution[i * cfg.n + j], serial.at(i, j));
+    }
+  }
+}
+
+TEST(OverlapSor, HidesCommunicationTime) {
+  // Comm-heavy configuration: smallish grid, several ranks, so the ghost
+  // exchange is a visible fraction of each iteration.
+  SorConfig cfg;
+  cfg.n = 300;
+  cfg.iterations = 12;
+  cfg.real_numerics = false;
+
+  sim::Engine e1;
+  cluster::Platform p1(e1, cluster::dedicated_platform(4), 9);
+  const double t_blocking = run_distributed_sor(e1, p1, cfg).total_time;
+
+  cfg.overlap_comm = true;
+  sim::Engine e2;
+  cluster::Platform p2(e2, cluster::dedicated_platform(4), 9);
+  const double t_overlap = run_distributed_sor(e2, p2, cfg).total_time;
+
+  EXPECT_LT(t_overlap, 0.95 * t_blocking);
+}
+
+TEST(OverlapSor, RecordedCommPhasesShrink) {
+  SorConfig cfg;
+  cfg.n = 300;
+  cfg.iterations = 10;
+  cfg.real_numerics = false;
+
+  sim::Engine e1;
+  cluster::Platform p1(e1, cluster::dedicated_platform(4), 11);
+  const SorResult blocking = run_distributed_sor(e1, p1, cfg);
+
+  cfg.overlap_comm = true;
+  sim::Engine e2;
+  cluster::Platform p2(e2, cluster::dedicated_platform(4), 11);
+  const SorResult overlapped = run_distributed_sor(e2, p2, cfg);
+
+  auto total_comm = [](const SorResult& r) {
+    double acc = 0.0;
+    for (const auto& rank : r.ranks) {
+      for (const auto& t : rank.iterations) {
+        acc += t.red_comm + t.black_comm;
+      }
+    }
+    return acc;
+  };
+  EXPECT_LT(total_comm(overlapped), 0.7 * total_comm(blocking));
+}
+
+TEST(OverlapSor, SingleRowStripsFallBackToBlocking) {
+  SorConfig cfg;
+  cfg.n = 4;  // one row per rank on 4 hosts
+  cfg.iterations = 3;
+  cfg.overlap_comm = true;
+  cfg.gather_solution = true;
+  sim::Engine engine;
+  cluster::Platform platform(engine, cluster::dedicated_platform(4), 13);
+  const SorResult result = run_distributed_sor(engine, platform, cfg);
+  SerialSor serial(cfg.n);
+  serial.iterate(cfg.iterations);
+  for (std::size_t i = 0; i < cfg.n; ++i) {
+    for (std::size_t j = 0; j < cfg.n; ++j) {
+      ASSERT_DOUBLE_EQ(result.solution[i * cfg.n + j], serial.at(i, j));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sspred::sor

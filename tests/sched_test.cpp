@@ -1,0 +1,159 @@
+// Unit tests for the §1.2 work-allocation strategies.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sched/workshare.hpp"
+#include "support/error.hpp"
+
+namespace sspred::sched {
+namespace {
+
+using stoch::StochasticValue;
+
+std::vector<MachineProfile> paper_table1_dedicated() {
+  // Paper Table 1, dedicated row: A = 10 s/unit, B = 5 s/unit.
+  return {{"A", StochasticValue(10.0)}, {"B", StochasticValue(5.0)}};
+}
+
+std::vector<MachineProfile> paper_table1_production() {
+  // Production row: both 12 s/unit, A ± 5%, B ± 30%.
+  return {{"A", StochasticValue::from_percent(12.0, 5.0)},
+          {"B", StochasticValue::from_percent(12.0, 30.0)}};
+}
+
+TEST(Allocate, DedicatedGivesBTwiceTheWork) {
+  const auto machines = paper_table1_dedicated();
+  const Allocation a = allocate(300, machines, Strategy::kMeanBalance);
+  EXPECT_EQ(a.total(), 300u);
+  EXPECT_EQ(a.units[0], 100u);
+  EXPECT_EQ(a.units[1], 200u);
+}
+
+TEST(Allocate, ProductionMeansSplitEqually) {
+  const auto machines = paper_table1_production();
+  const Allocation a = allocate(200, machines, Strategy::kMeanBalance);
+  EXPECT_EQ(a.units[0], 100u);
+  EXPECT_EQ(a.units[1], 100u);
+}
+
+TEST(Allocate, ConservativeFavorsLowVarianceMachine) {
+  // Paper §1.2: "more work could be assigned to the small variance
+  // machine (machine A)".
+  const auto machines = paper_table1_production();
+  const Allocation a = allocate(200, machines, Strategy::kConservative);
+  EXPECT_GT(a.units[0], a.units[1]);
+  EXPECT_EQ(a.total(), 200u);
+}
+
+TEST(Allocate, OptimisticFavorsHighVarianceMachine) {
+  // B's best case (8.4 s/unit) beats A's (11.4 s/unit).
+  const auto machines = paper_table1_production();
+  const Allocation a = allocate(200, machines, Strategy::kOptimistic);
+  EXPECT_GT(a.units[1], a.units[0]);
+}
+
+TEST(Allocate, RiskAversionScalesConservatism) {
+  const auto machines = paper_table1_production();
+  const Allocation mild = allocate(1000, machines, Strategy::kConservative, 0.2);
+  const Allocation strong =
+      allocate(1000, machines, Strategy::kConservative, 3.0);
+  EXPECT_GT(strong.units[0], mild.units[0]);
+}
+
+TEST(Allocate, EveryMachineGetsAtLeastOneUnit) {
+  const std::vector<MachineProfile> machines{
+      {"fast", StochasticValue(1.0)}, {"slow", StochasticValue(1000.0)}};
+  const Allocation a = allocate(50, machines, Strategy::kMeanBalance);
+  EXPECT_GE(a.units[1], 1u);
+  EXPECT_EQ(a.total(), 50u);
+}
+
+TEST(Allocate, ValidationErrors) {
+  const auto machines = paper_table1_dedicated();
+  EXPECT_THROW((void)allocate(1, machines, Strategy::kMeanBalance),
+               support::Error);
+  const std::vector<MachineProfile> none;
+  EXPECT_THROW((void)allocate(10, none, Strategy::kMeanBalance),
+               support::Error);
+  const std::vector<MachineProfile> bad{{"zero", StochasticValue(0.0)}};
+  EXPECT_THROW((void)allocate(10, bad, Strategy::kMeanBalance),
+               support::Error);
+}
+
+class AllocationTotalSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AllocationTotalSweep, TotalsAlwaysExact) {
+  const auto machines = paper_table1_production();
+  for (auto strat : {Strategy::kMeanBalance, Strategy::kConservative,
+                     Strategy::kOptimistic}) {
+    EXPECT_EQ(allocate(GetParam(), machines, strat).total(), GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AllocationTotalSweep,
+                         ::testing::Values(2, 3, 7, 100, 101, 9999));
+
+TEST(PredictedMakespan, ScalesUnitTimes) {
+  const auto machines = paper_table1_dedicated();
+  Allocation a;
+  a.units = {10, 20};
+  const StochasticValue span =
+      predicted_makespan(a, machines, stoch::ExtremePolicy::kLargestMean);
+  EXPECT_DOUBLE_EQ(span.mean(), 100.0);
+}
+
+TEST(PredictedMakespan, MismatchThrows) {
+  const auto machines = paper_table1_dedicated();
+  Allocation a;
+  a.units = {10};
+  EXPECT_THROW((void)predicted_makespan(a, machines), support::Error);
+}
+
+TEST(SimulateMakespan, BalancedBeatsSkewedOnMeans) {
+  const auto machines = paper_table1_production();
+  support::Rng rng(5);
+  const Allocation balanced = allocate(200, machines, Strategy::kMeanBalance);
+  Allocation skewed;
+  skewed.units = {20, 180};
+  const auto b = simulate_makespan(balanced, machines, rng);
+  const auto s = simulate_makespan(skewed, machines, rng);
+  EXPECT_LT(b.mean, s.mean);
+}
+
+TEST(SimulateMakespan, ConservativeCutsTailRisk) {
+  // The paper's motivating claim: when mispredictions are penalized, give
+  // more work to the predictable machine. The conservative allocation's
+  // 95th percentile should beat mean-balancing's.
+  const auto machines = paper_table1_production();
+  support::Rng rng(7);
+  const auto mean_alloc = allocate(400, machines, Strategy::kMeanBalance);
+  const auto cons_alloc =
+      allocate(400, machines, Strategy::kConservative, 1.0);
+  const auto mean_stats = simulate_makespan(mean_alloc, machines, rng, 50'000);
+  const auto cons_stats = simulate_makespan(cons_alloc, machines, rng, 50'000);
+  EXPECT_LT(cons_stats.p95, mean_stats.p95);
+  EXPECT_LT(cons_stats.sd, mean_stats.sd);
+}
+
+TEST(SimulateMakespan, PredictedMakespanConsistentWithSimulation) {
+  const auto machines = paper_table1_production();
+  support::Rng rng(9);
+  const auto alloc = allocate(100, machines, Strategy::kMeanBalance);
+  const auto pred = predicted_makespan(alloc, machines);
+  const auto sim = simulate_makespan(alloc, machines, rng, 50'000);
+  EXPECT_NEAR(pred.mean(), sim.mean, 0.05 * sim.mean);
+}
+
+TEST(Capacities, RatioOfLoadToBenchmark) {
+  const std::vector<double> bm{1e-6, 2e-6};
+  const std::vector<double> loads{0.5, 1.0};
+  const auto caps = capacities(bm, loads);
+  EXPECT_DOUBLE_EQ(caps[0], 0.5e6);
+  EXPECT_DOUBLE_EQ(caps[1], 0.5e6);
+  const std::vector<double> short_loads{0.5};
+  EXPECT_THROW((void)capacities(bm, short_loads), support::Error);
+}
+
+}  // namespace
+}  // namespace sspred::sched

@@ -1,0 +1,87 @@
+// Unit tests for service ranges / QoS queries over stochastic values
+// (paper §1.2's "service range" alternative to QoS guarantees).
+#include <gtest/gtest.h>
+
+#include "stoch/montecarlo.hpp"
+#include "stoch/service_range.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace sspred::stoch {
+namespace {
+
+TEST(ServiceRange, ProbabilityBelowMatchesNormal) {
+  const StochasticValue v(100.0, 20.0);  // sd = 10
+  EXPECT_NEAR(probability_below(v, 100.0), 0.5, 1e-12);
+  EXPECT_NEAR(probability_below(v, 110.0), 0.8413, 1e-3);
+  EXPECT_NEAR(probability_above(v, 110.0), 0.1587, 1e-3);
+  EXPECT_NEAR(probability_below(v, v.upper()), 0.9772, 1e-3);
+}
+
+TEST(ServiceRange, PointValueIsStep) {
+  const StochasticValue v(5.0);
+  EXPECT_DOUBLE_EQ(probability_below(v, 4.9), 0.0);
+  EXPECT_DOUBLE_EQ(probability_below(v, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.01), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.99), 5.0);
+}
+
+TEST(ServiceRange, QuantileRoundTrips) {
+  const StochasticValue v(50.0, 8.0);
+  for (double p : {0.05, 0.25, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(probability_below(v, quantile(v, p)), p, 1e-9);
+  }
+  EXPECT_THROW((void)quantile(v, 0.0), support::Error);
+  EXPECT_THROW((void)quantile(v, 1.0), support::Error);
+}
+
+TEST(ServiceRange, CentralIntervalHoldsRequestedMass) {
+  const StochasticValue v(10.0, 2.0);
+  const ServiceRange r = service_range(v, 0.99);
+  EXPECT_LT(r.lower, v.lower());  // 99% needs more than the ±2sd (95%) band
+  EXPECT_GT(r.upper, v.upper());
+  EXPECT_NEAR(probability_below(v, r.upper) - probability_below(v, r.lower),
+              0.99, 1e-9);
+  // Symmetric around the mean.
+  EXPECT_NEAR(v.mean() - r.lower, r.upper - v.mean(), 1e-9);
+}
+
+TEST(ServiceRange, EmpiricalCoverageMatches) {
+  const StochasticValue v(10.0, 2.0);
+  const ServiceRange r = service_range(v, 0.9);
+  support::Rng rng(3);
+  std::size_t inside = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = sample(v, rng);
+    if (x >= r.lower && x <= r.upper) ++inside;
+  }
+  EXPECT_NEAR(static_cast<double>(inside) / n, 0.9, 0.01);
+}
+
+TEST(ServiceRange, DeadlineForConfidence) {
+  // A prediction of 60 ± 10 s: to be on time 97.7% of runs, budget ~70 s.
+  const StochasticValue pred(60.0, 10.0);
+  const double deadline = deadline_for(pred, 0.977);
+  EXPECT_NEAR(deadline, 70.0, 0.15);
+  EXPECT_NEAR(probability_above(pred, deadline), 0.023, 1e-3);
+}
+
+TEST(ServiceRange, TighterPredictionsGiveTighterGuarantees) {
+  const StochasticValue quiet(60.0, 3.0);   // the paper's machine A flavour
+  const StochasticValue busy(60.0, 18.0);   // machine B flavour
+  EXPECT_LT(deadline_for(quiet, 0.95), deadline_for(busy, 0.95));
+  const auto rq = service_range(quiet, 0.95);
+  const auto rb = service_range(busy, 0.95);
+  EXPECT_LT(rq.upper - rq.lower, rb.upper - rb.lower);
+}
+
+TEST(ServiceRange, InvalidConfidenceThrows) {
+  const StochasticValue v(1.0, 0.1);
+  EXPECT_THROW((void)service_range(v, 0.0), support::Error);
+  EXPECT_THROW((void)service_range(v, 1.0), support::Error);
+  EXPECT_THROW((void)deadline_for(v, 1.5), support::Error);
+}
+
+}  // namespace
+}  // namespace sspred::stoch

@@ -1,0 +1,298 @@
+// Unit + integration tests for the SOR solvers: serial correctness,
+// decomposition invariants, distributed == serial equivalence, timing
+// instrumentation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sor/decomposition.hpp"
+#include "sor/distributed.hpp"
+#include "sor/serial.hpp"
+#include "support/error.hpp"
+
+namespace sspred::sor {
+namespace {
+
+TEST(SerialSor, ConvergesToAnalyticSolution) {
+  SerialSor solver(33);
+  solver.iterate(200);
+  EXPECT_LT(solver.solution_error(), 2e-3);
+  EXPECT_LT(solver.residual_norm(), 1e-5);
+}
+
+TEST(SerialSor, ResidualShrinksOverIterationBlocks) {
+  // Over-relaxation is not monotone step-to-step, but each sizeable block
+  // of iterations must shrink the residual substantially.
+  SerialSor solver(25);
+  solver.iterate(20);  // past the initial transient
+  double prev = solver.residual_norm();
+  for (int k = 0; k < 3; ++k) {
+    solver.iterate(25);
+    const double cur = solver.residual_norm();
+    EXPECT_LT(cur, 0.5 * prev);
+    prev = cur;
+  }
+}
+
+TEST(SerialSor, OptimalOmegaBeatsGaussSeidel) {
+  SerialSor fast(33);             // optimal omega
+  SerialSor slow(33, 1.0);        // plain Gauss-Seidel
+  fast.iterate(60);
+  slow.iterate(60);
+  EXPECT_LT(fast.residual_norm(), slow.residual_norm());
+}
+
+TEST(SerialSor, OptimalOmegaFormula) {
+  EXPECT_NEAR(SerialSor::optimal_omega(100),
+              2.0 / (1.0 + std::sin(M_PI / 101.0)), 1e-12);
+  EXPECT_GT(SerialSor::optimal_omega(1000), 1.9);
+}
+
+TEST(SerialSor, InvalidParametersThrow) {
+  EXPECT_THROW(SerialSor(1), support::Error);
+  EXPECT_THROW(SerialSor(10, 2.5), support::Error);
+}
+
+TEST(SerialSor, BoundaryStaysZero) {
+  SerialSor solver(10);
+  solver.iterate(5);
+  for (std::size_t j = 0; j < 12; ++j) {
+    EXPECT_DOUBLE_EQ(solver.raw_row(0)[j], 0.0);
+    EXPECT_DOUBLE_EQ(solver.raw_row(11)[j], 0.0);
+  }
+}
+
+TEST(StripDecomposition, UniformSpreadsRemainder) {
+  const auto d = StripDecomposition::uniform(10, 3);
+  EXPECT_EQ(d.rows(0), 4u);
+  EXPECT_EQ(d.rows(1), 3u);
+  EXPECT_EQ(d.rows(2), 3u);
+  EXPECT_EQ(d.begin(0), 0u);
+  EXPECT_EQ(d.end(0), 4u);
+  EXPECT_EQ(d.begin(2), 7u);
+  EXPECT_EQ(d.end(2), 10u);
+  EXPECT_DOUBLE_EQ(d.elements(0), 40.0);
+}
+
+class DecompositionSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(DecompositionSweep, RowsPartitionTheGrid) {
+  const auto [n, ranks] = GetParam();
+  const auto d = StripDecomposition::uniform(n, ranks);
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < ranks; ++r) {
+    EXPECT_EQ(d.end(r) - d.begin(r), d.rows(r));
+    EXPECT_GE(d.rows(r), 1u);
+    if (r > 0) {
+      EXPECT_EQ(d.begin(r), d.end(r - 1));
+    }
+    total += d.rows(r);
+  }
+  EXPECT_EQ(total, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DecompositionSweep,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{8, 1},
+                      std::pair<std::size_t, std::size_t>{8, 8},
+                      std::pair<std::size_t, std::size_t>{100, 4},
+                      std::pair<std::size_t, std::size_t>{101, 4},
+                      std::pair<std::size_t, std::size_t>{1000, 7}));
+
+TEST(StripDecomposition, WeightedFollowsCapacities) {
+  const std::vector<double> caps{1.0, 2.0, 1.0};
+  const auto d = StripDecomposition::weighted(100, caps);
+  EXPECT_EQ(d.rows(0) + d.rows(1) + d.rows(2), 100u);
+  EXPECT_NEAR(static_cast<double>(d.rows(1)), 50.0, 1.0);
+  EXPECT_GT(d.rows(1), d.rows(0));
+}
+
+TEST(StripDecomposition, WeightedGuaranteesFloor) {
+  const std::vector<double> caps{1000.0, 0.001};
+  const auto d = StripDecomposition::weighted(10, caps);
+  EXPECT_GE(d.rows(1), 1u);
+  EXPECT_EQ(d.rows(0) + d.rows(1), 10u);
+}
+
+TEST(StripDecomposition, ValidationErrors) {
+  EXPECT_THROW(StripDecomposition(10, {5, 4}), support::Error);   // sum != n
+  EXPECT_THROW(StripDecomposition(10, {10, 0}), support::Error);  // zero rows
+  const std::vector<double> none;
+  EXPECT_THROW((void)StripDecomposition::weighted(10, none), support::Error);
+}
+
+struct DistributedFixture {
+  sim::Engine engine;
+  cluster::Platform platform;
+
+  explicit DistributedFixture(std::size_t ranks, std::uint64_t seed = 42)
+      : platform(engine, cluster::dedicated_platform(ranks), seed) {}
+};
+
+TEST(DistributedSor, MatchesSerialBitwise) {
+  SorConfig cfg;
+  cfg.n = 24;
+  cfg.iterations = 15;
+  cfg.gather_solution = true;
+  DistributedFixture f(3);
+  const SorResult result = run_distributed_sor(f.engine, f.platform, cfg);
+  ASSERT_EQ(result.solution.size(), cfg.n * cfg.n);
+
+  SerialSor serial(cfg.n);
+  serial.iterate(cfg.iterations);
+  for (std::size_t i = 0; i < cfg.n; ++i) {
+    for (std::size_t j = 0; j < cfg.n; ++j) {
+      EXPECT_DOUBLE_EQ(result.solution[i * cfg.n + j], serial.at(i, j))
+          << "mismatch at (" << i << "," << j << ")";
+    }
+  }
+  EXPECT_NEAR(result.residual, serial.residual_norm(), 1e-12);
+  EXPECT_NEAR(result.solution_error, serial.solution_error(), 1e-12);
+}
+
+class DistributedEquivalenceSweep
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DistributedEquivalenceSweep, AnyRankCountMatchesSerial) {
+  const std::size_t ranks = GetParam();
+  SorConfig cfg;
+  cfg.n = 20;
+  cfg.iterations = 8;
+  cfg.gather_solution = true;
+  sim::Engine engine;
+  cluster::Platform platform(engine, cluster::dedicated_platform(ranks), 7);
+  const SorResult result = run_distributed_sor(engine, platform, cfg);
+  SerialSor serial(cfg.n);
+  serial.iterate(cfg.iterations);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < cfg.n; ++i) {
+    for (std::size_t j = 0; j < cfg.n; ++j) {
+      worst = std::max(worst,
+                       std::abs(result.solution[i * cfg.n + j] - serial.at(i, j)));
+    }
+  }
+  EXPECT_EQ(worst, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DistributedEquivalenceSweep,
+                         ::testing::Values(1, 2, 4, 5));
+
+TEST(DistributedSor, ProducesPositiveTimings) {
+  SorConfig cfg;
+  cfg.n = 64;
+  cfg.iterations = 10;
+  DistributedFixture f(4);
+  const SorResult result = run_distributed_sor(f.engine, f.platform, cfg);
+  EXPECT_GT(result.total_time, 0.0);
+  ASSERT_EQ(result.ranks.size(), 4u);
+  for (const auto& r : result.ranks) {
+    ASSERT_EQ(r.iterations.size(), cfg.iterations);
+    for (const auto& t : r.iterations) {
+      EXPECT_GT(t.red_comp, 0.0);
+      EXPECT_GT(t.black_comp, 0.0);
+      EXPECT_GE(t.red_comm, 0.0);
+      EXPECT_GE(t.black_comm, 0.0);
+    }
+  }
+  // Per-iteration max-phase times sum to roughly the total.
+  double acc = 0.0;
+  for (std::size_t it = 0; it < cfg.iterations; ++it) {
+    acc += result.iteration_time(it);
+  }
+  EXPECT_NEAR(acc, result.total_time, 0.35 * result.total_time);
+}
+
+TEST(DistributedSor, ProductionLoadSlowsRun) {
+  SorConfig cfg;
+  cfg.n = 256;  // compute-dominated so the load effect is visible
+  cfg.iterations = 10;
+  sim::Engine e1;
+  cluster::Platform dedicated(e1, cluster::dedicated_platform(4), 3);
+  const double t_ded = run_distributed_sor(e1, dedicated, cfg).total_time;
+
+  sim::Engine e2;
+  cluster::PlatformSpec loaded_spec = cluster::dedicated_platform(4);
+  for (auto& h : loaded_spec.hosts) {
+    h.load = cluster::platform1_load(/*center_only=*/true);  // ~0.48 avail
+  }
+  cluster::Platform loaded(e2, loaded_spec, 3);
+  const double t_loaded = run_distributed_sor(e2, loaded, cfg).total_time;
+  EXPECT_GT(t_loaded, 1.5 * t_ded);
+}
+
+TEST(DistributedSor, StartTimeOffsetsRun) {
+  SorConfig cfg;
+  cfg.n = 32;
+  cfg.iterations = 5;
+  DistributedFixture f(2);
+  const SorResult result =
+      run_distributed_sor(f.engine, f.platform, cfg, /*start_time=*/100.0);
+  EXPECT_DOUBLE_EQ(result.start_time, 100.0);
+  EXPECT_GT(f.engine.now(), 100.0);
+  EXPECT_NEAR(result.total_time, f.engine.now() - 100.0, 1e-9);
+}
+
+TEST(DistributedSor, CustomDecompositionHonored) {
+  SorConfig cfg;
+  cfg.n = 30;
+  cfg.iterations = 4;
+  cfg.rows_per_rank = {20, 5, 5};
+  cfg.gather_solution = true;
+  DistributedFixture f(3);
+  const SorResult result = run_distributed_sor(f.engine, f.platform, cfg);
+  // Rank 0 carries 4x the rows of rank 1 -> its compute phases dominate.
+  const auto& r0 = result.ranks[0].iterations[1];
+  const auto& r1 = result.ranks[1].iterations[1];
+  EXPECT_GT(r0.red_comp, 3.0 * r1.red_comp);
+  // Still numerically correct.
+  SerialSor serial(cfg.n);
+  serial.iterate(cfg.iterations);
+  EXPECT_DOUBLE_EQ(result.solution[15 * cfg.n + 15], serial.at(15, 15));
+}
+
+TEST(DistributedSor, SkewPropagatesAtMostPIterations) {
+  // Paper Fig. 7: a delay on rank 0 retards neighbours with a lag.
+  SorConfig cfg;
+  cfg.n = 40;
+  cfg.iterations = 12;
+  cfg.rank0_initial_delay = 5.0;
+  DistributedFixture f(4);
+  const SorResult delayed = run_distributed_sor(f.engine, f.platform, cfg);
+
+  SorConfig base_cfg = cfg;
+  base_cfg.rank0_initial_delay = 0.0;
+  DistributedFixture g(4);
+  const SorResult base = run_distributed_sor(g.engine, g.platform, base_cfg);
+
+  // The whole run is delayed by roughly the injected amount...
+  EXPECT_NEAR(delayed.total_time, base.total_time + 5.0,
+              0.2 * (base.total_time + 5.0));
+  // ...and the wave reaches the far rank only after ~P iterations: by the
+  // last iteration rank 3 is retarded, even though its first iterations
+  // were not (it is 3 hops from the delayed rank 0).
+  const double last_iter_end_base =
+      base.ranks[3].iteration_end.back() - base.start_time;
+  const double last_iter_end_delayed =
+      delayed.ranks[3].iteration_end.back() - delayed.start_time;
+  EXPECT_GT(last_iter_end_delayed, last_iter_end_base + 4.0);
+}
+
+TEST(DistributedSor, TimingOnlyModeMatchesVirtualTime) {
+  SorConfig real_cfg;
+  real_cfg.n = 48;
+  real_cfg.iterations = 6;
+  DistributedFixture f(3);
+  const double t_real =
+      run_distributed_sor(f.engine, f.platform, real_cfg).total_time;
+
+  SorConfig fake_cfg = real_cfg;
+  fake_cfg.real_numerics = false;
+  DistributedFixture g(3);
+  const double t_fake =
+      run_distributed_sor(g.engine, g.platform, fake_cfg).total_time;
+  EXPECT_DOUBLE_EQ(t_real, t_fake);
+}
+
+}  // namespace
+}  // namespace sspred::sor

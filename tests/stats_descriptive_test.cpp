@@ -1,0 +1,169 @@
+// Unit tests for descriptive statistics: batch summaries, online Welford
+// accumulation, quantiles, autocorrelation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace sspred::stats {
+namespace {
+
+TEST(Summarize, KnownSample) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.variance, 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Summarize, SingleValue) {
+  const std::vector<double> xs{3.5};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);
+  EXPECT_DOUBLE_EQ(s.sd, 0.0);
+}
+
+TEST(Summarize, EmptyThrows) {
+  const std::vector<double> xs;
+  EXPECT_THROW((void)summarize(xs), support::Error);
+}
+
+TEST(Summarize, SkewnessSignDetectsAsymmetry) {
+  support::Rng rng(5);
+  std::vector<double> right_skew;
+  for (int i = 0; i < 20'000; ++i) right_skew.push_back(rng.exponential(1.0));
+  EXPECT_GT(summarize(right_skew).skewness, 1.5);
+
+  std::vector<double> symmetric;
+  for (int i = 0; i < 20'000; ++i) symmetric.push_back(rng.normal());
+  EXPECT_NEAR(summarize(symmetric).skewness, 0.0, 0.1);
+}
+
+TEST(Summarize, KurtosisOfNormalIsNearZero) {
+  support::Rng rng(6);
+  std::vector<double> xs;
+  for (int i = 0; i < 50'000; ++i) xs.push_back(rng.normal());
+  EXPECT_NEAR(summarize(xs).kurtosis, 0.0, 0.15);
+}
+
+TEST(Quantile, MedianOfOddSample) {
+  const std::vector<double> xs{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(xs), 2.0);
+}
+
+TEST(Quantile, InterpolatesBetweenPoints) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
+}
+
+TEST(Quantile, ExtremesAreMinMax) {
+  const std::vector<double> xs{5.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 9.0);
+}
+
+TEST(Quantile, OutOfRangeThrows) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_THROW((void)quantile(xs, 1.5), support::Error);
+  EXPECT_THROW((void)quantile(xs, -0.1), support::Error);
+}
+
+class QuantileMonotoneTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileMonotoneTest, QuantileIsMonotoneInQ) {
+  support::Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.normal(0.0, 3.0));
+  const double q = GetParam();
+  EXPECT_LE(quantile(xs, q), quantile(xs, std::min(1.0, q + 0.1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QuantileMonotoneTest,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9));
+
+TEST(OnlineStats, MatchesBatchSummary) {
+  support::Rng rng(13);
+  std::vector<double> xs;
+  OnlineStats os;
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.normal(2.0, 5.0);
+    xs.push_back(x);
+    os.add(x);
+  }
+  const Summary s = summarize(xs);
+  EXPECT_EQ(os.count(), s.count);
+  EXPECT_NEAR(os.mean(), s.mean, 1e-10);
+  EXPECT_NEAR(os.variance(), s.variance, 1e-8);
+  EXPECT_DOUBLE_EQ(os.min(), s.min);
+  EXPECT_DOUBLE_EQ(os.max(), s.max);
+}
+
+TEST(OnlineStats, MergeEqualsSingleStream) {
+  support::Rng rng(17);
+  OnlineStats merged;
+  OnlineStats a;
+  OnlineStats b;
+  for (int i = 0; i < 5'000; ++i) {
+    const double x = rng.normal();
+    merged.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), merged.count());
+  EXPECT_NEAR(a.mean(), merged.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), merged.variance(), 1e-8);
+}
+
+TEST(OnlineStats, MergeWithEmptyIsNoop) {
+  OnlineStats a;
+  a.add(1.0);
+  a.add(2.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(Autocorrelation, WhiteNoiseNearZero) {
+  support::Rng rng(19);
+  std::vector<double> xs;
+  for (int i = 0; i < 20'000; ++i) xs.push_back(rng.normal());
+  EXPECT_NEAR(autocorrelation(xs, 1), 0.0, 0.02);
+}
+
+TEST(Autocorrelation, Ar1IsPositive) {
+  support::Rng rng(23);
+  std::vector<double> xs{0.0};
+  for (int i = 1; i < 20'000; ++i) {
+    xs.push_back(0.9 * xs.back() + rng.normal());
+  }
+  EXPECT_GT(autocorrelation(xs, 1), 0.8);
+}
+
+TEST(FractionWithin, CountsClosedInterval) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(fraction_within(xs, 2.0, 4.0), 0.6);
+  EXPECT_DOUBLE_EQ(fraction_within(xs, 0.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(fraction_within(xs, 6.0, 7.0), 0.0);
+}
+
+TEST(VarianceHelpers, TinySamples) {
+  const std::vector<double> one{5.0};
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(one), 0.0);
+  const std::vector<double> two{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(variance(two), 2.0);
+}
+
+}  // namespace
+}  // namespace sspred::stats

@@ -1,0 +1,194 @@
+// Unit tests for analytic distributions, histograms and ECDFs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/distributions.hpp"
+#include "stats/histogram.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace sspred::stats {
+namespace {
+
+TEST(NormalCdf, StandardValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-4);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-4);
+  EXPECT_NEAR(normal_cdf(2.0) - normal_cdf(-2.0), 0.9545, 1e-4);
+}
+
+TEST(NormalPdf, PeakAndSymmetry) {
+  EXPECT_NEAR(normal_pdf(0.0), 1.0 / std::sqrt(2.0 * M_PI), 1e-12);
+  EXPECT_DOUBLE_EQ(normal_pdf(1.3), normal_pdf(-1.3));
+}
+
+class NormalQuantileRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(NormalQuantileRoundTrip, CdfOfQuantileIsIdentity) {
+  const double p = GetParam();
+  EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NormalQuantileRoundTrip,
+                         ::testing::Values(1e-6, 0.001, 0.025, 0.1, 0.3, 0.5,
+                                           0.7, 0.9, 0.975, 0.999, 1.0 - 1e-6));
+
+TEST(NormalQuantile, RejectsBoundaries) {
+  EXPECT_THROW((void)normal_quantile(0.0), support::Error);
+  EXPECT_THROW((void)normal_quantile(1.0), support::Error);
+}
+
+TEST(Normal, ProbabilityInTwoSigma) {
+  const Normal n(10.0, 2.0);
+  EXPECT_NEAR(n.probability_in(6.0, 14.0), 0.9545, 1e-4);
+}
+
+TEST(Normal, QuantileMatchesMeanAndSd) {
+  const Normal n(5.0, 3.0);
+  EXPECT_NEAR(n.quantile(0.5), 5.0, 1e-9);
+  EXPECT_NEAR(n.quantile(normal_cdf(1.0)), 8.0, 1e-6);
+}
+
+TEST(Normal, RejectsNonPositiveSigma) {
+  EXPECT_THROW(Normal(0.0, 0.0), support::Error);
+  EXPECT_THROW(Normal(0.0, -1.0), support::Error);
+}
+
+TEST(Normal, PdfIntegratesToOne) {
+  const Normal n(2.0, 1.5);
+  double integral = 0.0;
+  const double dx = 0.01;
+  for (double x = -10.0; x < 14.0; x += dx) integral += n.pdf(x) * dx;
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(LogNormal, MomentFactoryRoundTrip) {
+  const LogNormal ln = LogNormal::from_moments(5.25, 0.8);
+  EXPECT_NEAR(ln.mean(), 5.25, 1e-9);
+  EXPECT_NEAR(ln.sd(), 0.8, 1e-9);
+}
+
+TEST(LogNormal, CdfZeroBelowSupport) {
+  const LogNormal ln(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(ln.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ln.pdf(-1.0), 0.0);
+  EXPECT_NEAR(ln.cdf(1.0), 0.5, 1e-12);  // median = exp(mu) = 1
+}
+
+TEST(LogNormal, QuantileRoundTrip) {
+  const LogNormal ln(0.5, 0.7);
+  for (double p : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(ln.cdf(ln.quantile(p)), p, 1e-9);
+  }
+}
+
+TEST(Pareto, CdfAndQuantile) {
+  const Pareto pa(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(pa.cdf(0.5), 0.0);
+  EXPECT_NEAR(pa.cdf(2.0), 0.75, 1e-12);
+  EXPECT_NEAR(pa.quantile(0.75), 2.0, 1e-12);
+  EXPECT_NEAR(pa.mean(), 2.0, 1e-12);
+}
+
+TEST(Pareto, InfiniteMeanForSmallAlpha) {
+  const Pareto pa(1.0, 0.9);
+  EXPECT_TRUE(std::isinf(pa.mean()));
+}
+
+TEST(Exponential, Basics) {
+  const Exponential e(2.0);
+  EXPECT_DOUBLE_EQ(e.mean(), 0.5);
+  EXPECT_NEAR(e.cdf(e.quantile(0.3)), 0.3, 1e-12);
+  EXPECT_DOUBLE_EQ(e.cdf(-1.0), 0.0);
+}
+
+TEST(Histogram, BinsAndCounts) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);
+  h.add(1.0);
+  h.add(9.9);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+  EXPECT_DOUBLE_EQ(h.center(0), 1.0);
+}
+
+TEST(Histogram, ClampsOutOfRangeIntoBoundaryBins) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-5.0);
+  h.add(42.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, FromDataCoversSample) {
+  support::Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 1'000; ++i) xs.push_back(rng.normal(5.0, 1.0));
+  const Histogram h = Histogram::from_data(xs, 20);
+  EXPECT_EQ(h.total(), xs.size());
+  std::size_t sum = 0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) sum += h.count(b);
+  EXPECT_EQ(sum, xs.size());
+}
+
+TEST(Histogram, DensityIntegratesToOne) {
+  support::Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 5'000; ++i) xs.push_back(rng.normal());
+  const Histogram h = Histogram::from_data(xs, 30);
+  double integral = 0.0;
+  for (double d : h.density()) integral += d * h.bin_width();
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(Histogram, PercentagesSumTo100) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const Histogram h = Histogram::from_data(xs, 4);
+  double sum = 0.0;
+  for (double p : h.percentages()) sum += p;
+  EXPECT_NEAR(sum, 100.0, 1e-9);
+}
+
+TEST(Histogram, EdgesAreUniform) {
+  Histogram h(0.0, 4.0, 4);
+  const auto e = h.edges();
+  ASSERT_EQ(e.size(), 5u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(e[i + 1] - e[i], 1.0);
+  }
+}
+
+TEST(Ecdf, StepsThroughSample) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const Ecdf F(xs);
+  EXPECT_DOUBLE_EQ(F(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(F(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(F(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(F(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(F(100.0), 1.0);
+}
+
+TEST(Ecdf, QuantileInverts) {
+  const std::vector<double> xs{10.0, 20.0, 30.0};
+  const Ecdf F(xs);
+  EXPECT_DOUBLE_EQ(F.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(F.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(F.quantile(1.0), 30.0);
+}
+
+TEST(Ecdf, ConvergesToTrueCdf) {
+  support::Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 50'000; ++i) xs.push_back(rng.normal());
+  const Ecdf F(xs);
+  for (double z : {-1.5, -0.5, 0.0, 0.5, 1.5}) {
+    EXPECT_NEAR(F(z), normal_cdf(z), 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace sspred::stats

@@ -1,0 +1,183 @@
+// Unit tests for KDE mode detection and Gaussian-mixture fitting — the
+// tools that recover the paper's modal load structure (§2.1.2).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/gmm.hpp"
+#include "stats/kde.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace sspred::stats {
+namespace {
+
+std::vector<double> bimodal_sample(std::size_t n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs.push_back(rng.uniform() < 0.4 ? rng.normal(0.0, 0.5)
+                                     : rng.normal(5.0, 0.7));
+  }
+  return xs;
+}
+
+std::vector<double> trimodal_sample(std::size_t n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    if (u < 0.25) {
+      xs.push_back(rng.normal(0.33, 0.02));
+    } else if (u < 0.60) {
+      xs.push_back(rng.normal(0.49, 0.03));
+    } else {
+      xs.push_back(rng.normal(0.94, 0.015));
+    }
+  }
+  return xs;
+}
+
+TEST(Kde, DensityIntegratesToOne) {
+  const auto xs = bimodal_sample(2'000, 3);
+  const Kde kde(xs);
+  const auto [grid_x, grid_d] = kde.grid(512);
+  double integral = 0.0;
+  for (std::size_t i = 1; i < grid_x.size(); ++i) {
+    integral += grid_d[i] * (grid_x[i] - grid_x[i - 1]);
+  }
+  EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+TEST(Kde, FindsBothModes) {
+  const auto xs = bimodal_sample(4'000, 5);
+  const Kde kde(xs);
+  const auto peaks = kde.peaks();
+  ASSERT_GE(peaks.size(), 2u);
+  std::vector<double> locs{peaks[0].location, peaks[1].location};
+  std::sort(locs.begin(), locs.end());
+  EXPECT_NEAR(locs[0], 0.0, 0.3);
+  EXPECT_NEAR(locs[1], 5.0, 0.3);
+}
+
+TEST(Kde, UnimodalHasOneDominantPeak) {
+  support::Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 3'000; ++i) xs.push_back(rng.normal(2.0, 1.0));
+  const Kde kde(xs);
+  const auto peaks = kde.peaks(256, 0.2);
+  ASSERT_GE(peaks.size(), 1u);
+  EXPECT_NEAR(peaks[0].location, 2.0, 0.2);
+  EXPECT_LE(peaks.size(), 2u);
+}
+
+TEST(Kde, ExplicitBandwidthHonored) {
+  const auto xs = bimodal_sample(500, 9);
+  const Kde kde(xs, 0.25);
+  EXPECT_DOUBLE_EQ(kde.bandwidth(), 0.25);
+}
+
+TEST(Kde, RejectsTinySamples) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(Kde k(xs), support::Error);
+}
+
+TEST(Gmm, RecoversTwoComponents) {
+  const auto xs = bimodal_sample(5'000, 11);
+  const GmmFit fit = fit_gmm(xs, 2);
+  ASSERT_EQ(fit.components.size(), 2u);
+  EXPECT_TRUE(fit.converged);
+  EXPECT_NEAR(fit.components[0].mean, 0.0, 0.1);
+  EXPECT_NEAR(fit.components[1].mean, 5.0, 0.1);
+  EXPECT_NEAR(fit.components[0].weight, 0.4, 0.05);
+  EXPECT_NEAR(fit.components[1].weight, 0.6, 0.05);
+  EXPECT_NEAR(fit.components[0].sd, 0.5, 0.08);
+  EXPECT_NEAR(fit.components[1].sd, 0.7, 0.08);
+}
+
+TEST(Gmm, RecoversPaperTrimodalLoad) {
+  const auto xs = trimodal_sample(6'000, 13);
+  const GmmFit fit = fit_gmm(xs, 3);
+  ASSERT_EQ(fit.components.size(), 3u);
+  EXPECT_NEAR(fit.components[0].mean, 0.33, 0.03);
+  EXPECT_NEAR(fit.components[1].mean, 0.49, 0.03);
+  EXPECT_NEAR(fit.components[2].mean, 0.94, 0.03);
+}
+
+TEST(Gmm, WeightsSumToOne) {
+  const auto xs = trimodal_sample(2'000, 17);
+  const GmmFit fit = fit_gmm(xs, 3);
+  double total = 0.0;
+  for (const auto& c : fit.components) total += c.weight;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Gmm, AutoSelectionPrefersTrueK) {
+  const auto xs = bimodal_sample(4'000, 19);
+  const GmmFit fit = fit_gmm_auto(xs, 5);
+  EXPECT_EQ(fit.components.size(), 2u);
+}
+
+TEST(Gmm, AutoSelectionOnUnimodalPicksOne) {
+  support::Rng rng(23);
+  std::vector<double> xs;
+  for (int i = 0; i < 3'000; ++i) xs.push_back(rng.normal(1.0, 0.2));
+  const GmmFit fit = fit_gmm_auto(xs, 4);
+  EXPECT_EQ(fit.components.size(), 1u);
+  EXPECT_NEAR(fit.components[0].mean, 1.0, 0.02);
+}
+
+TEST(Gmm, ClassifyAssignsToNearestComponent) {
+  const auto xs = bimodal_sample(4'000, 29);
+  const GmmFit fit = fit_gmm(xs, 2);
+  EXPECT_EQ(fit.classify(-0.2), 0u);
+  EXPECT_EQ(fit.classify(5.2), 1u);
+}
+
+TEST(Gmm, PdfIsMixtureOfComponents) {
+  const auto xs = bimodal_sample(4'000, 31);
+  const GmmFit fit = fit_gmm(xs, 2);
+  // Density near each mode exceeds density in the valley between.
+  EXPECT_GT(fit.pdf(0.0), fit.pdf(2.5));
+  EXPECT_GT(fit.pdf(5.0), fit.pdf(2.5));
+}
+
+TEST(Gmm, SingleComponentMatchesSampleMoments) {
+  support::Rng rng(37);
+  std::vector<double> xs;
+  for (int i = 0; i < 10'000; ++i) xs.push_back(rng.normal(7.0, 1.5));
+  const GmmFit fit = fit_gmm(xs, 1);
+  ASSERT_EQ(fit.components.size(), 1u);
+  EXPECT_NEAR(fit.components[0].mean, 7.0, 0.05);
+  EXPECT_NEAR(fit.components[0].sd, 1.5, 0.05);
+  EXPECT_DOUBLE_EQ(fit.components[0].weight, 1.0);
+}
+
+TEST(Gmm, RequiresEnoughSamples) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_THROW((void)fit_gmm(xs, 2), support::Error);
+}
+
+class GmmSeparationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GmmSeparationSweep, RecoversMeansAtVaryingSeparation) {
+  const double sep = GetParam();
+  support::Rng rng(41);
+  std::vector<double> xs;
+  for (int i = 0; i < 6'000; ++i) {
+    xs.push_back(rng.uniform() < 0.5 ? rng.normal(0.0, 0.1)
+                                     : rng.normal(sep, 0.1));
+  }
+  const GmmFit fit = fit_gmm(xs, 2);
+  EXPECT_NEAR(fit.components[0].mean, 0.0, 0.05);
+  EXPECT_NEAR(fit.components[1].mean, sep, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GmmSeparationSweep,
+                         ::testing::Values(0.6, 1.0, 2.0, 4.0));
+
+}  // namespace
+}  // namespace sspred::stats

@@ -1,0 +1,206 @@
+// Unit tests for the modal stochastic-process generator (the synthetic
+// production-load substrate).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "stats/modal_sampler.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace sspred::stats {
+namespace {
+
+ModalProcessSpec single_mode(double center, double sd, Tail tail = Tail::kNone) {
+  ModalProcessSpec spec;
+  ModeState m;
+  m.shape.center = center;
+  m.shape.sd = sd;
+  m.shape.tail = tail;
+  m.mean_dwell = 100.0;
+  spec.modes.push_back(m);
+  spec.lo = -1e9;
+  spec.hi = 1e9;
+  return spec;
+}
+
+TEST(SampleMode, NormalModeMatchesMoments) {
+  support::Rng rng(3);
+  ModeShape shape;
+  shape.center = 0.5;
+  shape.sd = 0.05;
+  std::vector<double> xs;
+  for (int i = 0; i < 100'000; ++i) xs.push_back(sample_mode(shape, rng));
+  const Summary s = summarize(xs);
+  EXPECT_NEAR(s.mean, 0.5, 0.002);
+  EXPECT_NEAR(s.sd, 0.05, 0.002);
+  EXPECT_NEAR(s.skewness, 0.0, 0.05);
+}
+
+TEST(SampleMode, DownTailMeanPreservedAndLeftSkewed) {
+  support::Rng rng(5);
+  ModeShape shape;
+  shape.center = 0.5;
+  shape.sd = 0.05;
+  shape.tail = Tail::kDown;
+  std::vector<double> xs;
+  for (int i = 0; i < 100'000; ++i) xs.push_back(sample_mode(shape, rng));
+  const Summary s = summarize(xs);
+  EXPECT_NEAR(s.mean, 0.5, 0.01);
+  EXPECT_LT(s.skewness, -1.0);  // long tail toward low values
+  // Bounded above near the centre: max is center + sd*(alpha/(alpha-1) - 1).
+  EXPECT_LT(s.max, 0.5 + 0.05 * 1.0);
+}
+
+TEST(SampleMode, DownTailMedianAboveMean) {
+  // Paper §2.1.1: threshold value with the median between mean and bound.
+  support::Rng rng(7);
+  ModeShape shape;
+  shape.center = 5.25;
+  shape.sd = 0.4;
+  shape.tail = Tail::kDown;
+  std::vector<double> xs;
+  for (int i = 0; i < 50'000; ++i) xs.push_back(sample_mode(shape, rng));
+  EXPECT_GT(median(xs), mean(xs));
+}
+
+TEST(SampleMode, LaplaceTailIsLeptokurticWithZeroMeanShift) {
+  support::Rng rng(8);
+  ModeShape shape;
+  shape.center = 0.5;
+  shape.sd = 0.05;
+  shape.tail = Tail::kLaplace;
+  std::vector<double> xs;
+  for (int i = 0; i < 200'000; ++i) xs.push_back(sample_mode(shape, rng));
+  const Summary s = summarize(xs);
+  EXPECT_NEAR(s.mean, 0.5, 0.003);
+  EXPECT_GT(s.kurtosis, 2.0);   // heavier than normal
+  EXPECT_LT(s.skewness, 0.0);   // down side is the heavy one
+  // The leptokurtic ±2sd interval covers less than a normal's ~95%.
+  const double cover =
+      fraction_within(xs, s.mean - 2.0 * s.sd, s.mean + 2.0 * s.sd);
+  EXPECT_LT(cover, 0.955);
+  EXPECT_GT(cover, 0.90);
+}
+
+TEST(SampleMode, UpTailIsMirrored) {
+  support::Rng rng(9);
+  ModeShape shape;
+  shape.center = 1.0;
+  shape.sd = 0.1;
+  shape.tail = Tail::kUp;
+  std::vector<double> xs;
+  for (int i = 0; i < 50'000; ++i) xs.push_back(sample_mode(shape, rng));
+  const Summary s = summarize(xs);
+  EXPECT_NEAR(s.mean, 1.0, 0.01);
+  EXPECT_GT(s.skewness, 1.0);
+}
+
+TEST(ModalProcess, SingleModeStays) {
+  ModalProcess p(single_mode(0.48, 0.025), 11);
+  for (int i = 0; i < 1'000; ++i) {
+    (void)p.next(1.0);
+    EXPECT_EQ(p.current_mode(), 0u);
+  }
+}
+
+TEST(ModalProcess, ClampsToRange) {
+  ModalProcessSpec spec = single_mode(0.5, 5.0);  // huge spread
+  spec.lo = 0.0;
+  spec.hi = 1.0;
+  ModalProcess p(spec, 13);
+  for (int i = 0; i < 2'000; ++i) {
+    const double v = p.next(1.0);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(ModalProcess, VisitsAllModes) {
+  ModalProcessSpec spec;
+  for (double c : {0.2, 0.5, 0.8}) {
+    ModeState m;
+    m.shape.center = c;
+    m.shape.sd = 0.01;
+    m.mean_dwell = 5.0;
+    spec.modes.push_back(m);
+  }
+  spec.lo = 0.0;
+  spec.hi = 1.0;
+  ModalProcess p(spec, 17);
+  std::vector<bool> seen(3, false);
+  for (int i = 0; i < 5'000; ++i) {
+    (void)p.next(1.0);
+    seen[p.current_mode()] = true;
+  }
+  EXPECT_TRUE(seen[0] && seen[1] && seen[2]);
+}
+
+TEST(ModalProcess, OccupancyTracksWeightTimesDwell) {
+  ModalProcessSpec spec;
+  ModeState a;
+  a.shape.center = 0.2;
+  a.shape.sd = 0.01;
+  a.mean_dwell = 10.0;
+  a.weight = 1.0;
+  ModeState b = a;
+  b.shape.center = 0.8;
+  b.mean_dwell = 30.0;  // 3x the dwell -> 3x the occupancy
+  spec.modes = {a, b};
+  spec.lo = 0.0;
+  spec.hi = 1.0;
+
+  const auto stationary = ModalProcess(spec, 1).stationary_occupancy();
+  EXPECT_NEAR(stationary[0], 0.25, 1e-12);
+  EXPECT_NEAR(stationary[1], 0.75, 1e-12);
+
+  ModalProcess p(spec, 19);
+  std::size_t in_b = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    (void)p.next(1.0);
+    if (p.current_mode() == 1) ++in_b;
+  }
+  EXPECT_NEAR(static_cast<double>(in_b) / n, 0.75, 0.03);
+}
+
+TEST(ModalProcess, DeterministicPerSeed) {
+  ModalProcessSpec spec = single_mode(0.5, 0.1);
+  ModalProcess a(spec, 23);
+  ModalProcess b(spec, 23);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.next(1.0), b.next(1.0));
+}
+
+TEST(ModalProcess, GenerateSamplesCount) {
+  ModalProcess p(single_mode(0.5, 0.1), 29);
+  const auto xs = generate_samples(p, 500, 1.0);
+  EXPECT_EQ(xs.size(), 500u);
+}
+
+TEST(ModalProcess, InvalidSpecsThrow) {
+  ModalProcessSpec empty;
+  EXPECT_THROW(ModalProcess(empty, 1), support::Error);
+
+  ModalProcessSpec bad = single_mode(0.5, 0.1);
+  bad.modes[0].shape.sd = 0.0;
+  EXPECT_THROW(ModalProcess(bad, 1), support::Error);
+
+  ModalProcessSpec bad2 = single_mode(0.5, 0.1);
+  bad2.modes[0].mean_dwell = -1.0;
+  EXPECT_THROW(ModalProcess(bad2, 1), support::Error);
+
+  ModalProcessSpec bad3 = single_mode(0.5, 0.1);
+  bad3.lo = 2.0;
+  bad3.hi = 1.0;
+  EXPECT_THROW(ModalProcess(bad3, 1), support::Error);
+}
+
+TEST(ModalProcess, DtMustBePositive) {
+  ModalProcess p(single_mode(0.5, 0.1), 31);
+  EXPECT_THROW((void)p.next(0.0), support::Error);
+}
+
+}  // namespace
+}  // namespace sspred::stats

@@ -1,0 +1,153 @@
+// Unit tests for the normality / goodness-of-fit tests used to justify the
+// paper's normal-approximation decisions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/normality.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace sspred::stats {
+namespace {
+
+std::vector<double> normal_sample(std::size_t n, double mu, double sigma,
+                                  std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) xs.push_back(rng.normal(mu, sigma));
+  return xs;
+}
+
+std::vector<double> uniform_sample(std::size_t n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) xs.push_back(rng.uniform());
+  return xs;
+}
+
+std::vector<double> pareto_sample(std::size_t n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) xs.push_back(rng.pareto(1.0, 1.5));
+  return xs;
+}
+
+TEST(KolmogorovQ, KnownValues) {
+  EXPECT_DOUBLE_EQ(kolmogorov_q(0.0), 1.0);
+  EXPECT_NEAR(kolmogorov_q(1.36), 0.049, 0.002);  // classic 5% critical point
+  EXPECT_LT(kolmogorov_q(2.0), 0.001);
+}
+
+TEST(ChiSquareSf, KnownValues) {
+  EXPECT_NEAR(chi_square_sf(0.0, 3.0), 1.0, 1e-12);
+  // Median of chi-square(2) is 2 ln 2.
+  EXPECT_NEAR(chi_square_sf(2.0 * std::log(2.0), 2.0), 0.5, 1e-9);
+  // 95th percentile of chi-square(9) is about 16.92.
+  EXPECT_NEAR(chi_square_sf(16.92, 9.0), 0.05, 0.002);
+}
+
+TEST(KsTest, AcceptsTrueNormal) {
+  const auto xs = normal_sample(500, 3.0, 2.0, 11);
+  const GofResult r = ks_test_normal(xs, 3.0, 2.0);
+  EXPECT_FALSE(r.reject_at_05);
+  EXPECT_GT(r.p_value, 0.05);
+}
+
+TEST(KsTest, RejectsWrongParameters) {
+  const auto xs = normal_sample(500, 3.0, 2.0, 13);
+  const GofResult r = ks_test_normal(xs, 5.0, 2.0);  // wrong mean
+  EXPECT_TRUE(r.reject_at_05);
+}
+
+TEST(KsTest, RejectsUniform) {
+  const auto xs = uniform_sample(500, 17);
+  const GofResult r = ks_test_normal(xs, 0.5, 0.29);
+  EXPECT_TRUE(r.reject_at_05);
+}
+
+TEST(Lilliefors, AcceptsNormalWithEstimatedParams) {
+  const auto xs = normal_sample(400, -1.0, 0.5, 19);
+  const GofResult r = lilliefors_test(xs);
+  EXPECT_FALSE(r.reject_at_05);
+}
+
+TEST(Lilliefors, RejectsHeavyTail) {
+  const auto xs = pareto_sample(400, 23);
+  const GofResult r = lilliefors_test(xs);
+  EXPECT_TRUE(r.reject_at_05);
+}
+
+TEST(AndersonDarling, AcceptsNormal) {
+  const auto xs = normal_sample(400, 10.0, 3.0, 29);
+  const GofResult r = anderson_darling_normal(xs);
+  EXPECT_FALSE(r.reject_at_05);
+}
+
+TEST(AndersonDarling, RejectsPareto) {
+  const auto xs = pareto_sample(400, 31);
+  const GofResult r = anderson_darling_normal(xs);
+  EXPECT_TRUE(r.reject_at_05);
+  EXPECT_GT(r.statistic, 1.0);
+}
+
+TEST(ChiSquareGof, AcceptsNormal) {
+  const auto xs = normal_sample(1'000, 0.0, 1.0, 37);
+  const GofResult r = chi_square_normal(xs, 0.0, 1.0);
+  EXPECT_FALSE(r.reject_at_05);
+}
+
+TEST(ChiSquareGof, RejectsShiftedNormal) {
+  const auto xs = normal_sample(1'000, 1.0, 1.0, 41);
+  const GofResult r = chi_square_normal(xs, 0.0, 1.0);
+  EXPECT_TRUE(r.reject_at_05);
+}
+
+TEST(ChiSquareGof, RequiresEnoughSamples) {
+  const auto xs = normal_sample(20, 0.0, 1.0, 43);
+  EXPECT_THROW((void)chi_square_normal(xs, 0.0, 1.0), support::Error);
+}
+
+TEST(JarqueBera, AcceptsNormalRejectsSkewed) {
+  EXPECT_FALSE(jarque_bera(normal_sample(2'000, 5.0, 2.0, 47)).reject_at_05);
+  EXPECT_TRUE(jarque_bera(pareto_sample(2'000, 53)).reject_at_05);
+}
+
+// Property sweep: every test accepts normal samples across sizes & scales.
+struct NormCase {
+  std::size_t n;
+  double mu;
+  double sigma;
+};
+
+class AcceptsNormalSweep : public ::testing::TestWithParam<NormCase> {};
+
+TEST_P(AcceptsNormalSweep, AllTestsAccept) {
+  const auto& c = GetParam();
+  const auto xs = normal_sample(c.n, c.mu, c.sigma, 1000 + c.n);
+  EXPECT_FALSE(ks_test_normal(xs, c.mu, c.sigma).reject_at_05);
+  EXPECT_FALSE(lilliefors_test(xs).reject_at_05);
+  EXPECT_FALSE(anderson_darling_normal(xs).reject_at_05);
+  EXPECT_FALSE(jarque_bera(xs).reject_at_05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AcceptsNormalSweep,
+    ::testing::Values(NormCase{100, 0.0, 1.0}, NormCase{250, 12.0, 0.6},
+                      NormCase{500, -4.0, 10.0}, NormCase{2'000, 0.48, 0.025},
+                      NormCase{5'000, 5.25, 0.4}));
+
+TEST(GofGuards, MinimumSampleSizes) {
+  const std::vector<double> tiny{1.0, 2.0, 3.0};
+  EXPECT_THROW((void)ks_test_normal(tiny, 0.0, 1.0), support::Error);
+  EXPECT_THROW((void)lilliefors_test(tiny), support::Error);
+  EXPECT_THROW((void)anderson_darling_normal(tiny), support::Error);
+  EXPECT_THROW((void)jarque_bera(tiny), support::Error);
+}
+
+}  // namespace
+}  // namespace sspred::stats

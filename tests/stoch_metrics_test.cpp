@@ -1,0 +1,72 @@
+// Unit tests for prediction scoring (capture fraction, range error,
+// point-baseline error).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stoch/metrics.hpp"
+#include "support/error.hpp"
+
+namespace sspred::stoch {
+namespace {
+
+TEST(RelativeError, Basics) {
+  EXPECT_DOUBLE_EQ(relative_error(11.0, 10.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(9.0, 10.0), 0.1);
+  EXPECT_THROW((void)relative_error(1.0, 0.0), support::Error);
+}
+
+TEST(Score, AllCaptured) {
+  const std::vector<StochasticValue> preds{{10.0, 2.0}, {20.0, 5.0}};
+  const std::vector<double> actuals{11.0, 18.0};
+  const PredictionScore s = score_predictions(preds, actuals);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.capture_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_range_error, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_range_error, 0.0);
+  EXPECT_NEAR(s.max_mean_error, 2.0 / 18.0, 1e-12);
+}
+
+TEST(Score, PartialCapture) {
+  const std::vector<StochasticValue> preds{{10.0, 1.0}, {10.0, 1.0}};
+  const std::vector<double> actuals{10.5, 13.0};  // second is 2 beyond upper
+  const PredictionScore s = score_predictions(preds, actuals);
+  EXPECT_DOUBLE_EQ(s.capture_fraction, 0.5);
+  EXPECT_NEAR(s.max_range_error, 2.0 / 13.0, 1e-12);
+  EXPECT_NEAR(s.mean_range_error, 1.0 / 13.0, 1e-12);
+}
+
+TEST(Score, PointPredictionsScoreViaMeans) {
+  const std::vector<StochasticValue> preds{StochasticValue(10.0)};
+  const std::vector<double> actuals{12.0};
+  const PredictionScore s = score_predictions(preds, actuals);
+  EXPECT_DOUBLE_EQ(s.capture_fraction, 0.0);
+  EXPECT_NEAR(s.max_mean_error, 2.0 / 12.0, 1e-12);
+  EXPECT_NEAR(s.max_range_error, 2.0 / 12.0, 1e-12);
+}
+
+TEST(Score, MismatchedSizesThrow) {
+  const std::vector<StochasticValue> preds{{1.0, 0.1}};
+  const std::vector<double> actuals{1.0, 2.0};
+  EXPECT_THROW((void)score_predictions(preds, actuals), support::Error);
+}
+
+TEST(Score, NonPositiveActualThrows) {
+  const std::vector<StochasticValue> preds{{1.0, 0.1}};
+  const std::vector<double> actuals{0.0};
+  EXPECT_THROW((void)score_predictions(preds, actuals), support::Error);
+}
+
+TEST(Score, WiderIntervalsCaptureMore) {
+  std::vector<double> actuals;
+  for (int i = 0; i < 20; ++i) actuals.push_back(10.0 + 0.3 * i);
+  std::vector<StochasticValue> narrow(20, StochasticValue(12.0, 1.0));
+  std::vector<StochasticValue> wide(20, StochasticValue(12.0, 4.0));
+  EXPECT_LT(score_predictions(narrow, actuals).capture_fraction,
+            score_predictions(wide, actuals).capture_fraction);
+  EXPECT_LE(score_predictions(wide, actuals).max_range_error,
+            score_predictions(narrow, actuals).max_range_error);
+}
+
+}  // namespace
+}  // namespace sspred::stoch

@@ -1,0 +1,129 @@
+// Unit tests for StochasticValue construction, accessors and range logic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "stoch/stochastic_value.hpp"
+#include "support/error.hpp"
+
+namespace sspred::stoch {
+namespace {
+
+TEST(StochasticValue, DefaultIsZeroPoint) {
+  const StochasticValue v;
+  EXPECT_DOUBLE_EQ(v.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(v.halfwidth(), 0.0);
+  EXPECT_TRUE(v.is_point());
+}
+
+TEST(StochasticValue, MeanHalfwidthAccessors) {
+  const StochasticValue v(12.0, 0.6);
+  EXPECT_DOUBLE_EQ(v.mean(), 12.0);
+  EXPECT_DOUBLE_EQ(v.halfwidth(), 0.6);
+  EXPECT_DOUBLE_EQ(v.sd(), 0.3);
+  EXPECT_DOUBLE_EQ(v.lower(), 11.4);
+  EXPECT_DOUBLE_EQ(v.upper(), 12.6);
+  EXPECT_FALSE(v.is_point());
+}
+
+TEST(StochasticValue, ImplicitFromDoubleIsPoint) {
+  const StochasticValue v = 7.5;
+  EXPECT_TRUE(v.is_point());
+  EXPECT_DOUBLE_EQ(v.mean(), 7.5);
+}
+
+TEST(StochasticValue, NegativeHalfwidthThrows) {
+  EXPECT_THROW(StochasticValue(1.0, -0.1), support::Error);
+}
+
+TEST(StochasticValue, NonFiniteThrows) {
+  EXPECT_THROW(StochasticValue(std::numeric_limits<double>::infinity(), 0.0),
+               support::Error);
+  EXPECT_THROW(StochasticValue(0.0, std::numeric_limits<double>::quiet_NaN()),
+               support::Error);
+}
+
+TEST(StochasticValue, FromPercentMatchesPaperExamples) {
+  // Paper Table 1: 12 sec ± 30% -> interval [8.4, 15.6].
+  const StochasticValue b = StochasticValue::from_percent(12.0, 30.0);
+  EXPECT_DOUBLE_EQ(b.lower(), 8.4);
+  EXPECT_DOUBLE_EQ(b.upper(), 15.6);
+  // 12 sec ± 5% -> [11.4, 12.6].
+  const StochasticValue a = StochasticValue::from_percent(12.0, 5.0);
+  EXPECT_DOUBLE_EQ(a.lower(), 11.4);
+  EXPECT_DOUBLE_EQ(a.upper(), 12.6);
+}
+
+TEST(StochasticValue, FromPercentOfNegativeMean) {
+  const StochasticValue v = StochasticValue::from_percent(-10.0, 10.0);
+  EXPECT_DOUBLE_EQ(v.halfwidth(), 1.0);  // halfwidth stays positive
+}
+
+TEST(StochasticValue, FromMeanSdDoublesTheSd) {
+  const StochasticValue v = StochasticValue::from_mean_sd(5.25, 0.4);
+  EXPECT_DOUBLE_EQ(v.halfwidth(), 0.8);  // the paper's 5.25 ± 0.8
+  EXPECT_DOUBLE_EQ(v.sd(), 0.4);
+}
+
+TEST(StochasticValue, FromSampleUsesSampleMoments) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  const StochasticValue v = StochasticValue::from_sample(xs);
+  EXPECT_DOUBLE_EQ(v.mean(), 3.0);
+  EXPECT_NEAR(v.sd(), std::sqrt(2.5), 1e-12);
+}
+
+TEST(StochasticValue, RelativeHalfwidth) {
+  const StochasticValue v = StochasticValue::from_percent(8.0, 25.0);
+  EXPECT_NEAR(v.relative(), 0.25, 1e-12);
+  EXPECT_THROW((void)StochasticValue(0.0, 1.0).relative(), support::Error);
+}
+
+TEST(StochasticValue, ContainsIsClosedInterval) {
+  const StochasticValue v(10.0, 1.0);
+  EXPECT_TRUE(v.contains(9.0));
+  EXPECT_TRUE(v.contains(11.0));
+  EXPECT_TRUE(v.contains(10.5));
+  EXPECT_FALSE(v.contains(8.999));
+  EXPECT_FALSE(v.contains(11.001));
+}
+
+TEST(StochasticValue, OutOfRangeDistancePerPaperFootnote6) {
+  const StochasticValue v(10.0, 1.0);  // range [9, 11]
+  EXPECT_DOUBLE_EQ(v.out_of_range_distance(10.3), 0.0);
+  EXPECT_DOUBLE_EQ(v.out_of_range_distance(8.0), 1.0);
+  EXPECT_DOUBLE_EQ(v.out_of_range_distance(12.5), 1.5);
+}
+
+TEST(StochasticValue, ToNormalRoundTrip) {
+  const StochasticValue v(3.0, 2.0);
+  const auto n = v.to_normal();
+  EXPECT_DOUBLE_EQ(n.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(n.sd(), 1.0);
+  EXPECT_THROW((void)StochasticValue(3.0, 0.0).to_normal(), support::Error);
+}
+
+TEST(StochasticValue, TwoSigmaCoversAbout95Percent) {
+  const StochasticValue v(0.0, 2.0);  // sd = 1
+  const auto n = v.to_normal();
+  EXPECT_NEAR(n.probability_in(v.lower(), v.upper()), 0.9545, 1e-3);
+}
+
+TEST(StochasticValue, ToStringFormats) {
+  EXPECT_EQ(StochasticValue(12.0, 0.6).to_string(2), "12.00 ± 0.60");
+  EXPECT_EQ(StochasticValue(3.0).to_string(1), "3.0");
+  std::ostringstream os;
+  os << StochasticValue(1.0, 0.5);
+  EXPECT_NE(os.str().find("±"), std::string::npos);
+}
+
+TEST(StochasticValue, EqualityComparesBothFields) {
+  EXPECT_EQ(StochasticValue(1.0, 0.5), StochasticValue(1.0, 0.5));
+  EXPECT_NE(StochasticValue(1.0, 0.5), StochasticValue(1.0, 0.4));
+  EXPECT_NE(StochasticValue(1.0, 0.5), StochasticValue(2.0, 0.5));
+}
+
+}  // namespace
+}  // namespace sspred::stoch

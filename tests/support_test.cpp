@@ -1,0 +1,248 @@
+// Unit tests for the support module: RNG streams & distributions, error
+// handling, table/CSV/plot rendering, unit conversions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "support/ascii_plot.hpp"
+#include "support/csv.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+namespace sspred::support {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1'000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1'000; ++i) seen.insert(rng.uniform_int(10));
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 9u);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.03);
+  EXPECT_NEAR(var, 4.0, 0.08);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Rng, ParetoRespectsScaleAndHasHeavyTail) {
+  Rng rng(17);
+  double max_seen = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.pareto(1.0, 2.5);
+    EXPECT_GE(x, 1.0);
+    max_seen = std::max(max_seen, x);
+  }
+  EXPECT_GT(max_seen, 10.0);  // a heavy tail produces far-out values
+}
+
+TEST(Rng, LognormalMedianIsExpMu) {
+  Rng rng(19);
+  std::vector<double> xs;
+  for (int i = 0; i < 50'000; ++i) xs.push_back(rng.lognormal(1.0, 0.5));
+  std::sort(xs.begin(), xs.end());
+  EXPECT_NEAR(xs[xs.size() / 2], std::exp(1.0), 0.05);
+}
+
+TEST(Rng, ChooseFollowsWeights) {
+  Rng rng(23);
+  const std::vector<double> weights{1.0, 3.0, 6.0};
+  std::array<int, 3> counts{};
+  const int n = 60'000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.choose(weights)];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, ChooseZeroWeightNeverPicked) {
+  Rng rng(29);
+  const std::vector<double> weights{0.0, 1.0};
+  for (int i = 0; i < 1'000; ++i) EXPECT_EQ(rng.choose(weights), 1u);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(31);
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Error, RequireThrowsWithContext) {
+  try {
+    SSPRED_REQUIRE(1 == 2, "one is not two");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Error, RequirePassesSilently) {
+  EXPECT_NO_THROW(SSPRED_REQUIRE(true, "fine"));
+}
+
+TEST(Units, MbitsRoundTrip) {
+  EXPECT_DOUBLE_EQ(mbits_per_sec(10.0), 1.25e6);
+  EXPECT_DOUBLE_EQ(to_mbits_per_sec(mbits_per_sec(8.0)), 8.0);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"Machine", "Time"});
+  t.add_row({"A", "10"});
+  t.add_row({"BBBB", "5"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Machine"), std::string::npos);
+  EXPECT_NE(out.find("BBBB"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+}
+
+TEST(Table, NumericRowFormatting) {
+  Table t({"label", "x", "y"});
+  t.add_row("row", {1.23456, 2.0}, 2);
+  EXPECT_NE(t.render().find("1.23"), std::string::npos);
+}
+
+TEST(Format, PlusMinusAndPercent) {
+  EXPECT_EQ(fmt_pm(12.0, 0.6, 2), "12.00 ± 0.60");
+  EXPECT_EQ(fmt_pct(0.097), "9.7%");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = "/tmp/sspred_csv_test.csv";
+  {
+    CsvWriter w(path, {"a", "b"});
+    w.write_row({1.5, 2.5});
+    w.write_row({3.0, 4.0});
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.5,2.5");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  CsvWriter w("/tmp/sspred_csv_test2.csv", {"a"});
+  EXPECT_THROW(w.write_row({1.0, 2.0}), Error);
+  std::filesystem::remove("/tmp/sspred_csv_test2.csv");
+}
+
+TEST(AsciiPlot, HistogramRendersBars) {
+  const std::vector<double> edges{0.0, 1.0, 2.0};
+  const std::vector<double> counts{4.0, 8.0};
+  const std::string out = render_histogram(edges, counts);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(AsciiPlot, HistogramRejectsMismatchedEdges) {
+  const std::vector<double> edges{0.0, 1.0};
+  const std::vector<double> counts{1.0, 2.0};
+  EXPECT_THROW((void)render_histogram(edges, counts), Error);
+}
+
+TEST(AsciiPlot, SeriesRendersGlyphsAndAxis) {
+  std::vector<double> ys;
+  for (int i = 0; i < 40; ++i) ys.push_back(std::sin(i * 0.3));
+  PlotOptions opts;
+  opts.title = "wave";
+  const std::string out = render_series(ys, opts);
+  EXPECT_NE(out.find("wave"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(AsciiPlot, MultiSeriesLegend) {
+  Series a{"alpha", {0, 1, 2}, {1, 2, 3}, 'a'};
+  Series b{"beta", {0, 1, 2}, {3, 2, 1}, 'b'};
+  const std::vector<Series> ss{a, b};
+  const std::string out = render_xy(ss);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sspred::support
