@@ -1,13 +1,18 @@
 // M1 microbenchmarks (google-benchmark): throughput of the core
 // primitives — stochastic arithmetic, Clark max, normal quantiles, GMM
 // fitting, DES event processing, channel round-trips, load-trace
-// integration and the SOR sweep kernel.
+// integration, the SOR sweep kernel, and tree-vs-compiled structural
+// model evaluation (results recorded in BENCH_compiled_ir.json).
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <vector>
 
 #include "cluster/platform.hpp"
 #include "machine/load_trace.hpp"
+#include "model/compile.hpp"
+#include "model/expr.hpp"
+#include "predict/sor_model.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 #include "sor/serial.hpp"
@@ -140,6 +145,104 @@ void BM_SorSweep(benchmark::State& state) {
                           static_cast<std::int64_t>(n * n));
 }
 BENCHMARK(BM_SorSweep)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+// --- Tree vs compiled IR on the Platform-2 SOR structural model. The
+// acceptance bar for the compiled path (ISSUE: "compiled >= 3x faster for
+// repeated evaluation") is measured by the *Repeated* pair below.
+
+struct SorFixture {
+  SorFixture() : model(make_model()) {
+    const std::vector<stoch::StochasticValue> loads(
+        cluster::platform2().hosts.size(),
+        stoch::StochasticValue(0.62, 0.08));
+    env = model.make_env(loads, stoch::StochasticValue(0.525, 0.06));
+    slots = std::make_unique<model::ir::SlotEnvironment>(
+        model.make_slot_env(loads, stoch::StochasticValue(0.525, 0.06)));
+  }
+
+  static predict::SorStructuralModel make_model() {
+    sor::SorConfig cfg;
+    cfg.n = 600;
+    cfg.iterations = 20;
+    return predict::SorStructuralModel(cluster::platform2(), cfg);
+  }
+
+  predict::SorStructuralModel model;
+  model::Environment env;
+  std::unique_ptr<model::ir::SlotEnvironment> slots;
+};
+
+void BM_ModelTreeEvaluateOnce(benchmark::State& state) {
+  // Author + evaluate per iteration: what a caller pays for a one-shot
+  // tree prediction.
+  const SorFixture fx;
+  for (auto _ : state) {
+    const auto m = SorFixture::make_model();
+    benchmark::DoNotOptimize(m.expr()->evaluate(fx.env));
+  }
+}
+BENCHMARK(BM_ModelTreeEvaluateOnce)->Unit(benchmark::kMicrosecond);
+
+void BM_ModelCompileAndEvaluateOnce(benchmark::State& state) {
+  // Author + compile + evaluate per iteration: the compiled path's
+  // one-shot cost, including compilation itself.
+  const SorFixture fx;
+  for (auto _ : state) {
+    const auto m = SorFixture::make_model();
+    benchmark::DoNotOptimize(m.predict(*fx.slots));
+  }
+}
+BENCHMARK(BM_ModelCompileAndEvaluateOnce)->Unit(benchmark::kMicrosecond);
+
+void BM_ModelTreeEvaluateRepeated(benchmark::State& state) {
+  // Steady-state tree evaluation: shared_ptr walk + virtual dispatch +
+  // string-keyed parameter lookups per evaluation.
+  const SorFixture fx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.model.expr()->evaluate(fx.env));
+  }
+}
+BENCHMARK(BM_ModelTreeEvaluateRepeated);
+
+void BM_ModelCompiledEvaluateRepeated(benchmark::State& state) {
+  // Steady-state compiled evaluation with a reused workspace: one linear
+  // walk over the flat node buffer, slot-indexed parameters.
+  const SorFixture fx;
+  model::ir::EvalWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.model.program().evaluate(*fx.slots, ws));
+  }
+}
+BENCHMARK(BM_ModelCompiledEvaluateRepeated);
+
+void BM_ModelTreeMonteCarlo10k(benchmark::State& state) {
+  const SorFixture fx;
+  support::Rng rng(17);
+  for (auto _ : state) {
+    std::vector<double> outcomes;
+    outcomes.reserve(10'000);
+    model::SampleCache cache;
+    for (int t = 0; t < 10'000; ++t) {
+      cache.clear();
+      outcomes.push_back(fx.model.expr()->sample(fx.env, cache, rng));
+    }
+    benchmark::DoNotOptimize(stoch::StochasticValue::from_sample(outcomes));
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_ModelTreeMonteCarlo10k)->Unit(benchmark::kMillisecond);
+
+void BM_ModelCompiledMonteCarlo10k(benchmark::State& state) {
+  const SorFixture fx;
+  support::Rng rng(17);
+  model::ir::EvalWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx.model.program().sample_trials(*fx.slots, rng, 10'000, ws));
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_ModelCompiledMonteCarlo10k)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -153,7 +153,9 @@ int cmd_predict(const std::map<std::string, std::string>& opts) {
   const auto bwavail = parse_sv(get(opts, "bwavail", "1:0"));
 
   const predict::SorStructuralModel model(spec, cfg);
-  const auto env = model.make_env(loads, bwavail);
+  // Bind by slot into the compiled program (model/ir.hpp) — prediction
+  // and breakdown share one slot environment.
+  const auto env = model.make_slot_env(loads, bwavail);
   const auto prediction = model.predict(env);
   std::printf("prediction: %s s  (point: %.2f s)\n",
               prediction.to_string(2).c_str(), model.predict_point(env));

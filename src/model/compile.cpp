@@ -1,0 +1,35 @@
+#include "model/compile.hpp"
+
+#include "support/error.hpp"
+
+namespace sspred::model {
+
+ir::Program compile(const Expr& expr) {
+  ir::Builder builder;
+  (void)expr.lower(builder);
+  return builder.take();
+}
+
+ir::Program compile(const Expr& expr, const ir::Program& slot_base) {
+  ir::Builder builder(slot_base);
+  (void)expr.lower(builder);
+  return builder.take();
+}
+
+ir::SlotEnvironment bind_environment(const ir::Program& program,
+                                     const Environment& env) {
+  ir::SlotEnvironment slots = program.make_environment();
+  const auto& names = program.slot_names();
+  for (std::uint32_t s = 0; s < names.size(); ++s) {
+    slots.bind(s, env.lookup(names[s]));
+  }
+  return slots;
+}
+
+stoch::StochasticValue monte_carlo(const ir::Program& program,
+                                   const ir::SlotEnvironment& env,
+                                   support::Rng& rng, std::size_t trials) {
+  return program.sample_trials(env, rng, trials);
+}
+
+}  // namespace sspred::model

@@ -1,0 +1,38 @@
+// compile() — the only bridge between the Expr authoring frontend and the
+// flat slot-indexed IR (ir.hpp).
+//
+// Two-phase lifecycle: build the model once as an Expr tree (readable,
+// composable, the differential-testing oracle), compile it once, then
+// answer every prediction query from the compiled Program. Structural
+// models (predict/sor_model.hpp) do exactly this at construction.
+#pragma once
+
+#include "model/expr.hpp"
+#include "model/ir.hpp"
+
+namespace sspred::model {
+
+/// Flattens `expr` into a post-order Program with parameters interned to
+/// integer slots (slot ids assigned in first-occurrence order).
+[[nodiscard]] ir::Program compile(const Expr& expr);
+
+/// Like compile(), but seeds the slot table from `slot_base` so programs
+/// compiled from related expressions — a model and its per-component
+/// breakdown terms — agree on slot ids and can share one SlotEnvironment.
+[[nodiscard]] ir::Program compile(const Expr& expr,
+                                  const ir::Program& slot_base);
+
+/// Binds every slot of `program` from the string-keyed environment
+/// (throws the Environment's unbound-parameter error if one is missing).
+/// Bridge for callers still holding a tree-style Environment; hot paths
+/// should bind slots directly instead.
+[[nodiscard]] ir::SlotEnvironment bind_environment(const ir::Program& program,
+                                                   const Environment& env);
+
+/// Monte-Carlo over a compiled program (mean ± 2sd of `trials` samples).
+[[nodiscard]] stoch::StochasticValue monte_carlo(const ir::Program& program,
+                                                 const ir::SlotEnvironment& env,
+                                                 support::Rng& rng,
+                                                 std::size_t trials = 10'000);
+
+}  // namespace sspred::model

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "model/compile.hpp"
+#include "model/ir.hpp"
 #include "stoch/montecarlo.hpp"
 #include "support/error.hpp"
 
@@ -19,7 +21,15 @@ void Environment::bind(const std::string& name, StochasticValue value) {
 
 const StochasticValue& Environment::lookup(const std::string& name) const {
   const auto it = bindings_.find(name);
-  SSPRED_REQUIRE(it != bindings_.end(), "unbound model parameter: " + name);
+  if (it == bindings_.end()) {
+    std::string bound;
+    for (const auto& [bound_name, _] : bindings_) {
+      if (!bound.empty()) bound += ", ";
+      bound += bound_name;
+    }
+    SSPRED_REQUIRE(false, "unbound model parameter '" + name + "'; bound: " +
+                              (bound.empty() ? "(none)" : bound));
+  }
   return it->second;
 }
 
@@ -48,6 +58,22 @@ namespace {
   return dep == Dependence::kRelated ? "~rel" : "";
 }
 
+/// Lowers a child subtree, reusing an earlier emission when the same
+/// authoring node (a shared ExprPtr) was already lowered into this
+/// program: deterministic walks then copy the occurrence's value instead
+/// of recomputing the region. Sampling still re-executes the region, so
+/// draw-per-occurrence semantics and the tree's RNG stream are preserved.
+[[nodiscard]] std::uint32_t lower_child(const ExprPtr& e,
+                                        ir::Builder& builder) {
+  if (e.use_count() <= 1) return e->lower(builder);
+  const std::uint32_t reused = builder.emit_shared_ref(e.get());
+  if (reused != ir::Builder::kNoNode) return reused;
+  const std::uint32_t begin = builder.next_index();
+  const std::uint32_t root = e->lower(builder);
+  builder.note_shared(e.get(), begin, root);
+  return root;
+}
+
 class ConstExpr final : public Expr {
  public:
   explicit ConstExpr(StochasticValue v) : value_(v) {}
@@ -61,6 +87,9 @@ class ConstExpr final : public Expr {
   }
   std::string to_string() const override { return value_.to_string(); }
   void collect_params(std::vector<std::string>&) const override {}
+  std::uint32_t lower(ir::Builder& builder) const override {
+    return builder.emit_const(value_);
+  }
 
  private:
   StochasticValue value_;
@@ -87,6 +116,9 @@ class ParamExpr final : public Expr {
   void collect_params(std::vector<std::string>& out) const override {
     out.push_back(name_);
   }
+  std::uint32_t lower(ir::Builder& builder) const override {
+    return builder.emit_param(name_);
+  }
 
  private:
   std::string name_;
@@ -106,6 +138,14 @@ class NaryExpr : public Expr {
   }
 
  protected:
+  /// Lowers every child (post-order) and returns their node ids.
+  [[nodiscard]] std::vector<std::uint32_t> lower_children(
+      ir::Builder& builder) const {
+    std::vector<std::uint32_t> ids;
+    ids.reserve(children_.size());
+    for (const auto& c : children_) ids.push_back(lower_child(c, builder));
+    return ids;
+  }
   [[nodiscard]] std::string join(const char* op, const char* suffix) const {
     std::ostringstream os;
     os << "(";
@@ -142,6 +182,10 @@ class SumExpr final : public NaryExpr {
     return acc;
   }
   std::string to_string() const override { return join("+", dep_suffix(dep_)); }
+  std::uint32_t lower(ir::Builder& builder) const override {
+    return builder.emit_group(ir::OpCode::kSum, lower_children(builder), dep_,
+                              ExtremePolicy::kLargestMean);
+  }
 
  private:
   Dependence dep_;
@@ -170,6 +214,10 @@ class ProdExpr final : public NaryExpr {
     return acc;
   }
   std::string to_string() const override { return join("*", dep_suffix(dep_)); }
+  std::uint32_t lower(ir::Builder& builder) const override {
+    return builder.emit_group(ir::OpCode::kProd, lower_children(builder), dep_,
+                              ExtremePolicy::kLargestMean);
+  }
 
  private:
   Dependence dep_;
@@ -202,6 +250,17 @@ class DivExpr final : public Expr {
   void collect_params(std::vector<std::string>& out) const override {
     num_->collect_params(out);
     den_->collect_params(out);
+  }
+  std::uint32_t lower(ir::Builder& builder) const override {
+    // Denominator region first: sample() above draws the denominator
+    // before the numerator, and the compiled sample walk executes the
+    // buffer linearly — emission order IS draw order. The operand ids
+    // keep num/den identity for the stochastic and point walks.
+    const std::uint32_t den = lower_child(den_, builder);
+    const std::uint32_t num = lower_child(num_, builder);
+    const std::uint32_t ids[] = {num, den};
+    return builder.emit_group(ir::OpCode::kDiv, ids, dep_,
+                              ExtremePolicy::kLargestMean);
   }
 
  private:
@@ -240,6 +299,11 @@ class MaxExpr final : public NaryExpr {
   }
   std::string to_string() const override {
     return std::string(is_max_ ? "max" : "min") + join(",", "");
+  }
+  std::uint32_t lower(ir::Builder& builder) const override {
+    return builder.emit_group(is_max_ ? ir::OpCode::kMax : ir::OpCode::kMin,
+                              lower_children(builder), Dependence::kUnrelated,
+                              policy_);
   }
 
  private:
@@ -286,6 +350,11 @@ class IterateExpr final : public Expr {
   }
   void collect_params(std::vector<std::string>& out) const override {
     body_->collect_params(out);
+  }
+  std::uint32_t lower(ir::Builder& builder) const override {
+    const std::uint32_t body_begin = builder.next_index();
+    (void)lower_child(body_, builder);
+    return builder.emit_iterate(body_begin, n_, dep_);
   }
 
  private:
@@ -338,13 +407,11 @@ ExprPtr iterate(ExprPtr body, std::size_t iterations, Dependence dep) {
 stoch::StochasticValue monte_carlo(const Expr& expr, const Environment& env,
                                    support::Rng& rng, std::size_t trials) {
   SSPRED_REQUIRE(trials >= 2, "monte_carlo needs at least 2 trials");
-  std::vector<double> results;
-  results.reserve(trials);
-  for (std::size_t i = 0; i < trials; ++i) {
-    SampleCache cache;
-    results.push_back(expr.sample(env, cache, rng));
-  }
-  return StochasticValue::from_sample(results);
+  // Compile once, then batch the trials on the flat program: one value
+  // stack and one per-slot sample cache for the whole run, and an RNG
+  // stream identical to sampling the tree trial by trial.
+  const ir::Program program = compile(expr);
+  return program.sample_trials(bind_environment(program, env), rng, trials);
 }
 
 }  // namespace sspred::model

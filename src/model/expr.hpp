@@ -22,12 +22,18 @@
 
 namespace sspred::model {
 
+namespace ir {
+class Builder;
+}  // namespace ir
+
 /// Parameter bindings for one evaluation.
 class Environment {
  public:
   /// Binds (or rebinds) a parameter.
   void bind(const std::string& name, stoch::StochasticValue value);
 
+  /// Throws sspred::support::Error naming the parameter and listing the
+  /// bound names when `name` is unbound.
   [[nodiscard]] const stoch::StochasticValue& lookup(
       const std::string& name) const;
   [[nodiscard]] bool has(const std::string& name) const noexcept;
@@ -66,6 +72,11 @@ class Expr {
 
   /// Collects parameter names into `out` (duplicates possible).
   virtual void collect_params(std::vector<std::string>& out) const = 0;
+
+  /// Emits this node into the flat-IR builder, children first (post-order),
+  /// and returns the emitted node id. Implementation detail of
+  /// model::compile() (compile.hpp) — call that instead.
+  virtual std::uint32_t lower(ir::Builder& builder) const = 0;
 
   /// All distinct parameter names in the expression.
   [[nodiscard]] std::vector<std::string> parameters() const;
@@ -118,6 +129,9 @@ class Expr {
 }
 
 /// Full Monte-Carlo evaluation: `trials` samples summarized as mean ± 2sd.
+/// Routes through the compiled flat IR (one compile, then batched
+/// sampling with a reused value stack and per-slot sample cache); the RNG
+/// stream is identical to sampling the tree directly.
 [[nodiscard]] stoch::StochasticValue monte_carlo(const Expr& expr,
                                                  const Environment& env,
                                                  support::Rng& rng,

@@ -1,0 +1,605 @@
+#include "model/ir.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stoch/montecarlo.hpp"
+#include "support/error.hpp"
+
+namespace sspred::model::ir {
+
+using stoch::Dependence;
+using stoch::StochasticValue;
+
+namespace {
+
+/// "a, b, c" or "(none)" — shared by the unbound-slot guards.
+[[nodiscard]] std::string join_names(const std::vector<std::string>& names) {
+  if (names.empty()) return "(none)";
+  std::string out;
+  for (const auto& n : names) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+}  // namespace
+
+SlotEnvironment::SlotEnvironment(
+    std::shared_ptr<const std::vector<std::string>> names)
+    : values_(names->size()),
+      bound_(names->size(), 0),
+      names_(std::move(names)) {}
+
+void SlotEnvironment::bind(std::uint32_t slot, StochasticValue value) {
+  SSPRED_REQUIRE(slot < values_.size(),
+                 "slot " + std::to_string(slot) + " out of range (program has " +
+                     std::to_string(values_.size()) + " parameter slots)");
+  values_[slot] = value;
+  bound_[slot] = 1;
+}
+
+const StochasticValue& SlotEnvironment::lookup(std::uint32_t slot) const {
+  if (slot < bound_.size() && bound_[slot] != 0) return values_[slot];
+  std::string msg = "unbound model parameter slot " + std::to_string(slot);
+  if (slot < names_->size()) msg += " ('" + (*names_)[slot] + "')";
+  std::vector<std::string> bound_names;
+  for (std::size_t s = 0; s < bound_.size(); ++s) {
+    if (bound_[s] != 0) bound_names.push_back((*names_)[s]);
+  }
+  msg += "; bound: " + join_names(bound_names);
+  SSPRED_REQUIRE(false, msg);
+  return values_[slot];  // unreachable
+}
+
+std::uint32_t Program::slot(const std::string& name) const {
+  const auto it = slot_ids_.find(name);
+  SSPRED_REQUIRE(it != slot_ids_.end(),
+                 "no model parameter named '" + name +
+                     "'; program parameters: " + join_names(*slot_names_));
+  return it->second;
+}
+
+void Program::resize_workspace(EvalWorkspace& ws) const {
+  ws.values.resize(nodes_.size());
+  ws.point_values.resize(nodes_.size());
+  ws.slot_sample.resize(slot_names_->size());
+  ws.slot_drawn.resize(slot_names_->size());
+}
+
+// --- Stochastic walk (§2.3 calculus) --------------------------------------
+
+void Program::exec_stochastic(const SlotEnvironment& env,
+                              EvalWorkspace& ws) const {
+  // The group cases fold inline over the operand ids rather than gathering
+  // into a scratch buffer and calling the stoch:: span helpers — this walk
+  // is the hot path under repeated prediction, and the gather + call pair
+  // dominated its per-node cost. Each fold replicates the corresponding
+  // helper's arithmetic step for step (sum_span, mul_span's mul() chain,
+  // smax/smin selection), so results stay bit-identical to the tree path;
+  // the differential tests in tests/compile_test.cpp pin that down.
+  StochasticValue* const vals = ws.values.data();
+  const std::uint32_t* const ops = operands_.data();
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    switch (node.op) {
+      case OpCode::kConst:
+        vals[i] = constants_[node.payload];
+        break;
+      case OpCode::kParam:
+        vals[i] = env.lookup(node.payload);
+        break;
+      case OpCode::kSum: {
+        // stoch::sum_span: fold from the first operand; per-step sqrt in
+        // the unrelated regime keeps it bit-identical to repeated add().
+        const std::uint32_t* o = ops + node.first;
+        double mean = vals[o[0]].mean();
+        double half = vals[o[0]].halfwidth();
+        if (node.dep == Dependence::kRelated) {
+          for (std::uint32_t k = 1; k < node.count; ++k) {
+            mean += vals[o[k]].mean();
+            half += vals[o[k]].halfwidth();
+          }
+        } else {
+          for (std::uint32_t k = 1; k < node.count; ++k) {
+            mean += vals[o[k]].mean();
+            const double b = vals[o[k]].halfwidth();
+            half = std::sqrt(half * half + b * b);
+          }
+        }
+        vals[i] = StochasticValue(mean, half);
+        break;
+      }
+      case OpCode::kProd: {
+        // stoch::mul_span: fold mul() from the first operand, including
+        // the §2.3.2 zero-mean -> zero point value rule.
+        const std::uint32_t* o = ops + node.first;
+        double mean = vals[o[0]].mean();
+        double half = vals[o[0]].halfwidth();
+        for (std::uint32_t k = 1; k < node.count; ++k) {
+          const StochasticValue& y = vals[o[k]];
+          if (mean == 0.0 || y.mean() == 0.0) {
+            mean = 0.0;
+            half = 0.0;
+            continue;
+          }
+          const double m = mean * y.mean();
+          if (node.dep == Dependence::kRelated) {
+            half = std::abs(half * y.mean()) + std::abs(y.halfwidth() * mean) +
+                   std::abs(half * y.halfwidth());
+          } else {
+            const double ra = half / mean;
+            const double rb = y.halfwidth() / y.mean();
+            half = std::abs(m) * std::sqrt(ra * ra + rb * rb);
+          }
+          mean = m;
+        }
+        vals[i] = StochasticValue(mean, half);
+        break;
+      }
+      case OpCode::kMax:
+      case OpCode::kMin: {
+        const std::uint32_t* o = ops + node.first;
+        if (node.policy == stoch::ExtremePolicy::kClark) {
+          // Clark's moment-matching fold has no cheap scan form; keep the
+          // gather + library path for it.
+          ws.scratch.clear();
+          for (std::uint32_t k = 0; k < node.count; ++k) {
+            ws.scratch.push_back(vals[o[k]]);
+          }
+          vals[i] = node.op == OpCode::kMax
+                        ? stoch::smax(ws.scratch, node.policy)
+                        : stoch::smin(ws.scratch, node.policy);
+          break;
+        }
+        // kLargestMean / kLargestUpper select one operand. smin's
+        // negate/smax/negate definition reduces to picking the smallest
+        // mean (resp. smallest lower bound): IEEE negation is exact, so
+        // comparing negated quantities and un-negating the winner returns
+        // that operand bit-for-bit.
+        std::uint32_t best = o[0];
+        if (node.policy == stoch::ExtremePolicy::kLargestMean) {
+          for (std::uint32_t k = 1; k < node.count; ++k) {
+            if (node.op == OpCode::kMax ? vals[o[k]].mean() > vals[best].mean()
+                                        : vals[o[k]].mean() < vals[best].mean())
+              best = o[k];
+          }
+        } else {
+          for (std::uint32_t k = 1; k < node.count; ++k) {
+            if (node.op == OpCode::kMax
+                    ? vals[o[k]].upper() > vals[best].upper()
+                    : vals[o[k]].lower() < vals[best].lower())
+              best = o[k];
+          }
+        }
+        vals[i] = vals[best];
+        break;
+      }
+      case OpCode::kDiv: {
+        const StochasticValue& x = vals[ops[node.first]];
+        const StochasticValue& y = vals[ops[node.first + 1]];
+        // stoch::div = guard + mul(x, inverse(y)); the zero-straddle
+        // diagnostic stays with the library on the cold path.
+        if (y.lower() <= 0.0 && y.upper() >= 0.0) {
+          vals[i] = stoch::div(x, y, node.dep);  // throws with full context
+          break;
+        }
+        const double im = 1.0 / y.mean();
+        const double ih = std::abs(y.halfwidth() / (y.mean() * y.mean()));
+        if (x.mean() == 0.0 || im == 0.0) {
+          vals[i] = StochasticValue();
+          break;
+        }
+        const double m = x.mean() * im;
+        double half = 0.0;
+        if (node.dep == Dependence::kRelated) {
+          half = std::abs(x.halfwidth() * im) + std::abs(ih * x.mean()) +
+                 std::abs(x.halfwidth() * ih);
+        } else {
+          const double ra = x.halfwidth() / x.mean();
+          const double rb = ih / im;
+          half = std::abs(m) * std::sqrt(ra * ra + rb * rb);
+        }
+        vals[i] = StochasticValue(m, half);
+        break;
+      }
+      case OpCode::kIterate: {
+        const StochasticValue body = vals[i - 1];
+        const double n = static_cast<double>(node.payload);
+        // Related: the same slow machine stays slow every iteration -> n·a.
+        // Unrelated: iteration noise averages out -> sqrt(n)·a.
+        const double half = node.dep == Dependence::kRelated
+                                ? n * body.halfwidth()
+                                : std::sqrt(n) * body.halfwidth();
+        vals[i] = StochasticValue(n * body.mean(), half);
+        break;
+      }
+      case OpCode::kRef:
+        // Deterministic evaluation of a subtree is context-free, so a
+        // shared occurrence's value can simply be copied.
+        vals[i] = vals[node.payload];
+        break;
+    }
+  }
+}
+
+StochasticValue Program::evaluate(const SlotEnvironment& env,
+                                  EvalWorkspace& ws) const {
+  SSPRED_REQUIRE(env.size() == slot_count(),
+                 "slot environment shape does not match the program (create "
+                 "it with make_environment())");
+  resize_workspace(ws);
+  exec_stochastic(env, ws);
+  return ws.values[nodes_.size() - 1];
+}
+
+StochasticValue Program::evaluate(const SlotEnvironment& env) const {
+  EvalWorkspace ws;
+  return evaluate(env, ws);
+}
+
+// --- Point walk -----------------------------------------------------------
+
+void Program::exec_point(const SlotEnvironment& env, EvalWorkspace& ws) const {
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    switch (node.op) {
+      case OpCode::kConst:
+        ws.point_values[i] = constants_[node.payload].mean();
+        break;
+      case OpCode::kParam:
+        ws.point_values[i] = env.lookup(node.payload).mean();
+        break;
+      case OpCode::kSum: {
+        double acc = 0.0;
+        for (std::uint32_t k = 0; k < node.count; ++k) {
+          acc += ws.point_values[operands_[node.first + k]];
+        }
+        ws.point_values[i] = acc;
+        break;
+      }
+      case OpCode::kProd: {
+        double acc = 1.0;
+        for (std::uint32_t k = 0; k < node.count; ++k) {
+          acc *= ws.point_values[operands_[node.first + k]];
+        }
+        ws.point_values[i] = acc;
+        break;
+      }
+      case OpCode::kMax:
+      case OpCode::kMin: {
+        double acc = ws.point_values[operands_[node.first]];
+        for (std::uint32_t k = 1; k < node.count; ++k) {
+          const double v = ws.point_values[operands_[node.first + k]];
+          acc = node.op == OpCode::kMax ? std::max(acc, v) : std::min(acc, v);
+        }
+        ws.point_values[i] = acc;
+        break;
+      }
+      case OpCode::kDiv: {
+        const double d = ws.point_values[operands_[node.first + 1]];
+        SSPRED_REQUIRE(d != 0.0, "point division by zero");
+        ws.point_values[i] = ws.point_values[operands_[node.first]] / d;
+        break;
+      }
+      case OpCode::kIterate:
+        ws.point_values[i] =
+            static_cast<double>(node.payload) * ws.point_values[i - 1];
+        break;
+      case OpCode::kRef:
+        ws.point_values[i] = ws.point_values[node.payload];
+        break;
+    }
+  }
+}
+
+double Program::evaluate_point(const SlotEnvironment& env,
+                               EvalWorkspace& ws) const {
+  SSPRED_REQUIRE(env.size() == slot_count(),
+                 "slot environment shape does not match the program (create "
+                 "it with make_environment())");
+  resize_workspace(ws);
+  exec_point(env, ws);
+  return ws.point_values[nodes_.size() - 1];
+}
+
+double Program::evaluate_point(const SlotEnvironment& env) const {
+  EvalWorkspace ws;
+  return evaluate_point(env, ws);
+}
+
+// --- Monte-Carlo walk -----------------------------------------------------
+
+void Program::exec_sample(const SlotEnvironment& env, support::Rng& rng,
+                          EvalWorkspace& ws, std::uint32_t lo,
+                          std::uint32_t hi) const {
+  std::uint32_t i = lo;
+  while (i < hi) {
+    // An unrelated-iterate body must NOT run under the enclosing per-slot
+    // cache — the tree gives each iteration an independent fresh cache —
+    // so the walk jumps over the body region to the iterate node, which
+    // drives the iterations itself. With nested bodies sharing a begin
+    // position, the outermost iterate inside the current region wins.
+    if (has_skip_[i] != 0) {
+      auto it = std::lower_bound(
+          sample_skips_.begin(), sample_skips_.end(),
+          std::pair<std::uint32_t, std::uint32_t>{i, 0});
+      std::uint32_t target = 0;
+      for (; it != sample_skips_.end() && it->first == i; ++it) {
+        if (it->second < hi) target = std::max(target, it->second);
+      }
+      if (target != 0) {
+        const Node& node = nodes_[target];
+        // Save the enclosing cache entries for every slot the body can
+        // touch; each iteration then starts from an all-fresh state.
+        const std::size_t mark = ws.saved_sample.size();
+        for (std::uint32_t k = 0; k < node.slots_count; ++k) {
+          const std::uint32_t s = body_slots_[node.slots_first + k];
+          ws.saved_sample.push_back(ws.slot_sample[s]);
+          ws.saved_drawn.push_back(ws.slot_drawn[s]);
+        }
+        double acc = 0.0;
+        for (std::uint32_t rep = 0; rep < node.payload; ++rep) {
+          for (std::uint32_t k = 0; k < node.slots_count; ++k) {
+            ws.slot_drawn[body_slots_[node.slots_first + k]] = 0;
+          }
+          exec_sample(env, rng, ws, node.body_begin, target);
+          acc += ws.point_values[target - 1];
+        }
+        for (std::uint32_t k = 0; k < node.slots_count; ++k) {
+          const std::uint32_t s = body_slots_[node.slots_first + k];
+          ws.slot_sample[s] = ws.saved_sample[mark + k];
+          ws.slot_drawn[s] = ws.saved_drawn[mark + k];
+        }
+        ws.saved_sample.resize(mark);
+        ws.saved_drawn.resize(mark);
+        ws.point_values[target] = acc;
+        i = target + 1;
+        continue;
+      }
+    }
+    const Node& node = nodes_[i];
+    switch (node.op) {
+      case OpCode::kConst:
+        ws.point_values[i] = stoch::sample(constants_[node.payload], rng);
+        break;
+      case OpCode::kParam: {
+        const std::uint32_t s = node.payload;
+        if (ws.slot_drawn[s] == 0) {
+          ws.slot_sample[s] = stoch::sample(env.lookup(s), rng);
+          ws.slot_drawn[s] = 1;
+        }
+        ws.point_values[i] = ws.slot_sample[s];
+        break;
+      }
+      case OpCode::kSum: {
+        double acc = 0.0;
+        for (std::uint32_t k = 0; k < node.count; ++k) {
+          acc += ws.point_values[operands_[node.first + k]];
+        }
+        ws.point_values[i] = acc;
+        break;
+      }
+      case OpCode::kProd: {
+        double acc = 1.0;
+        for (std::uint32_t k = 0; k < node.count; ++k) {
+          acc *= ws.point_values[operands_[node.first + k]];
+        }
+        ws.point_values[i] = acc;
+        break;
+      }
+      case OpCode::kMax:
+      case OpCode::kMin: {
+        double acc = ws.point_values[operands_[node.first]];
+        for (std::uint32_t k = 1; k < node.count; ++k) {
+          const double v = ws.point_values[operands_[node.first + k]];
+          acc = node.op == OpCode::kMax ? std::max(acc, v) : std::min(acc, v);
+        }
+        ws.point_values[i] = acc;
+        break;
+      }
+      case OpCode::kDiv: {
+        const double d = ws.point_values[operands_[node.first + 1]];
+        SSPRED_REQUIRE(d != 0.0, "sampled division by zero");
+        ws.point_values[i] = ws.point_values[operands_[node.first]] / d;
+        break;
+      }
+      case OpCode::kIterate:
+        // Only related iterates reach the linear walk (unrelated ones are
+        // handled through the skip above): one shared-cache body draw,
+        // repeated — the per-iteration quantities are coupled.
+        ws.point_values[i] =
+            static_cast<double>(node.payload) * ws.point_values[i - 1];
+        break;
+      case OpCode::kRef: {
+        // Sampling a shared subtree draws per occurrence (the tree
+        // re-walks it), so re-execute the referenced region. Its prior
+        // per-node values are saved and restored around the re-run: they
+        // may still be pending operands of consumers after this node.
+        // saved_values is kept separate from the iterate pair above, whose
+        // save/restore indexes saved_sample and saved_drawn in lockstep.
+        const std::uint32_t begin = node.body_begin;
+        const std::uint32_t target = node.payload;
+        const std::size_t mark = ws.saved_values.size();
+        ws.saved_values.insert(ws.saved_values.end(),
+                               ws.point_values.begin() + begin,
+                               ws.point_values.begin() + target + 1);
+        exec_sample(env, rng, ws, begin, target + 1);
+        ws.point_values[i] = ws.point_values[target];
+        std::copy(ws.saved_values.begin() + static_cast<std::ptrdiff_t>(mark),
+                  ws.saved_values.end(), ws.point_values.begin() + begin);
+        ws.saved_values.resize(mark);
+        break;
+      }
+    }
+    ++i;
+  }
+}
+
+double Program::sample(const SlotEnvironment& env, support::Rng& rng,
+                       EvalWorkspace& ws) const {
+  SSPRED_REQUIRE(env.size() == slot_count(),
+                 "slot environment shape does not match the program (create "
+                 "it with make_environment())");
+  resize_workspace(ws);
+  std::fill(ws.slot_drawn.begin(), ws.slot_drawn.end(),
+            static_cast<std::uint8_t>(0));
+  exec_sample(env, rng, ws, 0, static_cast<std::uint32_t>(nodes_.size()));
+  return ws.point_values[nodes_.size() - 1];
+}
+
+StochasticValue Program::sample_trials(const SlotEnvironment& env,
+                                       support::Rng& rng, std::size_t trials,
+                                       EvalWorkspace& ws) const {
+  SSPRED_REQUIRE(trials >= 2, "sample_trials needs at least 2 trials");
+  ws.trial_results.clear();
+  ws.trial_results.reserve(trials);
+  for (std::size_t t = 0; t < trials; ++t) {
+    ws.trial_results.push_back(sample(env, rng, ws));
+  }
+  return StochasticValue::from_sample(ws.trial_results);
+}
+
+StochasticValue Program::sample_trials(const SlotEnvironment& env,
+                                       support::Rng& rng,
+                                       std::size_t trials) const {
+  EvalWorkspace ws;
+  return sample_trials(env, rng, trials, ws);
+}
+
+// --- Builder --------------------------------------------------------------
+
+Builder::Builder(const Program& base) : names_(*base.slot_names_) {
+  prog_.slot_ids_ = base.slot_ids_;
+}
+
+std::uint32_t Builder::emit_const(StochasticValue v) {
+  const auto idx = static_cast<std::uint32_t>(prog_.constants_.size());
+  prog_.constants_.push_back(v);
+  Node node;
+  node.op = OpCode::kConst;
+  node.payload = idx;
+  prog_.nodes_.push_back(node);
+  return next_index() - 1;
+}
+
+std::uint32_t Builder::emit_param(const std::string& name) {
+  std::uint32_t slot;
+  const auto it = prog_.slot_ids_.find(name);
+  if (it != prog_.slot_ids_.end()) {
+    slot = it->second;
+  } else {
+    slot = static_cast<std::uint32_t>(names_.size());
+    names_.push_back(name);
+    prog_.slot_ids_.emplace(name, slot);
+  }
+  Node node;
+  node.op = OpCode::kParam;
+  node.payload = slot;
+  prog_.nodes_.push_back(node);
+  return next_index() - 1;
+}
+
+std::uint32_t Builder::emit_group(OpCode op,
+                                  std::span<const std::uint32_t> children,
+                                  Dependence dep,
+                                  stoch::ExtremePolicy policy) {
+  SSPRED_REQUIRE(op == OpCode::kSum || op == OpCode::kProd ||
+                     op == OpCode::kDiv || op == OpCode::kMax ||
+                     op == OpCode::kMin,
+                 "emit_group: not a group opcode");
+  SSPRED_REQUIRE(!children.empty(), "group node needs operands");
+  SSPRED_REQUIRE(op != OpCode::kDiv || children.size() == 2,
+                 "division takes exactly two operands");
+  for (const std::uint32_t c : children) {
+    SSPRED_REQUIRE(c < next_index(),
+                   "operand must be emitted before its consumer (post-order)");
+  }
+  Node node;
+  node.op = op;
+  node.dep = dep;
+  node.policy = policy;
+  node.first = static_cast<std::uint32_t>(prog_.operands_.size());
+  node.count = static_cast<std::uint32_t>(children.size());
+  prog_.operands_.insert(prog_.operands_.end(), children.begin(),
+                         children.end());
+  prog_.nodes_.push_back(node);
+  return next_index() - 1;
+}
+
+std::uint32_t Builder::emit_iterate(std::uint32_t body_begin,
+                                    std::size_t iterations, Dependence dep) {
+  SSPRED_REQUIRE(body_begin < next_index(), "iterate body must not be empty");
+  SSPRED_REQUIRE(iterations >= 1, "iterate needs at least one iteration");
+  SSPRED_REQUIRE(iterations <= 0xffffffffULL, "iteration count too large");
+  Node node;
+  node.op = OpCode::kIterate;
+  node.dep = dep;
+  node.payload = static_cast<std::uint32_t>(iterations);
+  node.body_begin = body_begin;
+  // Distinct parameter slots the body references (including nested iterate
+  // bodies — their params are ordinary kParam nodes in the region — and
+  // the regions behind kRef nodes, which sampling re-executes in place).
+  std::vector<std::uint32_t> slots;
+  const auto collect = [&](auto&& self, std::uint32_t lo,
+                           std::uint32_t hi) -> void {
+    for (std::uint32_t i = lo; i < hi; ++i) {
+      const Node& n = prog_.nodes_[i];
+      if (n.op == OpCode::kParam) {
+        slots.push_back(n.payload);
+      } else if (n.op == OpCode::kRef) {
+        self(self, n.body_begin, n.payload + 1);
+      }
+    }
+  };
+  collect(collect, body_begin, next_index());
+  std::sort(slots.begin(), slots.end());
+  slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+  node.slots_first = static_cast<std::uint32_t>(prog_.body_slots_.size());
+  node.slots_count = static_cast<std::uint32_t>(slots.size());
+  prog_.body_slots_.insert(prog_.body_slots_.end(), slots.begin(),
+                           slots.end());
+  const std::uint32_t idx = next_index();
+  if (dep == Dependence::kUnrelated) {
+    prog_.sample_skips_.emplace_back(body_begin, idx);
+  }
+  prog_.nodes_.push_back(node);
+  return idx;
+}
+
+std::uint32_t Builder::emit_ref(std::uint32_t target,
+                                std::uint32_t region_begin) {
+  SSPRED_REQUIRE(target < next_index(),
+                 "ref target must be emitted before the ref");
+  SSPRED_REQUIRE(region_begin <= target, "ref region must end at its target");
+  Node node;
+  node.op = OpCode::kRef;
+  node.payload = target;
+  node.body_begin = region_begin;
+  prog_.nodes_.push_back(node);
+  return next_index() - 1;
+}
+
+std::uint32_t Builder::emit_shared_ref(const void* key) {
+  const auto it = shared_.find(key);
+  if (it == shared_.end()) return kNoNode;
+  return emit_ref(it->second.second, it->second.first);
+}
+
+void Builder::note_shared(const void* key, std::uint32_t region_begin,
+                          std::uint32_t root) {
+  shared_.emplace(key, std::make_pair(region_begin, root));
+}
+
+Program Builder::take() {
+  SSPRED_REQUIRE(!prog_.nodes_.empty(), "cannot compile an empty program");
+  prog_.slot_names_ =
+      std::make_shared<const std::vector<std::string>>(std::move(names_));
+  std::sort(prog_.sample_skips_.begin(), prog_.sample_skips_.end());
+  prog_.has_skip_.assign(prog_.nodes_.size(), 0);
+  for (const auto& [pos, _] : prog_.sample_skips_) prog_.has_skip_[pos] = 1;
+  return std::move(prog_);
+}
+
+}  // namespace sspred::model::ir

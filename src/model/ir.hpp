@@ -1,0 +1,259 @@
+// Flat slot-indexed IR for structural models.
+//
+// The `Expr` tree (expr.hpp) is the authoring frontend: it is easy to build
+// and to read, but every evaluation re-walks a shared_ptr DAG through
+// virtual dispatch and resolves parameters through string-keyed map
+// lookups. `compile()` (compile.hpp) flattens a tree into a `Program`: a
+// contiguous post-order node buffer with parameters interned to integer
+// slots. The iterative evaluator walks that buffer once per evaluation —
+// no virtual calls, no pointer chasing, no string lookups — and mirrors
+// the tree API with three entry points:
+//   * evaluate()       — the §2.3 stochastic calculus;
+//   * evaluate_point() — conventional point prediction;
+//   * sample_trials()  — batched Monte-Carlo that reuses one value stack
+//                        and one per-slot sample cache across all trials.
+// All three are semantically interchangeable with the tree evaluators;
+// sample_trials() even consumes the RNG stream in exactly the same order
+// as repeated Expr::sample() calls, so the tree remains a differential-
+// testing oracle for the compiled path (tests/compile_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stoch/arithmetic.hpp"
+#include "stoch/group_ops.hpp"
+#include "stoch/stochastic_value.hpp"
+#include "support/rng.hpp"
+
+namespace sspred::model::ir {
+
+/// Operation of one flat node. Group nodes (sum/prod/max/min/div) read
+/// their operands' values from earlier positions in the buffer; post-order
+/// guarantees operands are computed before their consumer.
+enum class OpCode : std::uint8_t {
+  kConst,    ///< push constants[payload]
+  kParam,    ///< push slot `payload` of the SlotEnvironment
+  kSum,      ///< fold stoch::add over the operand list (dep regime)
+  kProd,     ///< fold stoch::mul over the operand list (dep regime)
+  kDiv,      ///< operands[0] / operands[1] (dep regime)
+  kMax,      ///< stoch::smax over the operand list (policy)
+  kMin,      ///< stoch::smin over the operand list (policy)
+  kIterate,  ///< n repetitions of the body region summed
+  kRef,      ///< reuse of an earlier occurrence region (shared subtree)
+};
+
+/// One flat node. Fields are a union-of-purposes kept plain for
+/// cache-friendly linear walks:
+///  * kConst:   payload = index into Program constants
+///  * kParam:   payload = parameter slot id
+///  * group ops: first/count index the shared operand-id buffer
+///  * kIterate: payload = iteration count; body occupies
+///    [body_begin, self) with its root immediately before self;
+///    slots_first/slots_count list the distinct parameter slots the body
+///    references (needed to give each unrelated Monte-Carlo iteration a
+///    fresh per-slot draw without disturbing the enclosing trial's cache).
+///  * kRef:     payload = root node of an earlier occurrence region
+///    [body_begin, payload] compiled from the same authoring subtree.
+///    Deterministic walks copy the occurrence's value; the Monte-Carlo
+///    walk re-executes the region so every occurrence draws independently,
+///    exactly like the tree re-walking a shared subtree.
+struct Node {
+  OpCode op = OpCode::kConst;
+  stoch::Dependence dep = stoch::Dependence::kUnrelated;
+  stoch::ExtremePolicy policy = stoch::ExtremePolicy::kLargestMean;
+  std::uint32_t payload = 0;
+  std::uint32_t first = 0;
+  std::uint32_t count = 0;
+  std::uint32_t body_begin = 0;
+  std::uint32_t slots_first = 0;
+  std::uint32_t slots_count = 0;
+};
+
+class Program;
+
+/// Dense parameter bindings for one compiled evaluation: a vector of
+/// stochastic values indexed by slot id, replacing the tree path's
+/// per-evaluation string->value map lookups.
+class SlotEnvironment {
+ public:
+  /// An environment with every slot of `names` unbound.
+  explicit SlotEnvironment(
+      std::shared_ptr<const std::vector<std::string>> names);
+
+  void bind(std::uint32_t slot, stoch::StochasticValue value);
+
+  /// Throws sspred::support::Error naming the slot and listing the bound
+  /// slots when `slot` is out of range or unbound.
+  [[nodiscard]] const stoch::StochasticValue& lookup(std::uint32_t slot) const;
+
+  [[nodiscard]] bool bound(std::uint32_t slot) const noexcept {
+    return slot < bound_.size() && bound_[slot] != 0;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] const std::vector<std::string>& names() const noexcept {
+    return *names_;
+  }
+
+ private:
+  std::vector<stoch::StochasticValue> values_;
+  std::vector<std::uint8_t> bound_;
+  std::shared_ptr<const std::vector<std::string>> names_;
+};
+
+/// Reusable evaluation buffers. Every Program entry point has an overload
+/// taking one of these; the overloads without it allocate a fresh
+/// workspace per call. Reuse across calls (and across the trials of one
+/// sample_trials batch) makes evaluation allocation-free after warmup.
+struct EvalWorkspace {
+  std::vector<stoch::StochasticValue> values;   ///< per-node stochastic value
+  std::vector<stoch::StochasticValue> scratch;  ///< operand gather buffer
+  std::vector<double> point_values;             ///< per-node point/sample
+  std::vector<double> slot_sample;              ///< per-slot trial draw
+  std::vector<std::uint8_t> slot_drawn;         ///< per-slot cache validity
+  std::vector<double> saved_sample;             ///< iterate slot save/restore
+  std::vector<std::uint8_t> saved_drawn;
+  std::vector<double> saved_values;             ///< ref region save/restore
+  std::vector<double> trial_results;            ///< sample_trials batch
+};
+
+/// A compiled structural model: arena-style flat buffers, value semantics,
+/// immutable after compile(). Thread-safe for concurrent evaluation as
+/// long as each thread uses its own EvalWorkspace and RNG.
+class Program {
+ public:
+  /// Stochastic evaluation under the §2.3 calculus (tree-equivalent).
+  [[nodiscard]] stoch::StochasticValue evaluate(
+      const SlotEnvironment& env) const;
+  [[nodiscard]] stoch::StochasticValue evaluate(const SlotEnvironment& env,
+                                                EvalWorkspace& ws) const;
+
+  /// Conventional point evaluation (all parameters collapse to means).
+  [[nodiscard]] double evaluate_point(const SlotEnvironment& env) const;
+  [[nodiscard]] double evaluate_point(const SlotEnvironment& env,
+                                      EvalWorkspace& ws) const;
+
+  /// `trials` Monte-Carlo samples summarized as mean ± 2sd. One value
+  /// stack and one per-slot sample cache are reused across all trials;
+  /// the RNG stream matches `trials` sequential Expr::sample() calls.
+  [[nodiscard]] stoch::StochasticValue sample_trials(const SlotEnvironment& env,
+                                                     support::Rng& rng,
+                                                     std::size_t trials) const;
+  [[nodiscard]] stoch::StochasticValue sample_trials(const SlotEnvironment& env,
+                                                     support::Rng& rng,
+                                                     std::size_t trials,
+                                                     EvalWorkspace& ws) const;
+
+  /// One Monte-Carlo trial (the tree's Expr::sample analogue).
+  [[nodiscard]] double sample(const SlotEnvironment& env, support::Rng& rng,
+                              EvalWorkspace& ws) const;
+
+  /// A SlotEnvironment shaped for this program, all slots unbound.
+  [[nodiscard]] SlotEnvironment make_environment() const {
+    return SlotEnvironment(slot_names_);
+  }
+
+  /// Slot id for `name`; throws sspred::support::Error listing the known
+  /// parameters when the program has no such parameter.
+  [[nodiscard]] std::uint32_t slot(const std::string& name) const;
+  [[nodiscard]] bool has_slot(const std::string& name) const noexcept {
+    return slot_ids_.contains(name);
+  }
+  [[nodiscard]] std::size_t slot_count() const noexcept {
+    return slot_names_->size();
+  }
+  [[nodiscard]] const std::vector<std::string>& slot_names() const noexcept {
+    return *slot_names_;
+  }
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] const Node& node(std::size_t i) const { return nodes_[i]; }
+
+ private:
+  friend class Builder;
+
+  void resize_workspace(EvalWorkspace& ws) const;
+  void exec_stochastic(const SlotEnvironment& env, EvalWorkspace& ws) const;
+  void exec_point(const SlotEnvironment& env, EvalWorkspace& ws) const;
+  /// Executes nodes [lo, hi) of the sample walk, skipping regions that are
+  /// bodies of unrelated-iterate nodes (those re-run under the iterate
+  /// node's own loop, with fresh per-slot draws each iteration).
+  void exec_sample(const SlotEnvironment& env, support::Rng& rng,
+                   EvalWorkspace& ws, std::uint32_t lo, std::uint32_t hi) const;
+
+  std::vector<Node> nodes_;                       ///< post-order; root last
+  std::vector<std::uint32_t> operands_;           ///< group operand node ids
+  std::vector<stoch::StochasticValue> constants_;
+  std::vector<std::uint32_t> body_slots_;         ///< iterate body slot sets
+  /// For each position that begins the body of one or more unrelated
+  /// iterate nodes: the iterate node ids, ascending (nested bodies share a
+  /// begin position; the sample walk jumps to the largest id inside the
+  /// region being executed).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> sample_skips_;
+  std::vector<std::uint8_t> has_skip_;            ///< per-node skip flag
+  std::shared_ptr<const std::vector<std::string>> slot_names_ =
+      std::make_shared<const std::vector<std::string>>();
+  std::map<std::string, std::uint32_t> slot_ids_;
+};
+
+/// Append-only program assembler used by Expr::lower(). Children must be
+/// emitted before their parent (post-order), which the recursive lowering
+/// does naturally.
+class Builder {
+ public:
+  Builder() = default;
+  /// Seeds the slot table from `base` so programs compiled from related
+  /// expressions (a model and its component breakdowns) agree on slot ids.
+  explicit Builder(const Program& base);
+
+  [[nodiscard]] std::uint32_t emit_const(stoch::StochasticValue v);
+  [[nodiscard]] std::uint32_t emit_param(const std::string& name);
+  /// kSum/kProd/kDiv take `dep`; kMax/kMin take `policy`.
+  [[nodiscard]] std::uint32_t emit_group(OpCode op,
+                                         std::span<const std::uint32_t> children,
+                                         stoch::Dependence dep,
+                                         stoch::ExtremePolicy policy);
+  /// The body must be the nodes emitted since `body_begin` (non-empty,
+  /// root last).
+  [[nodiscard]] std::uint32_t emit_iterate(std::uint32_t body_begin,
+                                           std::size_t iterations,
+                                           stoch::Dependence dep);
+
+  /// Reuse node for the already-emitted occurrence region
+  /// [region_begin, target]: deterministic walks copy the target's value,
+  /// the sample walk re-executes the region for an independent draw.
+  [[nodiscard]] std::uint32_t emit_ref(std::uint32_t target,
+                                       std::uint32_t region_begin);
+
+  /// Shared-subtree memo, keyed by the authoring node's identity. If `key`
+  /// was noted before, emits a kRef to its occurrence and returns the new
+  /// node id; otherwise returns kNoNode (caller should lower the subtree
+  /// and note_shared() it).
+  static constexpr std::uint32_t kNoNode = 0xffffffffu;
+  [[nodiscard]] std::uint32_t emit_shared_ref(const void* key);
+  void note_shared(const void* key, std::uint32_t region_begin,
+                   std::uint32_t root);
+
+  /// Index the next emitted node will get (used to mark iterate bodies).
+  [[nodiscard]] std::uint32_t next_index() const noexcept {
+    return static_cast<std::uint32_t>(prog_.nodes_.size());
+  }
+
+  /// Finalizes into an immutable Program. The last emitted node is the
+  /// root; requires at least one node.
+  [[nodiscard]] Program take();
+
+ private:
+  Program prog_;
+  std::vector<std::string> names_;  ///< mutable slot table until take()
+  /// authoring-node identity -> (region begin, root) of first emission
+  std::map<const void*, std::pair<std::uint32_t, std::uint32_t>> shared_;
+};
+
+}  // namespace sspred::model::ir

@@ -24,9 +24,10 @@ Comm::Comm(sim::Engine& engine, cluster::Platform& platform)
   SSPRED_REQUIRE(platform.size() >= 1, "communicator needs at least one rank");
 }
 
-void Comm::launch(const std::function<sim::Process(RankCtx)>& rank_main) {
+void Comm::launch(std::function<sim::Process(RankCtx)> rank_main) {
+  const auto& main = rank_mains_.emplace_back(std::move(rank_main));
   for (int r = 0; r < size(); ++r) {
-    engine_->spawn(rank_main(RankCtx(*this, r)));
+    engine_->spawn(main(RankCtx(*this, r)));
   }
 }
 

@@ -83,8 +83,11 @@ class Comm {
   Comm(sim::Engine& engine, cluster::Platform& platform);
 
   /// Spawns one process per rank running `rank_main`. Call Engine::run()
-  /// (or run_until) afterwards to execute them.
-  void launch(const std::function<sim::Process(RankCtx)>& rank_main);
+  /// (or run_until) afterwards to execute them. The callable is stored in
+  /// the communicator: rank coroutines reference its closure across
+  /// suspension points, so it must outlive them (a temporary lambda passed
+  /// by reference would dangle once the ranks first suspend).
+  void launch(std::function<sim::Process(RankCtx)> rank_main);
 
   [[nodiscard]] int size() const noexcept {
     return static_cast<int>(platform_->size());
@@ -129,6 +132,9 @@ class Comm {
   int barrier_arrived_ = 0;
   sim::Trigger barrier_trigger_;
   std::uint64_t delivered_ = 0;
+  // Launched rank mains; deque keeps addresses stable because suspended
+  // coroutine frames point into the stored closures.
+  std::deque<std::function<sim::Process(RankCtx)>> rank_mains_;
 
  public:
   // Awaiter types (public so RankCtx's auto-returning members can name

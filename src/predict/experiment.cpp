@@ -87,19 +87,22 @@ stoch::StochasticValue bandwidth_parameter(const SeriesConfig& config,
 }
 
 TrialOutcome run_one(const SeriesConfig& config, sim::Engine& engine,
-                     cluster::Platform& platform, const sor::SorConfig& sor_cfg,
+                     cluster::Platform& platform,
+                     const SorStructuralModel& model,
+                     const sor::SorConfig& sor_cfg,
                      const nws::Service& bw_service, support::Seconds start) {
   // Advance to the trial start first so live sensors (bandwidth probes)
   // have produced their history before the model is parameterized.
   engine.run_until(start);
-  const SorStructuralModel model(config.platform, sor_cfg, config.model);
   TrialOutcome outcome;
   outcome.start_time = start;
   outcome.load_params = load_parameters(config, platform, start);
   for (std::size_t p = 0; p < platform.size(); ++p) {
     outcome.load_at_start.push_back(platform.machine(p).availability(start));
   }
-  const model::Environment env = model.make_env(
+  // Bind the trial's parameters by slot id into the compiled program —
+  // no string lookups inside the trial loop.
+  const model::ir::SlotEnvironment env = model.make_slot_env(
       outcome.load_params, bandwidth_parameter(config, bw_service));
   outcome.predicted = model.predict(env);
   const sor::SorResult result =
@@ -127,14 +130,18 @@ std::vector<TrialOutcome> run_series(const SeriesConfig& config) {
                                        config.bw_probe_interval, horizon));
   }
 
+  // The problem configuration is fixed for the series, so author and
+  // compile the structural model once; trials only rebind its slots.
+  const SorStructuralModel model(config.platform, config.sor, config.model);
+
   std::vector<TrialOutcome> outcomes;
   outcomes.reserve(config.trials);
   for (std::size_t i = 0; i < config.trials; ++i) {
     const support::Seconds start =
         std::max(config.first_start + static_cast<double>(i) * config.spacing,
                  engine.now());
-    outcomes.push_back(
-        run_one(config, engine, platform, config.sor, bw_service, start));
+    outcomes.push_back(run_one(config, engine, platform, model, config.sor,
+                               bw_service, start));
   }
   return outcomes;
 }
@@ -162,11 +169,14 @@ std::vector<TrialOutcome> run_size_sweep(const SeriesConfig& config,
   for (std::size_t i = 0; i < sizes.size(); ++i) {
     sor::SorConfig sor_cfg = config.sor;
     sor_cfg.n = sizes[i];
+    // The problem size changes every trial here, so each size gets its
+    // own compiled model (unlike run_series, which hoists one).
+    const SorStructuralModel model(config.platform, sor_cfg, config.model);
     const support::Seconds start =
         std::max(config.first_start + static_cast<double>(i) * config.spacing,
                  engine.now());
     outcomes.push_back(
-        run_one(config, engine, platform, sor_cfg, bw_service, start));
+        run_one(config, engine, platform, model, sor_cfg, bw_service, start));
   }
   return outcomes;
 }

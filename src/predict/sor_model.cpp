@@ -35,6 +35,38 @@ struct CommProfile {
           platform.switched.latency};
 }
 
+/// Binds loads (by cached slot id) and, when the model has one, the
+/// bandwidth parameter into a fresh slot environment.
+[[nodiscard]] model::ir::SlotEnvironment make_slot_env_for(
+    const model::ir::Program& program,
+    std::span<const std::uint32_t> load_slots,
+    std::span<const StochasticValue> loads, StochasticValue bwavail) {
+  SSPRED_REQUIRE(loads.size() == load_slots.size(),
+                 "need one load value per host");
+  model::ir::SlotEnvironment env = program.make_environment();
+  for (std::size_t p = 0; p < loads.size(); ++p) {
+    env.bind(load_slots[p], loads[p]);
+  }
+  if (program.has_slot(SorStructuralModel::bwavail_param())) {
+    env.bind(program.slot(SorStructuralModel::bwavail_param()), bwavail);
+  }
+  return env;
+}
+
+/// Binds loads and bwavail into a string-keyed Environment (bridge path).
+[[nodiscard]] model::Environment make_string_env(
+    std::span<const std::string> load_params,
+    std::span<const StochasticValue> loads, StochasticValue bwavail) {
+  SSPRED_REQUIRE(loads.size() == load_params.size(),
+                 "need one load value per host");
+  model::Environment env;
+  for (std::size_t p = 0; p < loads.size(); ++p) {
+    env.bind(load_params[p], loads[p]);
+  }
+  env.bind(SorStructuralModel::bwavail_param(), bwavail);
+  return env;
+}
+
 }  // namespace
 
 SorStructuralModel::SorStructuralModel(const cluster::PlatformSpec& platform,
@@ -114,6 +146,21 @@ SorStructuralModel::SorStructuralModel(const cluster::PlatformSpec& platform,
   // --- Full run: Σ over NumIts.
   expr_ = model::iterate(iteration_expr_, config.iterations,
                          options.iteration_dependence);
+
+  // --- Compile once; all queries below are served from the flat program.
+  // The component programs share the main program's slot table so one
+  // slot environment drives predict() and breakdown() alike.
+  program_ = model::compile(*expr_);
+  comp_programs_.reserve(comp_exprs_.size());
+  for (const auto& comp : comp_exprs_) {
+    comp_programs_.push_back(model::compile(*comp, program_));
+  }
+  comm_program_ = model::compile(*comm_expr_, program_);
+  iteration_program_ = model::compile(*iteration_expr_, program_);
+  load_slots_.reserve(load_params_.size());
+  for (const auto& name : load_params_) {
+    load_slots_.push_back(program_.slot(name));
+  }
 }
 
 const std::string& SorStructuralModel::load_param(std::size_t host) const {
@@ -121,34 +168,62 @@ const std::string& SorStructuralModel::load_param(std::size_t host) const {
   return load_params_[host];
 }
 
+std::uint32_t SorStructuralModel::load_slot(std::size_t host) const {
+  SSPRED_REQUIRE(host < load_slots_.size(), "host index out of range");
+  return load_slots_[host];
+}
+
 model::Environment SorStructuralModel::make_env(
     std::span<const StochasticValue> loads, StochasticValue bwavail) const {
-  SSPRED_REQUIRE(loads.size() == load_params_.size(),
-                 "need one load value per host");
-  model::Environment env;
-  for (std::size_t p = 0; p < loads.size(); ++p) {
-    env.bind(load_params_[p], loads[p]);
-  }
-  env.bind(bwavail_param(), bwavail);
-  return env;
+  return make_string_env(load_params_, loads, bwavail);
+}
+
+model::ir::SlotEnvironment SorStructuralModel::make_slot_env(
+    std::span<const StochasticValue> loads, StochasticValue bwavail) const {
+  return make_slot_env_for(program_, load_slots_, loads, bwavail);
+}
+
+StochasticValue SorStructuralModel::predict(
+    const model::ir::SlotEnvironment& env) const {
+  return program_.evaluate(env);
+}
+
+StochasticValue SorStructuralModel::predict(
+    const model::Environment& env) const {
+  return program_.evaluate(model::bind_environment(program_, env));
+}
+
+double SorStructuralModel::predict_point(
+    const model::ir::SlotEnvironment& env) const {
+  return program_.evaluate_point(env);
+}
+
+double SorStructuralModel::predict_point(const model::Environment& env) const {
+  return program_.evaluate_point(model::bind_environment(program_, env));
 }
 
 SorStructuralModel::Breakdown SorStructuralModel::breakdown(
-    const model::Environment& env) const {
+    const model::ir::SlotEnvironment& env) const {
   Breakdown b;
-  b.comp_per_host.reserve(comp_exprs_.size());
+  model::ir::EvalWorkspace ws;  // shared across the component programs
+  b.comp_per_host.reserve(comp_programs_.size());
   double best_mean = -1.0;
-  for (std::size_t p = 0; p < comp_exprs_.size(); ++p) {
-    b.comp_per_host.push_back(comp_exprs_[p]->evaluate(env));
+  for (std::size_t p = 0; p < comp_programs_.size(); ++p) {
+    b.comp_per_host.push_back(comp_programs_[p].evaluate(env, ws));
     if (b.comp_per_host.back().mean() > best_mean) {
       best_mean = b.comp_per_host.back().mean();
       b.dominant_host = p;
     }
   }
-  b.comm_per_phase = comm_expr_->evaluate(env);
-  b.per_iteration = iteration_expr_->evaluate(env);
-  b.total = expr_->evaluate(env);
+  b.comm_per_phase = comm_program_.evaluate(env, ws);
+  b.per_iteration = iteration_program_.evaluate(env, ws);
+  b.total = program_.evaluate(env, ws);
   return b;
+}
+
+SorStructuralModel::Breakdown SorStructuralModel::breakdown(
+    const model::Environment& env) const {
+  return breakdown(model::bind_environment(program_, env));
 }
 
 BlockStructuralModel::BlockStructuralModel(
@@ -220,18 +295,42 @@ BlockStructuralModel::BlockStructuralModel(
   const ExprPtr iteration =
       model::add(comp_both, comm_both, options.phase_dependence);
   expr_ = model::iterate(iteration, iterations, options.iteration_dependence);
+
+  program_ = model::compile(*expr_);
+  load_slots_.reserve(load_params_.size());
+  for (const auto& name : load_params_) {
+    load_slots_.push_back(program_.slot(name));
+  }
 }
 
 model::Environment BlockStructuralModel::make_env(
     std::span<const StochasticValue> loads, StochasticValue bwavail) const {
-  SSPRED_REQUIRE(loads.size() == load_params_.size(),
-                 "need one load value per host");
-  model::Environment env;
-  for (std::size_t p = 0; p < loads.size(); ++p) {
-    env.bind(load_params_[p], loads[p]);
-  }
-  env.bind(SorStructuralModel::bwavail_param(), bwavail);
-  return env;
+  return make_string_env(load_params_, loads, bwavail);
+}
+
+model::ir::SlotEnvironment BlockStructuralModel::make_slot_env(
+    std::span<const StochasticValue> loads, StochasticValue bwavail) const {
+  return make_slot_env_for(program_, load_slots_, loads, bwavail);
+}
+
+StochasticValue BlockStructuralModel::predict(
+    const model::ir::SlotEnvironment& env) const {
+  return program_.evaluate(env);
+}
+
+StochasticValue BlockStructuralModel::predict(
+    const model::Environment& env) const {
+  return program_.evaluate(model::bind_environment(program_, env));
+}
+
+double BlockStructuralModel::predict_point(
+    const model::ir::SlotEnvironment& env) const {
+  return program_.evaluate_point(env);
+}
+
+double BlockStructuralModel::predict_point(
+    const model::Environment& env) const {
+  return program_.evaluate_point(model::bind_environment(program_, env));
 }
 
 JacobiStructuralModel::JacobiStructuralModel(
@@ -281,6 +380,12 @@ JacobiStructuralModel::JacobiStructuralModel(
   const ExprPtr iteration =
       model::add(max_comp, comm, options.phase_dependence);
   expr_ = model::iterate(iteration, iterations, options.iteration_dependence);
+
+  program_ = model::compile(*expr_);
+  load_slots_.reserve(load_params_.size());
+  for (const auto& name : load_params_) {
+    load_slots_.push_back(program_.slot(name));
+  }
 }
 
 const std::string& JacobiStructuralModel::load_param(std::size_t host) const {
@@ -290,14 +395,32 @@ const std::string& JacobiStructuralModel::load_param(std::size_t host) const {
 
 model::Environment JacobiStructuralModel::make_env(
     std::span<const StochasticValue> loads, StochasticValue bwavail) const {
-  SSPRED_REQUIRE(loads.size() == load_params_.size(),
-                 "need one load value per host");
-  model::Environment env;
-  for (std::size_t p = 0; p < loads.size(); ++p) {
-    env.bind(load_params_[p], loads[p]);
-  }
-  env.bind(SorStructuralModel::bwavail_param(), bwavail);
-  return env;
+  return make_string_env(load_params_, loads, bwavail);
+}
+
+model::ir::SlotEnvironment JacobiStructuralModel::make_slot_env(
+    std::span<const StochasticValue> loads, StochasticValue bwavail) const {
+  return make_slot_env_for(program_, load_slots_, loads, bwavail);
+}
+
+StochasticValue JacobiStructuralModel::predict(
+    const model::ir::SlotEnvironment& env) const {
+  return program_.evaluate(env);
+}
+
+StochasticValue JacobiStructuralModel::predict(
+    const model::Environment& env) const {
+  return program_.evaluate(model::bind_environment(program_, env));
+}
+
+double JacobiStructuralModel::predict_point(
+    const model::ir::SlotEnvironment& env) const {
+  return program_.evaluate_point(env);
+}
+
+double JacobiStructuralModel::predict_point(
+    const model::Environment& env) const {
+  return program_.evaluate_point(model::bind_environment(program_, env));
 }
 
 }  // namespace sspred::predict

@@ -10,6 +10,12 @@
 // `load_p` and `BWAvail` are model parameters that may be bound to point
 // or stochastic values; everything else is a compile-time point value.
 //
+// Two-phase lifecycle: each model authors its expression as an Expr tree,
+// then compiles it once at construction to the flat slot-indexed IR
+// (model/ir.hpp). predict()/predict_point()/breakdown() are served from
+// the compiled program; the tree stays reachable through expr() as the
+// authoring form and differential-testing oracle.
+//
 // Substitution note (documented in DESIGN.md): on a shared segment the
 // per-pair "dedicated bandwidth" during a phase is the segment bandwidth
 // divided by the number of simultaneous transfers, so PtToPt carries the
@@ -21,6 +27,7 @@
 #include <vector>
 
 #include "cluster/platform.hpp"
+#include "model/compile.hpp"
 #include "model/expr.hpp"
 #include "sor/block.hpp"
 #include "sor/decomposition.hpp"
@@ -62,31 +69,47 @@ class SorStructuralModel {
                      const sor::SorConfig& config,
                      SorModelOptions options = {});
 
-  /// The assembled expression (parameters: load params + "bwavail").
+  /// The authored expression tree (parameters: load params + "bwavail").
   [[nodiscard]] const model::ExprPtr& expr() const noexcept { return expr_; }
+  /// The compiled program that serves predictions.
+  [[nodiscard]] const model::ir::Program& program() const noexcept {
+    return program_;
+  }
 
   /// Parameter name for host p's CPU availability.
   [[nodiscard]] const std::string& load_param(std::size_t host) const;
+  /// Slot id of host p's load parameter in program().
+  [[nodiscard]] std::uint32_t load_slot(std::size_t host) const;
   [[nodiscard]] std::size_t hosts() const noexcept {
     return load_params_.size();
   }
   /// Parameter name for the bandwidth availability fraction.
   [[nodiscard]] static std::string bwavail_param() { return "bwavail"; }
+  /// True when the model has a bandwidth parameter (more than one host).
+  [[nodiscard]] bool uses_bandwidth() const noexcept {
+    return program_.has_slot(bwavail_param());
+  }
 
-  /// Environment with all loads and bwavail bound.
+  /// Environment with all loads and bwavail bound (string-keyed bridge).
   [[nodiscard]] model::Environment make_env(
       std::span<const stoch::StochasticValue> loads,
       stoch::StochasticValue bwavail) const;
 
-  /// Stochastic execution-time prediction.
+  /// Slot environment with all loads and bwavail bound by slot id — the
+  /// allocation-light path for per-trial rebinding in experiment loops.
+  [[nodiscard]] model::ir::SlotEnvironment make_slot_env(
+      std::span<const stoch::StochasticValue> loads,
+      stoch::StochasticValue bwavail) const;
+
+  /// Stochastic execution-time prediction (compiled §2.3 calculus).
   [[nodiscard]] stoch::StochasticValue predict(
-      const model::Environment& env) const {
-    return expr_->evaluate(env);
-  }
+      const model::ir::SlotEnvironment& env) const;
+  [[nodiscard]] stoch::StochasticValue predict(
+      const model::Environment& env) const;
   /// Conventional point prediction (all parameters collapse to means).
-  [[nodiscard]] double predict_point(const model::Environment& env) const {
-    return expr_->evaluate_point(env);
-  }
+  [[nodiscard]] double predict_point(
+      const model::ir::SlotEnvironment& env) const;
+  [[nodiscard]] double predict_point(const model::Environment& env) const;
 
   [[nodiscard]] const sor::StripDecomposition& decomposition() const noexcept {
     return decomp_;
@@ -104,6 +127,9 @@ class SorStructuralModel {
 
   /// Evaluates the component models separately (same calculus as
   /// predict()) so users can see which host/phase drives the prediction.
+  /// Component programs share the main program's slot table, so one slot
+  /// environment drives all of them.
+  [[nodiscard]] Breakdown breakdown(const model::ir::SlotEnvironment& env) const;
   [[nodiscard]] Breakdown breakdown(const model::Environment& env) const;
 
  private:
@@ -113,6 +139,11 @@ class SorStructuralModel {
   model::ExprPtr comm_expr_;                ///< one phase, shared
   model::ExprPtr iteration_expr_;
   model::ExprPtr expr_;
+  model::ir::Program program_;                     ///< compiled expr_
+  std::vector<model::ir::Program> comp_programs_;  ///< compiled comp_exprs_
+  model::ir::Program comm_program_;
+  model::ir::Program iteration_program_;
+  std::vector<std::uint32_t> load_slots_;
 };
 
 /// Structural model for the 2-D block-decomposed SOR: same per-phase
@@ -125,20 +156,28 @@ class BlockStructuralModel {
                        SorModelOptions options = {});
 
   [[nodiscard]] const model::ExprPtr& expr() const noexcept { return expr_; }
+  [[nodiscard]] const model::ir::Program& program() const noexcept {
+    return program_;
+  }
   [[nodiscard]] model::Environment make_env(
       std::span<const stoch::StochasticValue> loads,
       stoch::StochasticValue bwavail) const;
+  [[nodiscard]] model::ir::SlotEnvironment make_slot_env(
+      std::span<const stoch::StochasticValue> loads,
+      stoch::StochasticValue bwavail) const;
   [[nodiscard]] stoch::StochasticValue predict(
-      const model::Environment& env) const {
-    return expr_->evaluate(env);
-  }
-  [[nodiscard]] double predict_point(const model::Environment& env) const {
-    return expr_->evaluate_point(env);
-  }
+      const model::ir::SlotEnvironment& env) const;
+  [[nodiscard]] stoch::StochasticValue predict(
+      const model::Environment& env) const;
+  [[nodiscard]] double predict_point(
+      const model::ir::SlotEnvironment& env) const;
+  [[nodiscard]] double predict_point(const model::Environment& env) const;
 
  private:
   std::vector<std::string> load_params_;
   model::ExprPtr expr_;
+  model::ir::Program program_;
+  std::vector<std::uint32_t> load_slots_;
 };
 
 /// Structural model for the distributed Jacobi application (one full
@@ -153,21 +192,29 @@ class JacobiStructuralModel {
                         SorModelOptions options = {});
 
   [[nodiscard]] const model::ExprPtr& expr() const noexcept { return expr_; }
+  [[nodiscard]] const model::ir::Program& program() const noexcept {
+    return program_;
+  }
   [[nodiscard]] const std::string& load_param(std::size_t host) const;
   [[nodiscard]] model::Environment make_env(
       std::span<const stoch::StochasticValue> loads,
       stoch::StochasticValue bwavail) const;
+  [[nodiscard]] model::ir::SlotEnvironment make_slot_env(
+      std::span<const stoch::StochasticValue> loads,
+      stoch::StochasticValue bwavail) const;
   [[nodiscard]] stoch::StochasticValue predict(
-      const model::Environment& env) const {
-    return expr_->evaluate(env);
-  }
-  [[nodiscard]] double predict_point(const model::Environment& env) const {
-    return expr_->evaluate_point(env);
-  }
+      const model::ir::SlotEnvironment& env) const;
+  [[nodiscard]] stoch::StochasticValue predict(
+      const model::Environment& env) const;
+  [[nodiscard]] double predict_point(
+      const model::ir::SlotEnvironment& env) const;
+  [[nodiscard]] double predict_point(const model::Environment& env) const;
 
  private:
   std::vector<std::string> load_params_;
   model::ExprPtr expr_;
+  model::ir::Program program_;
+  std::vector<std::uint32_t> load_slots_;
 };
 
 }  // namespace sspred::predict

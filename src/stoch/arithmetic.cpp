@@ -1,6 +1,7 @@
 #include "stoch/arithmetic.hpp"
 
 #include <cmath>
+#include <string>
 
 #include "support/error.hpp"
 
@@ -36,6 +37,33 @@ StochasticValue sum(std::span<const StochasticValue> xs, Dependence dep) {
   return acc;
 }
 
+StochasticValue sum_span(std::span<const StochasticValue> xs, Dependence dep) {
+  SSPRED_REQUIRE(!xs.empty(), "sum_span needs at least one operand");
+  double mean = xs[0].mean();
+  double half = xs[0].halfwidth();
+  if (dep == Dependence::kRelated) {
+    for (const auto& x : xs.subspan(1)) {
+      mean += x.mean();
+      half += x.halfwidth();
+    }
+  } else {
+    // Per-step sqrt keeps the fold bit-identical to repeated add().
+    for (const auto& x : xs.subspan(1)) {
+      mean += x.mean();
+      const double b = x.halfwidth();
+      half = std::sqrt(half * half + b * b);
+    }
+  }
+  return StochasticValue(mean, half);
+}
+
+StochasticValue mul_span(std::span<const StochasticValue> xs, Dependence dep) {
+  SSPRED_REQUIRE(!xs.empty(), "mul_span needs at least one operand");
+  StochasticValue acc = xs[0];
+  for (const auto& x : xs.subspan(1)) acc = mul(acc, x, dep);
+  return acc;
+}
+
 StochasticValue mul(const StochasticValue& x, const StochasticValue& y,
                     Dependence dep) {
   // Paper §2.3.2: a zero mean operand makes the product the zero point value.
@@ -55,9 +83,13 @@ StochasticValue mul(const StochasticValue& x, const StochasticValue& y,
 }
 
 StochasticValue inverse(const StochasticValue& y) {
-  SSPRED_REQUIRE(y.mean() != 0.0, "cannot invert a zero-mean stochastic value");
   SSPRED_REQUIRE(!y.contains(0.0),
-                 "cannot invert a stochastic value whose range spans zero");
+                 "cannot invert " + y.to_string() + ": its range [" +
+                     std::to_string(y.lower()) + ", " +
+                     std::to_string(y.upper()) +
+                     "] spans zero, so 1/Y has no meaningful normal "
+                     "approximation (tighten the spread or shift the mean "
+                     "away from zero)");
   const double inv_mean = 1.0 / y.mean();
   const double inv_half = std::abs(y.halfwidth() / (y.mean() * y.mean()));
   return StochasticValue(inv_mean, inv_half);
@@ -65,6 +97,13 @@ StochasticValue inverse(const StochasticValue& y) {
 
 StochasticValue div(const StochasticValue& x, const StochasticValue& y,
                     Dependence dep) {
+  SSPRED_REQUIRE(!y.contains(0.0),
+                 "cannot divide " + x.to_string() + " by " + y.to_string() +
+                     ": the denominator's range [" +
+                     std::to_string(y.lower()) + ", " +
+                     std::to_string(y.upper()) +
+                     "] spans zero, so the quotient has no meaningful "
+                     "normal approximation");
   return mul(x, inverse(y), dep);
 }
 

@@ -46,6 +46,19 @@ enum class Dependence {
 [[nodiscard]] StochasticValue sum(std::span<const StochasticValue> xs,
                                   Dependence dep);
 
+/// Contiguous-span fold fast paths for the compiled-IR evaluator
+/// (model/ir.*): one tight pass over a gathered operand span instead of a
+/// virtual-dispatch tree walk. Bit-identical to folding add()/mul()
+/// left-to-right from the first element — the structural tree's exact
+/// semantics (sum() above folds from the zero identity instead, and
+/// mul_span() preserves the first operand's spread when it alone has a
+/// zero mean, which a multiplicative-identity fold would drop).
+/// Require a non-empty span.
+[[nodiscard]] StochasticValue sum_span(std::span<const StochasticValue> xs,
+                                       Dependence dep);
+[[nodiscard]] StochasticValue mul_span(std::span<const StochasticValue> xs,
+                                       Dependence dep);
+
 /// Product of two stochastic values:
 ///  related:   XiXj ± (|ai Xj| + |aj Xi| + |ai aj|)
 ///  unrelated: XiXj ± |XiXj|·sqrt((ai/Xi)^2 + (aj/Xj)^2)
@@ -55,15 +68,20 @@ enum class Dependence {
                                   const StochasticValue& y, Dependence dep);
 
 /// Multiplicative inverse of Y ± b via the first-order delta method:
-/// (1/Y) ± |b / Y^2|. Requires the range of Y to exclude zero, otherwise
-/// the inverse has no meaningful normal approximation.
+/// (1/Y) ± |b / Y^2|. PRECONDITION: the range [Y-b, Y+b] must exclude
+/// zero — a denominator that can be zero has no meaningful normal
+/// approximation of its inverse (the true distribution of 1/Y is
+/// heavy-tailed with no finite moments). Violations throw
+/// sspred::support::Error naming the offending value and its range.
 ///
 /// Note: the paper's footnote 5 writes the inverse as "Y^-1 ± b^-1", which
 /// does not reduce to the point-value rule as b -> 0; we follow standard
 /// error propagation instead (documented in DESIGN.md).
 [[nodiscard]] StochasticValue inverse(const StochasticValue& y);
 
-/// Division x / y = mul(x, inverse(y), dep).
+/// Division x / y = mul(x, inverse(y), dep). Same precondition as
+/// inverse(): the denominator's range must exclude zero (the error names
+/// the division's operands).
 [[nodiscard]] StochasticValue div(const StochasticValue& x,
                                   const StochasticValue& y, Dependence dep);
 

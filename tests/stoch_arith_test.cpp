@@ -116,6 +116,35 @@ TEST(Inverse, PointInverseIsExact) {
 TEST(Inverse, RangeSpanningZeroThrows) {
   EXPECT_THROW((void)inverse({0.5, 1.0}), support::Error);
   EXPECT_THROW((void)inverse({0.0, 0.0}), support::Error);
+  // Range endpoint exactly at zero counts as spanning it.
+  EXPECT_THROW((void)inverse({1.0, 1.0}), support::Error);
+}
+
+TEST(Inverse, RangeSpanningZeroErrorNamesTheRange) {
+  try {
+    (void)inverse({0.5, 1.0});
+    FAIL() << "expected Error";
+  } catch (const support::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("spans zero"), std::string::npos);
+    EXPECT_NE(what.find("-0.5"), std::string::npos);  // range lower bound
+    EXPECT_NE(what.find("1.5"), std::string::npos);   // range upper bound
+  }
+}
+
+TEST(Div, DenominatorSpanningZeroThrowsNamingBothOperands) {
+  const StochasticValue x(10.0, 1.0);
+  EXPECT_THROW((void)div(x, {0.5, 1.0}, Dependence::kUnrelated),
+               support::Error);
+  try {
+    (void)div(x, {0.5, 1.0}, Dependence::kRelated);
+    FAIL() << "expected Error";
+  } catch (const support::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("divide"), std::string::npos);
+    EXPECT_NE(what.find("10"), std::string::npos);  // numerator appears too
+    EXPECT_NE(what.find("spans zero"), std::string::npos);
+  }
 }
 
 TEST(Div, MatchesMulByInverse) {
