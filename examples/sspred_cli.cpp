@@ -10,8 +10,12 @@
 //                      [--trials 8] [--source nws|sample|mix] [--seed 1]
 //   sspred_cli plan    --platform platform1 --n 1000 --iters 15
 //                      --loads ... [--metric mean|p95|upper]
+//   sspred_cli serve   --platform platform2 --n 1000 --iters 15
+//                      [--requests R] [--workers W] [--mc-every M]
+//                      [--seed N] [--no-cache] [--no-coalesce]
 #include <cstdio>
 #include <cstdlib>
+#include <future>
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -19,9 +23,13 @@
 #include <vector>
 
 #include "machine/load_trace.hpp"
+#include "nws/service.hpp"
 #include "predict/experiment.hpp"
 #include "predict/host_selection.hpp"
+#include "serve/epoch.hpp"
+#include "serve/service.hpp"
 #include "stoch/metrics.hpp"
+#include "support/clock.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -40,7 +48,11 @@ using namespace sspred;
       "  series   --platform P --n N --iters K [--trials T]\n"
       "           [--source nws|sample|mix] [--seed N]\n"
       "  plan     --platform P --n N --iters K --loads m:sd,...\n"
-      "           [--metric mean|p95|upper]\n";
+      "           [--metric mean|p95|upper]\n"
+      "  serve    --platform P --n N --iters K [--requests R]\n"
+      "           [--workers W] [--mc-every M] [--seed N]\n"
+      "           [--no-cache] [--no-coalesce]\n"
+      "           run the prediction service over generated load traces\n";
   std::exit(2);
 }
 
@@ -52,7 +64,7 @@ std::map<std::string, std::string> parse_options(int argc, char** argv,
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) usage("unexpected argument: " + key);
     key = key.substr(2);
-    if (key == "breakdown") {
+    if (key == "breakdown" || key == "no-cache" || key == "no-coalesce") {
       opts[key] = "1";
       continue;
     }
@@ -253,6 +265,98 @@ int cmd_plan(const std::map<std::string, std::string>& opts) {
   return 0;
 }
 
+// Serve driver: generate a load trace per host, feed it through the NWS
+// service, and loop requests against the prediction service while a
+// fresh bindings epoch is published each step.
+int cmd_serve(const std::map<std::string, std::string>& opts) {
+  const auto spec = platform_by_name(get(opts, "platform", "platform2"));
+  serve::ModelSpec model_spec;
+  model_spec.app = serve::ModelSpec::App::kSor;
+  model_spec.platform = spec;
+  model_spec.config.n = std::strtoul(get(opts, "n", "1000").c_str(), nullptr, 10);
+  model_spec.config.iterations =
+      std::strtoul(get(opts, "iters", "15").c_str(), nullptr, 10);
+  const auto requests =
+      std::strtoul(get(opts, "requests", "200").c_str(), nullptr, 10);
+  const auto workers =
+      std::strtoul(get(opts, "workers", "4").c_str(), nullptr, 10);
+  const auto mc_every =
+      std::strtoul(get(opts, "mc-every", "10").c_str(), nullptr, 10);
+  const auto seed = std::strtoull(get(opts, "seed", "1").c_str(), nullptr, 10);
+
+  // Per-host load traces stand in for live CPU sensors; the first
+  // kWarmup samples only prime the forecasters.
+  constexpr std::size_t kWarmup = 32;
+  const std::size_t steps = requests + kWarmup;
+  nws::Service nws_service;
+  std::vector<std::string> resources;
+  std::vector<machine::LoadTrace> traces;
+  for (std::size_t h = 0; h < spec.hosts.size(); ++h) {
+    resources.push_back("cpu/" + std::to_string(h) + "/" +
+                        spec.hosts[h].machine.name);
+    traces.push_back(machine::LoadTrace::generate(spec.hosts[h].load, steps,
+                                                  1.0, seed + h));
+    for (std::size_t t = 0; t < kWarmup; ++t) {
+      nws_service.observe(resources[h], traces[h].samples()[t]);
+    }
+  }
+
+  serve::NwsBridge bridge(nws_service, resources);
+  serve::ServiceOptions service_options;
+  service_options.workers = workers;
+  service_options.enable_cache = !opts.contains("no-cache");
+  service_options.enable_coalescing = !opts.contains("no-coalesce");
+  serve::PredictionService service(service_options);
+  service.register_model("sor", model_spec);
+
+  support::RealClock wall;
+  const double t0 = wall.now();
+  std::vector<std::future<serve::PredictResult>> futures;
+  for (std::size_t i = 0; i < requests; ++i) {
+    for (std::size_t h = 0; h < spec.hosts.size(); ++h) {
+      nws_service.observe(resources[h], traces[h].samples()[kWarmup + i]);
+    }
+    service.publish_epoch(bridge.publish());
+    serve::PredictRequest request;
+    request.model_id = "sor";
+    request.resources = resources;
+    if (mc_every > 0 && i % mc_every == 0) {
+      request.mode = serve::Mode::kMonteCarlo;
+      request.seed = seed * 1000 + i;
+    }
+    futures.push_back(service.submit(std::move(request)));
+  }
+
+  std::size_t ok = 0;
+  std::size_t errors = 0;
+  std::size_t rejected = 0;
+  stoch::StochasticValue last(0.0);
+  for (auto& f : futures) {
+    const auto result = f.get();
+    switch (result.status) {
+      case serve::PredictResult::Status::kOk:
+        ++ok;
+        last = result.value;
+        break;
+      case serve::PredictResult::Status::kError:
+        if (errors++ == 0) std::printf("first error: %s\n",
+                                       result.error.c_str());
+        break;
+      case serve::PredictResult::Status::kRejected:
+        ++rejected;
+        break;
+    }
+  }
+  const double elapsed = wall.now() - t0;
+  std::printf("served %zu requests in %.3f s (%.0f req/s): "
+              "%zu ok, %zu error, %zu shed\n",
+              requests, elapsed, double(requests) / elapsed, ok, errors,
+              rejected);
+  if (ok > 0) std::printf("last prediction: %s s\n", last.to_string(2).c_str());
+  std::printf("\n%s", service.metrics().render().c_str());
+  return errors == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -265,6 +369,7 @@ int main(int argc, char** argv) {
     if (command == "predict") return cmd_predict(opts);
     if (command == "series") return cmd_series(opts);
     if (command == "plan") return cmd_plan(opts);
+    if (command == "serve") return cmd_serve(opts);
     usage("unknown command: " + command);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <fstream>
 #include <limits>
+#include <mutex>
 
 #include "support/error.hpp"
 
@@ -15,25 +16,33 @@ Service::Service(ServiceOptions options)
 }
 
 void Service::observe(const std::string& resource, double value) {
+  const std::unique_lock lock(mutex_);
   auto& h = histories_[resource];
   h.push_back(value);
   while (h.size() > options_.history_capacity) h.pop_front();
 }
 
 std::size_t Service::history_size(const std::string& resource) const {
+  const std::shared_lock lock(mutex_);
   const auto it = histories_.find(resource);
   return it == histories_.end() ? 0 : it->second.size();
 }
 
-std::vector<double> Service::history(const std::string& resource) const {
+std::vector<double> Service::history_locked(
+    const std::string& resource) const {
   const auto it = histories_.find(resource);
   SSPRED_REQUIRE(it != histories_.end(), "unknown resource: " + resource);
   return {it->second.begin(), it->second.end()};
 }
 
-std::vector<std::pair<std::string, double>> Service::postcast_errors(
+std::vector<double> Service::history(const std::string& resource) const {
+  const std::shared_lock lock(mutex_);
+  return history_locked(resource);
+}
+
+std::vector<std::pair<std::string, double>> Service::postcast_errors_locked(
     const std::string& resource) const {
-  const std::vector<double> h = history(resource);
+  const std::vector<double> h = history_locked(resource);
   SSPRED_REQUIRE(h.size() >= options_.warmup + 2,
                  "not enough history to postcast: " + resource);
   std::vector<std::pair<std::string, double>> errors;
@@ -53,10 +62,17 @@ std::vector<std::pair<std::string, double>> Service::postcast_errors(
   return errors;
 }
 
+std::vector<std::pair<std::string, double>> Service::postcast_errors(
+    const std::string& resource) const {
+  const std::shared_lock lock(mutex_);
+  return postcast_errors_locked(resource);
+}
+
 void Service::save_csv(const std::string& path) const {
   std::ofstream out(path);
   SSPRED_REQUIRE(out.good(), "cannot open history file: " + path);
   out << "resource,index,value\n";
+  const std::shared_lock lock(mutex_);
   for (const auto& [resource, history] : histories_) {
     std::size_t i = 0;
     for (double v : history) {
@@ -83,6 +99,7 @@ void Service::load_csv(const std::string& path) {
 }
 
 std::vector<std::string> Service::resources() const {
+  const std::shared_lock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(histories_.size());
   for (const auto& [name, _] : histories_) names.push_back(name);
@@ -90,8 +107,9 @@ std::vector<std::string> Service::resources() const {
 }
 
 Forecast Service::forecast(const std::string& resource) const {
-  const std::vector<double> h = history(resource);
-  const auto errors = postcast_errors(resource);
+  const std::shared_lock lock(mutex_);
+  const std::vector<double> h = history_locked(resource);
+  const auto errors = postcast_errors_locked(resource);
   std::size_t best = 0;
   double best_mse = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < errors.size(); ++i) {

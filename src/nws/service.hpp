@@ -11,6 +11,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,13 @@ struct ServiceOptions {
   std::size_t warmup = 8;              ///< observations before postcasting
 };
 
+/// Thread safety: histories are guarded by a reader/writer lock, so any
+/// number of concurrent readers (forecast/history/postcast_errors/...)
+/// may overlap with writers (observe/load_csv). Writers serialize against
+/// each other and against readers; a forecast therefore always sees a
+/// complete, consistent history — never a half-appended one. The serving
+/// layer (serve/epoch.hpp) additionally snapshots forecasts into immutable
+/// epochs so a batch of predictions shares one consistent view.
 class Service {
  public:
   explicit Service(ServiceOptions options = {});
@@ -67,8 +75,16 @@ class Service {
   [[nodiscard]] std::vector<std::string> resources() const;
 
  private:
+  /// history() body without locking; callers hold mutex_ (any mode).
+  [[nodiscard]] std::vector<double> history_locked(
+      const std::string& resource) const;
+  /// postcast_errors() body without locking; callers hold mutex_.
+  [[nodiscard]] std::vector<std::pair<std::string, double>>
+  postcast_errors_locked(const std::string& resource) const;
+
   ServiceOptions options_;
   std::vector<std::unique_ptr<Forecaster>> bank_;
+  mutable std::shared_mutex mutex_;  ///< guards histories_
   std::map<std::string, std::deque<double>> histories_;
 };
 

@@ -1,0 +1,121 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/table.hpp"
+
+namespace sspred::serve {
+
+LatencyHistogram::LatencyHistogram(double hi, std::size_t bins)
+    : hist_(0.0, hi, bins) {}
+
+void LatencyHistogram::observe(double v) noexcept {
+  const std::lock_guard lock(mutex_);
+  hist_.add(v);
+  if (count_ == 0 || v < min_) min_ = v;
+  if (count_ == 0 || v > max_) max_ = v;
+  ++count_;
+  sum_ += v;
+}
+
+std::uint64_t LatencyHistogram::count() const {
+  const std::lock_guard lock(mutex_);
+  return count_;
+}
+
+double LatencyHistogram::mean() const {
+  const std::lock_guard lock(mutex_);
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double LatencyHistogram::min() const {
+  const std::lock_guard lock(mutex_);
+  return min_;
+}
+
+double LatencyHistogram::max() const {
+  const std::lock_guard lock(mutex_);
+  return max_;
+}
+
+double LatencyHistogram::quantile(double q) const {
+  SSPRED_REQUIRE(q >= 0.0 && q <= 1.0, "quantile requires q in [0, 1]");
+  const std::lock_guard lock(mutex_);
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  const double target = q * static_cast<double>(count_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < hist_.bin_count(); ++i) {
+    const auto c = static_cast<double>(hist_.count(i));
+    if (cumulative + c >= target && c > 0.0) {
+      // Interpolate within the bucket, clamped to the observed extremes.
+      const double frac = (target - cumulative) / c;
+      const double lo_edge = hist_.lo() + hist_.bin_width() * double(i);
+      const double v = lo_edge + frac * hist_.bin_width();
+      return std::clamp(v, min_, max_);
+    }
+    cumulative += c;
+  }
+  return max_;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard lock(mutex_);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard lock(mutex_);
+  return gauges_[name];
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name,
+                                             double hi, std::size_t bins) {
+  const std::lock_guard lock(mutex_);
+  return histograms_.try_emplace(name, hi, bins).first->second;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  const std::lock_guard lock(mutex_);
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    out.push_back({name, "counter", static_cast<double>(c.value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    out.push_back({name, "gauge", static_cast<double>(g.value())});
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricSample s{name, "histogram", static_cast<double>(h.count())};
+    s.p50 = h.quantile(0.50);
+    s.p95 = h.quantile(0.95);
+    s.p99 = h.quantile(0.99);
+    s.mean = h.mean();
+    out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string MetricsRegistry::render() const {
+  support::Table t({"metric", "kind", "value", "p50", "p95", "p99"});
+  for (const auto& s : snapshot()) {
+    std::ostringstream value;
+    value << s.value;
+    if (s.kind == "histogram") {
+      t.add_row({s.name, s.kind, value.str(), support::fmt(s.p50, 4),
+                 support::fmt(s.p95, 4), support::fmt(s.p99, 4)});
+    } else {
+      t.add_row({s.name, s.kind, value.str(), "", "", ""});
+    }
+  }
+  return t.render();
+}
+
+}  // namespace sspred::serve

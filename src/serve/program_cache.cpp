@@ -1,0 +1,153 @@
+#include "serve/program_cache.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace sspred::serve {
+
+namespace {
+
+using Impl = std::variant<predict::SorStructuralModel,
+                          predict::BlockStructuralModel,
+                          predict::JacobiStructuralModel>;
+
+Impl make_impl(const ModelSpec& spec) {
+  switch (spec.app) {
+    case ModelSpec::App::kSor:
+      return Impl(std::in_place_index<0>, spec.platform, spec.config,
+                  spec.options);
+    case ModelSpec::App::kBlockSor:
+      return Impl(std::in_place_index<1>, spec.platform, spec.config.n,
+                  spec.config.iterations, spec.pr, spec.pc, spec.options);
+    case ModelSpec::App::kJacobi:
+      return Impl(std::in_place_index<2>, spec.platform, spec.config.n,
+                  spec.config.iterations, spec.options);
+  }
+  throw support::Error("unknown ModelSpec app");
+}
+
+}  // namespace
+
+std::string ModelSpec::structure_key() const {
+  std::ostringstream key;
+  key.precision(17);
+  switch (app) {
+    case App::kSor: key << "sor"; break;
+    case App::kBlockSor: key << "block"; break;
+    case App::kJacobi: key << "jacobi"; break;
+  }
+  key << "|n=" << config.n << "|it=" << config.iterations;
+  if (!config.rows_per_rank.empty()) {
+    key << "|rows=";
+    for (std::size_t r : config.rows_per_rank) key << r << ',';
+  }
+  if (app == App::kBlockSor) key << "|grid=" << pr << 'x' << pc;
+  key << "|dep=" << static_cast<int>(options.iteration_dependence)
+      << static_cast<int>(options.phase_dependence)
+      << "|pol=" << static_cast<int>(options.max_policy)
+      << "|form=" << static_cast<int>(options.compute_form)
+      << "|ops=" << options.ops_per_element
+      << "|mem=" << options.account_memory;
+  key << "|fabric=" << static_cast<int>(platform.fabric);
+  if (platform.fabric == cluster::FabricKind::kSharedSegment) {
+    key << '/' << platform.ethernet.nominal_bandwidth << '/'
+        << platform.ethernet.latency;
+  } else {
+    key << '/' << platform.switched.link_bandwidth << '/'
+        << platform.switched.latency;
+  }
+  for (const auto& host : platform.hosts) {
+    key << "|h=" << host.machine.name << ','
+        << host.machine.bm_seconds_per_element << ','
+        << host.machine.ops_per_second << ',' << host.machine.memory_elements
+        << ',' << host.machine.thrash_slope;
+  }
+  return key.str();
+}
+
+CompiledModel::CompiledModel(const ModelSpec& spec)
+    : spec_(spec), impl_(make_impl(spec)) {
+  const auto& prog = program();
+  load_slots_.reserve(spec_.platform.hosts.size());
+  for (const auto& host : spec_.platform.hosts) {
+    load_slots_.push_back(prog.slot("load/" + host.machine.name));
+  }
+  const std::string bw = predict::SorStructuralModel::bwavail_param();
+  if (prog.has_slot(bw)) bwavail_slot_ = prog.slot(bw);
+}
+
+const model::ir::Program& CompiledModel::program() const noexcept {
+  return std::visit(
+      [](const auto& m) -> const model::ir::Program& { return m.program(); },
+      impl_);
+}
+
+std::uint32_t CompiledModel::load_slot(std::size_t p) const {
+  SSPRED_REQUIRE(p < load_slots_.size(), "host index out of range");
+  return load_slots_[p];
+}
+
+std::uint32_t CompiledModel::bwavail_slot() const {
+  SSPRED_REQUIRE(bwavail_slot_ != kNoSlot,
+                 "model has no bandwidth parameter");
+  return bwavail_slot_;
+}
+
+ProgramCache::Lookup ProgramCache::get_or_compile(const ModelSpec& spec) {
+  const std::string key = spec.structure_key();
+  std::shared_ptr<Slot> slot;
+  bool compiler = false;
+  {
+    const std::lock_guard lock(mutex_);
+    auto it = slots_.find(key);
+    if (it == slots_.end()) {
+      slot = std::make_shared<Slot>();
+      slots_.emplace(key, slot);
+      compiler = true;
+    } else {
+      slot = it->second;
+    }
+  }
+
+  if (compiler) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    compiles_.fetch_add(1, std::memory_order_relaxed);
+    CompiledModelPtr model;
+    std::string error;
+    try {
+      model = std::make_shared<const CompiledModel>(spec);
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+    {
+      const std::lock_guard lock(slot->m);
+      slot->model = model;
+      slot->error = error;
+      slot->done = true;
+    }
+    slot->cv.notify_all();
+    if (!error.empty()) throw support::Error("model compilation failed: " + error);
+    return {model, false};
+  }
+
+  std::unique_lock lock(slot->m);
+  slot->cv.wait(lock, [&] { return slot->done; });
+  if (!slot->error.empty()) {
+    throw support::Error("model compilation failed: " + slot->error);
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return {slot->model, true};
+}
+
+std::size_t ProgramCache::size() const {
+  const std::lock_guard lock(mutex_);
+  return slots_.size();
+}
+
+void ProgramCache::clear() {
+  const std::lock_guard lock(mutex_);
+  slots_.clear();
+}
+
+}  // namespace sspred::serve

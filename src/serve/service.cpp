@@ -1,0 +1,475 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace sspred::serve {
+
+namespace {
+
+/// Independent, deterministic RNG seed for Monte-Carlo chunk `index`:
+/// fixed (request seed, index) -> fixed stream, whatever worker runs it.
+[[nodiscard]] std::uint64_t chunk_seed(std::uint64_t seed,
+                                       std::size_t index) noexcept {
+  std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+  return support::splitmix64(state);
+}
+
+}  // namespace
+
+model::ir::SlotEnvironment& PredictionService::WorkerState::env_for(
+    const CompiledModelPtr& model) {
+  auto it = envs.find(model.get());
+  if (it == envs.end()) {
+    it = envs
+             .emplace(model.get(),
+                      std::make_pair(model, model->program().make_environment()))
+             .first;
+  }
+  return it->second.second;
+}
+
+PredictionService::PredictionService(ServiceOptions options)
+    : options_(options),
+      clock_(options.clock ? options.clock : support::real_clock()),
+      requests_total_(metrics_.counter("requests_total")),
+      requests_ok_(metrics_.counter("requests_ok")),
+      requests_error_(metrics_.counter("requests_error")),
+      requests_rejected_(metrics_.counter("requests_rejected")),
+      coalesced_(metrics_.counter("requests_coalesced")),
+      mc_chunks_(metrics_.counter("mc_chunks_executed")),
+      epochs_published_(metrics_.counter("epochs_published")),
+      cache_hits_(metrics_.counter("cache_hits")),
+      cache_misses_(metrics_.counter("cache_misses")),
+      queue_depth_(metrics_.gauge("queue_depth")),
+      workers_busy_(metrics_.gauge("workers_busy")),
+      latency_(metrics_.histogram("latency_seconds",
+                                  options.latency_range_seconds, 512)),
+      batch_sizes_(metrics_.histogram(
+          "batch_size", static_cast<double>(options.max_batch) + 1.0,
+          std::max<std::size_t>(options.max_batch, 1))) {
+  SSPRED_REQUIRE(options_.workers >= 1, "service needs at least one worker");
+  SSPRED_REQUIRE(options_.queue_capacity >= 1,
+                 "service needs queue capacity >= 1");
+  SSPRED_REQUIRE(options_.mc_chunk_trials >= 2,
+                 "mc_chunk_trials must be at least 2");
+  paused_ = options_.start_paused;
+  threads_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+PredictionService::~PredictionService() {
+  {
+    const std::lock_guard lock(queue_mutex_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+
+  // Resolve whatever was still queued so no future is left broken.
+  for (auto& task : queue_) {
+    PredictResult rejected;
+    rejected.status = PredictResult::Status::kRejected;
+    rejected.error = "service stopped";
+    if (auto* job = std::get_if<Job>(&task)) {
+      requests_rejected_.increment();
+      job->promise.set_value(rejected);
+    } else {
+      auto& shared = *std::get<McChunk>(task).shared;
+      const std::lock_guard lock(shared.m);
+      if (!shared.promises.empty()) {
+        requests_rejected_.increment(shared.promises.size());
+        for (auto& p : shared.promises) p.set_value(rejected);
+        shared.promises.clear();
+      }
+    }
+  }
+  idle_cv_.notify_all();
+}
+
+void PredictionService::register_model(const std::string& id, ModelSpec spec) {
+  const std::lock_guard lock(models_mutex_);
+  models_.insert_or_assign(id, std::move(spec));
+}
+
+std::vector<std::string> PredictionService::model_ids() const {
+  const std::lock_guard lock(models_mutex_);
+  std::vector<std::string> ids;
+  ids.reserve(models_.size());
+  for (const auto& [id, _] : models_) ids.push_back(id);
+  return ids;
+}
+
+std::future<PredictResult> PredictionService::submit(PredictRequest request) {
+  requests_total_.increment();
+  Job job;
+  job.request = std::move(request);
+  job.epoch = current_epoch();
+  job.enqueue_time = now();
+  auto future = job.promise.get_future();
+
+  bool admitted = false;
+  bool stopped = false;
+  {
+    const std::lock_guard lock(queue_mutex_);
+    stopped = stop_;
+    if (!stop_ && queued_jobs_ < options_.queue_capacity) {
+      queue_.push_back(std::move(job));
+      ++queued_jobs_;
+      queue_depth_.set(static_cast<std::int64_t>(queued_jobs_));
+      admitted = true;
+    }
+  }
+  if (admitted) {
+    queue_cv_.notify_one();
+  } else {
+    requests_rejected_.increment();
+    PredictResult rejected;
+    rejected.status = PredictResult::Status::kRejected;
+    rejected.error =
+        stopped ? "service stopped"
+                : "queue full (capacity " +
+                      std::to_string(options_.queue_capacity) + ")";
+    job.promise.set_value(rejected);
+  }
+  return future;
+}
+
+void PredictionService::publish_epoch(EpochPtr epoch) {
+  {
+    const std::lock_guard lock(epoch_mutex_);
+    epoch_ = std::move(epoch);
+  }
+  epochs_published_.increment();
+}
+
+EpochPtr PredictionService::current_epoch() const {
+  const std::lock_guard lock(epoch_mutex_);
+  return epoch_;
+}
+
+void PredictionService::pause() {
+  const std::lock_guard lock(queue_mutex_);
+  paused_ = true;
+}
+
+void PredictionService::resume() {
+  {
+    const std::lock_guard lock(queue_mutex_);
+    paused_ = false;
+  }
+  queue_cv_.notify_all();
+}
+
+void PredictionService::drain() {
+  std::unique_lock lock(queue_mutex_);
+  idle_cv_.wait(lock, [&] {
+    return stop_ || (queue_.empty() && busy_ == 0);
+  });
+}
+
+bool PredictionService::coalescable(const Job& a, const Job& b) const {
+  const auto& ra = a.request;
+  const auto& rb = b.request;
+  const std::uint64_t ea = a.epoch ? a.epoch->version() : 0;
+  const std::uint64_t eb = b.epoch ? b.epoch->version() : 0;
+  if (ra.model_id != rb.model_id || ra.mode != rb.mode || ea != eb) {
+    return false;
+  }
+  if (ra.loads != rb.loads || ra.resources != rb.resources ||
+      ra.bwavail != rb.bwavail || ra.bwavail_resource != rb.bwavail_resource) {
+    return false;
+  }
+  if (ra.mode == Mode::kMonteCarlo &&
+      (ra.trials != rb.trials || ra.seed != rb.seed)) {
+    return false;
+  }
+  return true;
+}
+
+void PredictionService::worker_loop() {
+  WorkerState state;
+  for (;;) {
+    std::unique_lock lock(queue_mutex_);
+    queue_cv_.wait(lock, [&] {
+      return stop_ || (!paused_ && !queue_.empty());
+    });
+    if (stop_) return;
+    Task task = std::move(queue_.front());
+    queue_.pop_front();
+    std::vector<Job> siblings;
+    if (auto* job = std::get_if<Job>(&task)) {
+      --queued_jobs_;
+      if (options_.enable_coalescing) {
+        for (auto it = queue_.begin();
+             it != queue_.end() && siblings.size() + 1 < options_.max_batch;) {
+          if (auto* other = std::get_if<Job>(&*it);
+              other != nullptr && coalescable(*job, *other)) {
+            siblings.push_back(std::move(*other));
+            it = queue_.erase(it);
+            --queued_jobs_;
+          } else {
+            ++it;
+          }
+        }
+      }
+      queue_depth_.set(static_cast<std::int64_t>(queued_jobs_));
+    }
+    ++busy_;
+    workers_busy_.set(static_cast<std::int64_t>(busy_));
+    lock.unlock();
+
+    if (auto* job = std::get_if<Job>(&task)) {
+      execute_job(std::move(*job), std::move(siblings), state);
+    } else {
+      execute_chunk(std::get<McChunk>(task), state);
+    }
+
+    lock.lock();
+    --busy_;
+    workers_busy_.set(static_cast<std::int64_t>(busy_));
+    if (queue_.empty() && busy_ == 0) idle_cv_.notify_all();
+  }
+}
+
+CompiledModelPtr PredictionService::resolve_model(
+    const PredictRequest& request) {
+  ModelSpec spec;
+  {
+    const std::lock_guard lock(models_mutex_);
+    const auto it = models_.find(request.model_id);
+    if (it == models_.end()) {
+      std::ostringstream msg;
+      msg << "unknown model id '" << request.model_id << "' (registered:";
+      for (const auto& [id, _] : models_) msg << ' ' << id;
+      msg << ')';
+      throw support::Error(msg.str());
+    }
+    spec = it->second;
+  }
+  if (options_.enable_cache) {
+    const auto lookup = cache_.get_or_compile(spec);
+    (lookup.hit ? cache_hits_ : cache_misses_).increment();
+    return lookup.model;
+  }
+  cache_misses_.increment();
+  return std::make_shared<const CompiledModel>(spec);
+}
+
+void PredictionService::resolve_bindings(
+    const Job& job, const CompiledModel& model,
+    std::vector<stoch::StochasticValue>& loads,
+    stoch::StochasticValue& bwavail) const {
+  const auto& request = job.request;
+  SSPRED_REQUIRE(request.loads.empty() || request.resources.empty(),
+                 "request binds loads both explicitly and by resource name");
+  SSPRED_REQUIRE(!request.loads.empty() || !request.resources.empty(),
+                 "request binds no loads (set loads or resources)");
+  const std::size_t given =
+      request.loads.empty() ? request.resources.size() : request.loads.size();
+  SSPRED_REQUIRE(given == model.hosts(),
+                 "model '" + request.model_id + "' needs " +
+                     std::to_string(model.hosts()) + " load bindings, got " +
+                     std::to_string(given));
+  if (!request.loads.empty()) {
+    loads = request.loads;
+  } else {
+    SSPRED_REQUIRE(job.epoch != nullptr,
+                   "request binds loads by resource name but no bindings "
+                   "epoch has been published");
+    loads.reserve(request.resources.size());
+    for (const auto& resource : request.resources) {
+      loads.push_back(job.epoch->lookup(resource));
+    }
+  }
+  if (!request.bwavail_resource.empty()) {
+    SSPRED_REQUIRE(job.epoch != nullptr,
+                   "request binds bandwidth by resource name but no bindings "
+                   "epoch has been published");
+    bwavail = job.epoch->lookup(request.bwavail_resource);
+  } else {
+    bwavail = request.bwavail;
+  }
+}
+
+void PredictionService::bind(model::ir::SlotEnvironment& env,
+                             const CompiledModel& model,
+                             std::span<const stoch::StochasticValue> loads,
+                             const stoch::StochasticValue& bwavail) const {
+  for (std::size_t p = 0; p < loads.size(); ++p) {
+    env.bind(model.load_slot(p), loads[p]);
+  }
+  if (model.uses_bandwidth()) env.bind(model.bwavail_slot(), bwavail);
+}
+
+void PredictionService::finish_batch(
+    std::vector<std::promise<PredictResult>>& promises, PredictResult base,
+    double enqueue_time) {
+  base.latency_seconds = now() - enqueue_time;
+  latency_.observe(base.latency_seconds);
+  const auto n = static_cast<std::uint64_t>(promises.size());
+  if (base.status == PredictResult::Status::kOk) {
+    requests_ok_.increment(n);
+  } else {
+    requests_error_.increment(n);
+  }
+  for (auto& p : promises) p.set_value(base);
+  promises.clear();
+}
+
+void PredictionService::execute_job(Job&& job, std::vector<Job>&& siblings,
+                                    WorkerState& state) {
+  PredictResult base;
+  base.batch_size = 1 + siblings.size();
+  base.epoch_version = job.epoch ? job.epoch->version() : 0;
+  std::vector<std::promise<PredictResult>> promises;
+  promises.reserve(base.batch_size);
+  promises.push_back(std::move(job.promise));
+  for (auto& s : siblings) promises.push_back(std::move(s.promise));
+  if (!siblings.empty()) coalesced_.increment(siblings.size());
+  batch_sizes_.observe(static_cast<double>(base.batch_size));
+
+  try {
+    const CompiledModelPtr model = resolve_model(job.request);
+    std::vector<stoch::StochasticValue> loads;
+    stoch::StochasticValue bwavail;
+    resolve_bindings(job, *model, loads, bwavail);
+
+    const auto& request = job.request;
+    if (request.mode == Mode::kMonteCarlo && options_.workers > 1 &&
+        request.trials > options_.mc_chunk_trials) {
+      // Fan the trials out as chunk tasks; the last chunk to finish
+      // combines the partials and resolves the whole batch.
+      auto shared = std::make_shared<McShared>();
+      shared->model = model;
+      shared->loads = std::move(loads);
+      shared->bwavail = bwavail;
+      shared->seed = request.seed;
+      shared->total_trials = request.trials;
+      shared->epoch_version = base.epoch_version;
+      shared->enqueue_time = job.enqueue_time;
+      shared->promises = std::move(promises);
+      const std::size_t chunk = options_.mc_chunk_trials;
+      const std::size_t chunks = (request.trials + chunk - 1) / chunk;
+      shared->partials.resize(chunks);
+      shared->remaining = chunks;
+      {
+        const std::lock_guard lock(queue_mutex_);
+        for (std::size_t i = 0; i < chunks; ++i) {
+          const std::size_t begin = i * chunk;
+          // Chunks jump the external queue: they complete an admitted
+          // request, and are not subject to admission control.
+          queue_.push_front(McChunk{
+              shared, i, std::min(chunk, request.trials - begin)});
+        }
+      }
+      queue_cv_.notify_all();
+      return;
+    }
+
+    std::optional<model::ir::SlotEnvironment> local;
+    if (!options_.enable_cache) local.emplace(model->program().make_environment());
+    model::ir::SlotEnvironment& env =
+        options_.enable_cache ? state.env_for(model) : *local;
+    bind(env, *model, loads, bwavail);
+
+    switch (request.mode) {
+      case Mode::kStochastic: {
+        base.value = model->program().evaluate(env, state.ws);
+        base.point = base.value.mean();
+        break;
+      }
+      case Mode::kPoint: {
+        base.point = model->program().evaluate_point(env, state.ws);
+        base.value = stoch::StochasticValue(base.point);
+        break;
+      }
+      case Mode::kMonteCarlo: {
+        support::Rng rng(request.seed);
+        base.value = model->program().sample_trials(env, rng, request.trials,
+                                                    state.ws);
+        base.point = base.value.mean();
+        break;
+      }
+    }
+    base.status = PredictResult::Status::kOk;
+  } catch (const std::exception& e) {
+    base.status = PredictResult::Status::kError;
+    base.error = e.what();
+  }
+  finish_batch(promises, std::move(base), job.enqueue_time);
+}
+
+void PredictionService::execute_chunk(const McChunk& chunk,
+                                      WorkerState& state) {
+  auto& shared = *chunk.shared;
+  mc_chunks_.increment();
+
+  PredictResult failure;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  try {
+    std::optional<model::ir::SlotEnvironment> local;
+    if (!options_.enable_cache) {
+      local.emplace(shared.model->program().make_environment());
+    }
+    model::ir::SlotEnvironment& env =
+        options_.enable_cache ? state.env_for(shared.model) : *local;
+    bind(env, *shared.model, shared.loads, shared.bwavail);
+    support::Rng rng(chunk_seed(shared.seed, chunk.index));
+    for (std::size_t t = 0; t < chunk.trials; ++t) {
+      const double x = shared.model->program().sample(env, rng, state.ws);
+      sum += x;
+      sum_sq += x * x;
+    }
+  } catch (const std::exception& e) {
+    failure.status = PredictResult::Status::kError;
+    failure.error = e.what();
+  }
+
+  bool last = false;
+  {
+    const std::lock_guard lock(shared.m);
+    shared.partials[chunk.index] = {sum, sum_sq};
+    last = (--shared.remaining == 0);
+    if (failure.status == PredictResult::Status::kError &&
+        !shared.promises.empty()) {
+      // First failing chunk resolves the batch; stragglers see promises
+      // already cleared and just finish their arithmetic.
+      failure.epoch_version = shared.epoch_version;
+      failure.batch_size = shared.promises.size();
+      finish_batch(shared.promises, std::move(failure), shared.enqueue_time);
+      return;
+    }
+  }
+  if (!last) return;
+
+  const std::lock_guard lock(shared.m);
+  if (shared.promises.empty()) return;  // a failing chunk already resolved it
+  double total = 0.0;
+  double total_sq = 0.0;
+  for (const auto& [s, q] : shared.partials) {
+    total += s;
+    total_sq += q;
+  }
+  const auto n = static_cast<double>(shared.total_trials);
+  const double mean = total / n;
+  const double var =
+      std::max(0.0, (total_sq - n * mean * mean) / (n - 1.0));
+  PredictResult base;
+  base.status = PredictResult::Status::kOk;
+  base.value = stoch::StochasticValue::from_mean_sd(mean, std::sqrt(var));
+  base.point = mean;
+  base.epoch_version = shared.epoch_version;
+  base.batch_size = shared.promises.size();
+  finish_batch(shared.promises, std::move(base), shared.enqueue_time);
+}
+
+}  // namespace sspred::serve

@@ -1,0 +1,245 @@
+// PredictionService — the concurrent serving layer over compiled models.
+//
+// Turns the library's one-shot prediction calls into a service:
+//
+//   submit(PredictRequest) -> std::future<PredictResult>
+//
+// with a fixed worker pool, a bounded admission queue (overload sheds
+// rejected requests instead of growing without bound), a structure-keyed
+// compiled-program cache (program_cache.hpp), request coalescing
+// (identical requests against the same bindings epoch share a single
+// evaluation), Monte-Carlo chunk fan-out across workers, versioned NWS
+// bindings epochs (epoch.hpp) and a metrics registry (metrics.hpp).
+//
+// Error contract: a request that cannot be served — unknown model id,
+// wrong binding count, resource missing from the epoch, a worker-side
+// exception of any kind — resolves its future with a structured
+// PredictResult (status kError and a message); worker threads never die
+// on a bad request. Rejection (queue full / service stopped) resolves
+// with status kRejected.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "serve/epoch.hpp"
+#include "serve/metrics.hpp"
+#include "serve/program_cache.hpp"
+#include "support/clock.hpp"
+
+namespace sspred::serve {
+
+/// How the prediction is computed.
+enum class Mode {
+  kStochastic,  ///< compiled §2.3 stochastic calculus
+  kPoint,       ///< conventional point prediction (means only)
+  kMonteCarlo,  ///< sampled mean ± 2sd, chunked across workers
+};
+
+/// One prediction query. Loads are bound either explicitly (`loads`,
+/// one stochastic value per host) or by NWS resource name (`resources`,
+/// resolved against the bindings epoch current at submit time); exactly
+/// one of the two must be provided. The bandwidth parameter defaults to
+/// a dedicated segment and may likewise come from the epoch.
+struct PredictRequest {
+  std::string model_id;
+  Mode mode = Mode::kStochastic;
+  std::vector<stoch::StochasticValue> loads;
+  std::vector<std::string> resources;
+  stoch::StochasticValue bwavail = stoch::StochasticValue(1.0);
+  std::string bwavail_resource;  ///< overrides `bwavail` when non-empty
+  std::size_t trials = 2000;     ///< kMonteCarlo only
+  std::uint64_t seed = 1;        ///< kMonteCarlo only
+};
+
+struct PredictResult {
+  enum class Status {
+    kOk,
+    kError,     ///< structured failure; `error` says what went wrong
+    kRejected,  ///< shed by admission control or service shutdown
+  };
+  Status status = Status::kOk;
+  std::string error;
+  stoch::StochasticValue value;   ///< prediction (point: halfwidth 0)
+  double point = 0.0;             ///< mean shortcut
+  std::uint64_t epoch_version = 0;  ///< bindings epoch served under (0: none)
+  std::size_t batch_size = 1;     ///< requests sharing this evaluation
+  double latency_seconds = 0.0;   ///< submit -> completion, service clock
+
+  [[nodiscard]] bool ok() const noexcept { return status == Status::kOk; }
+};
+
+struct ServiceOptions {
+  std::size_t workers = 4;
+  /// Queued external requests beyond this are rejected, not queued.
+  std::size_t queue_capacity = 1024;
+  /// Share compiled programs across requests/ids (the program cache).
+  /// Off: every request compiles its model from scratch (bench baseline).
+  bool enable_cache = true;
+  /// Coalesce identical queued (model, epoch, bindings) requests into one
+  /// evaluation at dequeue time.
+  bool enable_coalescing = true;
+  std::size_t max_batch = 64;  ///< coalesced requests per evaluation
+  /// Monte-Carlo requests with more trials than this are split into
+  /// chunks executed across the pool (when workers > 1).
+  std::size_t mc_chunk_trials = 2048;
+  /// Time source for latency metrics; null selects support::real_clock().
+  std::shared_ptr<support::Clock> clock;
+  /// Top of the latency histogram range, seconds.
+  double latency_range_seconds = 1.0;
+  /// Construct with workers blocked; resume() starts processing. Lets
+  /// tests (and benchmarks) stage a queue deterministically.
+  bool start_paused = false;
+};
+
+class PredictionService {
+ public:
+  explicit PredictionService(ServiceOptions options = {});
+  ~PredictionService();
+
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  /// Registers (or replaces) a model id. Ids are aliases: two ids with
+  /// structurally identical specs share one cached program.
+  void register_model(const std::string& id, ModelSpec spec);
+  [[nodiscard]] std::vector<std::string> model_ids() const;
+
+  /// Admits a request. Always returns a future that will be resolved —
+  /// with kRejected immediately when the queue is full.
+  [[nodiscard]] std::future<PredictResult> submit(PredictRequest request);
+
+  /// Installs `epoch` as the bindings epoch for subsequently submitted
+  /// requests; in-flight requests keep the epoch they were admitted with.
+  void publish_epoch(EpochPtr epoch);
+  [[nodiscard]] EpochPtr current_epoch() const;
+
+  /// Pauses/resumes worker dequeueing (submissions still queue; in-flight
+  /// work finishes). Used by tests to stage coalescing/admission states.
+  void pause();
+  void resume();
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void drain();
+
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] ProgramCache& cache() noexcept { return cache_; }
+  [[nodiscard]] const ServiceOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  /// One queued external request.
+  struct Job {
+    PredictRequest request;
+    std::promise<PredictResult> promise;
+    EpochPtr epoch;
+    double enqueue_time = 0.0;
+  };
+
+  /// Shared state of one fanned-out Monte-Carlo evaluation.
+  struct McShared {
+    CompiledModelPtr model;
+    std::vector<stoch::StochasticValue> loads;  ///< resolved bindings
+    stoch::StochasticValue bwavail;
+    std::uint64_t seed = 0;
+    std::size_t total_trials = 0;
+    std::uint64_t epoch_version = 0;
+    double enqueue_time = 0.0;
+    std::vector<std::promise<PredictResult>> promises;  ///< whole batch
+
+    std::mutex m;
+    /// Per-chunk (sum, sum of squares); combined in index order at the
+    /// end so the result is independent of worker scheduling.
+    std::vector<std::pair<double, double>> partials;
+    std::size_t remaining = 0;
+  };
+
+  /// One queued Monte-Carlo chunk (internal; not admission-controlled).
+  struct McChunk {
+    std::shared_ptr<McShared> shared;
+    std::size_t index = 0;
+    std::size_t trials = 0;
+  };
+
+  using Task = std::variant<Job, McChunk>;
+
+  /// Per-worker reusable evaluation state (slot environments keyed by
+  /// compiled model, one workspace) — keeps the hot path allocation-free.
+  struct WorkerState {
+    std::map<const CompiledModel*,
+             std::pair<CompiledModelPtr, model::ir::SlotEnvironment>>
+        envs;
+    model::ir::EvalWorkspace ws;
+
+    [[nodiscard]] model::ir::SlotEnvironment& env_for(
+        const CompiledModelPtr& model);
+  };
+
+  void worker_loop();
+  void execute_job(Job&& job, std::vector<Job>&& siblings, WorkerState& state);
+  void execute_chunk(const McChunk& chunk, WorkerState& state);
+  /// Resolves the request's model (cache or fresh compile per options).
+  [[nodiscard]] CompiledModelPtr resolve_model(const PredictRequest& request);
+  /// Resolves load/bandwidth bindings against the job's epoch; throws
+  /// support::Error with a structured message on any mismatch.
+  void resolve_bindings(const Job& job, const CompiledModel& model,
+                        std::vector<stoch::StochasticValue>& loads,
+                        stoch::StochasticValue& bwavail) const;
+  void bind(model::ir::SlotEnvironment& env, const CompiledModel& model,
+            std::span<const stoch::StochasticValue> loads,
+            const stoch::StochasticValue& bwavail) const;
+  /// Fulfills the batch's promises with `base` (per-promise latency).
+  void finish_batch(std::vector<std::promise<PredictResult>>& promises,
+                    PredictResult base, double enqueue_time);
+  [[nodiscard]] bool coalescable(const Job& a, const Job& b) const;
+  [[nodiscard]] double now() const noexcept { return clock_->now(); }
+
+  ServiceOptions options_;
+  std::shared_ptr<support::Clock> clock_;
+  MetricsRegistry metrics_;
+  ProgramCache cache_;
+
+  mutable std::mutex models_mutex_;
+  std::map<std::string, ModelSpec> models_;
+
+  mutable std::mutex epoch_mutex_;
+  EpochPtr epoch_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;  ///< work available / state change
+  std::condition_variable idle_cv_;   ///< queue empty + workers idle
+  std::deque<Task> queue_;
+  std::size_t queued_jobs_ = 0;  ///< external Jobs in queue_ (not chunks)
+  bool paused_ = false;
+  bool stop_ = false;
+  std::size_t busy_ = 0;
+
+  std::vector<std::thread> threads_;
+
+  // Hot-path instrument handles (stable addresses inside metrics_).
+  Counter& requests_total_;
+  Counter& requests_ok_;
+  Counter& requests_error_;
+  Counter& requests_rejected_;
+  Counter& coalesced_;
+  Counter& mc_chunks_;
+  Counter& epochs_published_;
+  Counter& cache_hits_;
+  Counter& cache_misses_;
+  Gauge& queue_depth_;
+  Gauge& workers_busy_;
+  LatencyHistogram& latency_;
+  LatencyHistogram& batch_sizes_;
+};
+
+}  // namespace sspred::serve

@@ -1,0 +1,54 @@
+#include "support/clock.hpp"
+
+#include <chrono>
+#include <cmath>
+
+namespace sspred::support {
+
+namespace {
+
+[[nodiscard]] std::int64_t steady_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Clock::~Clock() = default;
+
+RealClock::RealClock() noexcept : origin_ns_(steady_ns()) {}
+
+double RealClock::now() const noexcept {
+  return static_cast<double>(steady_ns() - origin_ns_) * 1e-9;
+}
+
+FakeClock::FakeClock(double start_seconds) noexcept {
+  set(start_seconds);
+}
+
+double FakeClock::now() const noexcept {
+  return static_cast<double>(now_ticks_.load(std::memory_order_acquire)) *
+         kTick;
+}
+
+void FakeClock::advance(double dt) noexcept {
+  if (dt <= 0.0) return;
+  now_ticks_.fetch_add(std::llround(dt / kTick), std::memory_order_acq_rel);
+}
+
+void FakeClock::set(double seconds) noexcept {
+  const std::int64_t ticks = std::llround(seconds / kTick);
+  std::int64_t cur = now_ticks_.load(std::memory_order_acquire);
+  while (ticks > cur &&
+         !now_ticks_.compare_exchange_weak(cur, ticks,
+                                           std::memory_order_acq_rel)) {
+  }
+}
+
+std::shared_ptr<Clock> real_clock() {
+  static const std::shared_ptr<Clock> instance = std::make_shared<RealClock>();
+  return instance;
+}
+
+}  // namespace sspred::support

@@ -1,0 +1,58 @@
+// Monotonic-clock abstraction for the serving layer.
+//
+// Latency metrics and batching windows need a time source that (a) never
+// goes backwards and (b) can be replaced by a hand-advanced fake in tests,
+// so timing-dependent behaviour is deterministic under CI. All times are
+// seconds since an arbitrary epoch; only differences are meaningful.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace sspred::support {
+
+/// Monotonic time source. Implementations must be safe to call from
+/// multiple threads concurrently.
+class Clock {
+ public:
+  virtual ~Clock();
+
+  /// Seconds since an arbitrary fixed epoch; never decreases.
+  [[nodiscard]] virtual double now() const noexcept = 0;
+};
+
+/// Wall clock backed by std::chrono::steady_clock.
+class RealClock final : public Clock {
+ public:
+  RealClock() noexcept;
+  [[nodiscard]] double now() const noexcept override;
+
+ private:
+  std::int64_t origin_ns_ = 0;  ///< readings are offsets from construction
+};
+
+/// Hand-advanced clock for deterministic tests. Time only moves when
+/// advance()/set() are called; both are safe against concurrent now().
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(double start_seconds = 0.0) noexcept;
+
+  [[nodiscard]] double now() const noexcept override;
+
+  /// Moves time forward by `dt` seconds (dt >= 0).
+  void advance(double dt) noexcept;
+
+  /// Jumps to an absolute reading (must not move backwards).
+  void set(double seconds) noexcept;
+
+ private:
+  static constexpr double kTick = 1e-9;  ///< stored resolution, seconds
+  std::atomic<std::int64_t> now_ticks_{0};
+};
+
+/// The process-wide default clock (a RealClock), shared so services can
+/// default-construct without threading a clock through every call site.
+[[nodiscard]] std::shared_ptr<Clock> real_clock();
+
+}  // namespace sspred::support
