@@ -13,15 +13,26 @@
 //   sspred_cli serve   --platform platform2 --n 1000 --iters 15
 //                      [--requests R] [--workers W] [--mc-every M]
 //                      [--seed N] [--no-cache] [--no-coalesce]
+//                      [--metrics-json FILE]
+//   sspred_cli calibrate --platform platform2 --n 1000 --iters 15
+//                      [--trials T] [--seed N] [--source nws|sample|mix]
+//                      [--window W] [--drift-lambda L]
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "calib/drift.hpp"
+#include "calib/ledger.hpp"
+#include "calib/recalibrate.hpp"
 #include "machine/load_trace.hpp"
 #include "nws/service.hpp"
 #include "predict/experiment.hpp"
@@ -51,8 +62,13 @@ using namespace sspred;
       "           [--metric mean|p95|upper]\n"
       "  serve    --platform P --n N --iters K [--requests R]\n"
       "           [--workers W] [--mc-every M] [--seed N]\n"
-      "           [--no-cache] [--no-coalesce]\n"
-      "           run the prediction service over generated load traces\n";
+      "           [--no-cache] [--no-coalesce] [--metrics-json FILE]\n"
+      "           run the prediction service over generated load traces\n"
+      "  calibrate --platform P --n N --iters K [--trials T] [--seed N]\n"
+      "           [--source nws|sample|mix] [--window W]\n"
+      "           [--drift-lambda L]\n"
+      "           replay a load trace through predict->simulate->report\n"
+      "           and print a calibration report\n";
   std::exit(2);
 }
 
@@ -347,6 +363,7 @@ int cmd_serve(const std::map<std::string, std::string>& opts) {
         break;
     }
   }
+  service.drain();  // workers idle before the snapshot: gauges read 0
   const double elapsed = wall.now() - t0;
   std::printf("served %zu requests in %.3f s (%.0f req/s): "
               "%zu ok, %zu error, %zu shed\n",
@@ -354,7 +371,144 @@ int cmd_serve(const std::map<std::string, std::string>& opts) {
               rejected);
   if (ok > 0) std::printf("last prediction: %s s\n", last.to_string(2).c_str());
   std::printf("\n%s", service.metrics().render().c_str());
+  if (const auto it = opts.find("metrics-json"); it != opts.end()) {
+    const std::string json = service.metrics().render_json();
+    if (it->second == "-") {
+      std::printf("%s", json.c_str());
+    } else {
+      std::ofstream out(it->second);
+      if (!out) {
+        std::cerr << "error: cannot write " << it->second << "\n";
+        return 1;
+      }
+      out << json;
+      std::printf("wrote metrics snapshot to %s\n", it->second.c_str());
+    }
+  }
   return errors == 0 ? 0 : 1;
+}
+
+// Calibration driver: predict->simulate->report. The experiment harness
+// replays per-host load traces through the simulator (predict::run_series);
+// each trial's prediction is re-served through a ledger-equipped
+// PredictionService, the observed (simulated) runtime is fed back via
+// report_observation, and drift detection plus conformal recalibration
+// run online over the resulting residual stream.
+int cmd_calibrate(const std::map<std::string, std::string>& opts) {
+  predict::SeriesConfig cfg;
+  cfg.platform = platform_by_name(get(opts, "platform", "platform2"));
+  cfg.sor.n = std::strtoul(get(opts, "n", "1000").c_str(), nullptr, 10);
+  cfg.sor.iterations =
+      std::strtoul(get(opts, "iters", "15").c_str(), nullptr, 10);
+  cfg.sor.real_numerics = false;
+  cfg.trials = std::strtoul(get(opts, "trials", "16").c_str(), nullptr, 10);
+  cfg.seed = std::strtoull(get(opts, "seed", "20260707").c_str(), nullptr, 10);
+  cfg.bwavail = stoch::StochasticValue::from_mean_sd(0.525, 0.06);
+  const std::string source = get(opts, "source", "nws");
+  if (source == "nws") {
+    cfg.load_source = predict::LoadParameterSource::kNwsForecast;
+  } else if (source == "sample") {
+    cfg.load_source = predict::LoadParameterSource::kRecentSample;
+  } else if (source == "mix") {
+    cfg.load_source = predict::LoadParameterSource::kModalMix;
+  } else {
+    usage("unknown --source (nws|sample|mix)");
+  }
+  const auto window =
+      std::strtoul(get(opts, "window", "64").c_str(), nullptr, 10);
+  const double drift_lambda = std::stod(get(opts, "drift-lambda", "12"));
+
+  const auto outcomes = predict::run_series(cfg);
+
+  calib::LedgerOptions ledger_options;
+  ledger_options.coverage_window = window;
+  auto ledger = std::make_shared<calib::AccuracyLedger>(ledger_options);
+
+  serve::ServiceOptions service_options;
+  service_options.workers = 2;
+  service_options.ledger = ledger;
+  serve::PredictionService service(service_options);
+  serve::ModelSpec model_spec;
+  model_spec.app = serve::ModelSpec::App::kSor;
+  model_spec.platform = cfg.platform;
+  model_spec.config = cfg.sor;
+  service.register_model("sor", model_spec);
+
+  // Drift alarms are stamped in the series' virtual time.
+  auto virtual_clock = std::make_shared<support::FakeClock>();
+  calib::DriftMonitorOptions drift_options;
+  drift_options.page_hinkley.lambda = drift_lambda;
+  drift_options.coverage.window = std::max<std::size_t>(window / 4, 8);
+  calib::DriftMonitor drift(drift_options, virtual_clock);
+
+  calib::RecalibratorOptions recal_options;
+  recal_options.window = window;
+  recal_options.min_samples = std::min<std::size_t>(window / 4 + 2, 20);
+  calib::ConformalRecalibrator recal(recal_options);
+
+  support::Table t({"t (s)", "predicted (s)", "recalibrated (s)",
+                    "actual (s)", "raw", "cal", "scale"});
+  std::size_t raw_inside = 0;
+  std::size_t cal_inside = 0;
+  for (const auto& o : outcomes) {
+    serve::PredictRequest request;
+    request.model_id = "sor";
+    request.loads = o.load_params;
+    request.bwavail = cfg.bwavail;
+    const auto result = service.submit(std::move(request)).get();
+    if (!result.ok()) {
+      std::cerr << "error: " << result.error << "\n";
+      return 1;
+    }
+    // Apply the scale learned from the trials seen so far (online loop),
+    // then report the observation so the ledger and window move on.
+    const auto scaled = recal.apply("sor", result.value);
+    const bool in_raw = result.value.contains(o.actual);
+    const bool in_cal = scaled.contains(o.actual);
+    if (in_raw) ++raw_inside;
+    if (in_cal) ++cal_inside;
+    virtual_clock->set(o.start_time);
+    if (!result.value.is_point()) {
+      drift.update("sor", (o.actual - result.value.mean()) / result.value.sd(),
+                   in_raw);
+    }
+    service.report_observation(result.request_id, o.actual);
+    recal.record("sor", result.value, o.actual);
+    t.add_row({support::fmt(o.start_time, 0), result.value.to_string(1),
+               scaled.to_string(1), support::fmt(o.actual, 1),
+               in_raw ? "yes" : "no", in_cal ? "yes" : "no",
+               support::fmt(recal.scale("sor"), 2)});
+  }
+  std::cout << t.render();
+
+  const auto s = ledger->snapshot("sor");
+  std::printf("\ncalibration report (%zu observations, nominal %.0f%%)\n",
+              std::size_t(s.count), s.nominal_coverage * 100.0);
+  std::printf("  coverage          raw %.1f%% | recalibrated %.1f%% | "
+              "rolling(%zu) %.1f%%\n",
+              100.0 * double(raw_inside) / double(outcomes.size()),
+              100.0 * double(cal_inside) / double(outcomes.size()),
+              std::size_t(s.rolling_count), s.rolling_coverage * 100.0);
+  std::printf("  sharpness         mean halfwidth %.3f s\n", s.sharpness);
+  std::printf("  proper scores     CRPS %.4f | pinball %.4f\n", s.mean_crps,
+              s.mean_pinball);
+  std::printf("  residuals         z mean %+.3f sd %.3f | |z| q%.0f %.3f "
+              "(2.0 when calibrated)\n",
+              s.z_mean, s.z_sd, s.nominal_coverage * 100.0, s.abs_z_quantile);
+  std::printf("  conformal scale   %.3f (window %zu)\n", recal.scale("sor"),
+              std::size_t(recal.count("sor")));
+  const auto alarms = drift.alarms();
+  if (alarms.empty()) {
+    std::printf("  drift             none detected\n");
+  } else {
+    for (const auto& a : alarms) {
+      std::printf("  drift             %s alarm at trial %zu (t=%.0f s)\n",
+                  a.detector.c_str(), std::size_t(a.observation), a.time);
+    }
+  }
+  service.drain();  // workers idle before the snapshot: gauges read 0
+  std::printf("\n%s", service.metrics().render().c_str());
+  return 0;
 }
 
 }  // namespace
@@ -370,6 +524,7 @@ int main(int argc, char** argv) {
     if (command == "series") return cmd_series(opts);
     if (command == "plan") return cmd_plan(opts);
     if (command == "serve") return cmd_serve(opts);
+    if (command == "calibrate") return cmd_calibrate(opts);
     usage("unknown command: " + command);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -1,0 +1,121 @@
+#include "calib/drift.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace sspred::calib {
+
+PageHinkley::PageHinkley(PageHinkleyOptions options) : options_(options) {}
+
+bool PageHinkley::update(double x) noexcept {
+  ++n_;
+  mean_ += (x - mean_) / static_cast<double>(n_);
+  cum_up_ += x - mean_ - options_.delta;
+  min_up_ = std::min(min_up_, cum_up_);
+  cum_dn_ += x - mean_ + options_.delta;
+  max_dn_ = std::max(max_dn_, cum_dn_);
+  if (triggered_ || n_ < options_.min_samples) return false;
+  if (statistic() > options_.lambda) {
+    triggered_ = true;
+    return true;
+  }
+  return false;
+}
+
+double PageHinkley::statistic() const noexcept {
+  return std::max(cum_up_ - min_up_, max_dn_ - cum_dn_);
+}
+
+void PageHinkley::reset() noexcept {
+  n_ = 0;
+  mean_ = 0.0;
+  cum_up_ = 0.0;
+  min_up_ = 0.0;
+  cum_dn_ = 0.0;
+  max_dn_ = 0.0;
+  triggered_ = false;
+}
+
+WindowedCoverageDetector::WindowedCoverageDetector(
+    WindowedCoverageOptions options)
+    : options_(options), ring_(std::max<std::size_t>(options.window, 1), 0) {}
+
+bool WindowedCoverageDetector::update(bool inside) noexcept {
+  ++n_;
+  sum_ += inside ? 1 : 0;
+  sum_ -= ring_[pos_];
+  ring_[pos_] = inside ? 1 : 0;
+  pos_ = (pos_ + 1) % ring_.size();
+  if (filled_ < ring_.size()) ++filled_;
+  if (triggered_ || filled_ < ring_.size()) return false;
+  if (rolling_coverage() < options_.min_coverage) {
+    triggered_ = true;
+    return true;
+  }
+  return false;
+}
+
+double WindowedCoverageDetector::rolling_coverage() const noexcept {
+  return filled_ == 0 ? 0.0
+                      : static_cast<double>(sum_) /
+                            static_cast<double>(filled_);
+}
+
+void WindowedCoverageDetector::reset() noexcept {
+  std::fill(ring_.begin(), ring_.end(), 0);
+  pos_ = 0;
+  filled_ = 0;
+  sum_ = 0;
+  n_ = 0;
+  triggered_ = false;
+}
+
+DriftMonitor::DriftMonitor(DriftMonitorOptions options,
+                           std::shared_ptr<support::Clock> clock)
+    : options_(options),
+      clock_(clock ? std::move(clock) : support::real_clock()) {}
+
+bool DriftMonitor::update(const std::string& model_id, double z, bool inside) {
+  const std::lock_guard lock(mutex_);
+  auto it = states_.find(model_id);
+  if (it == states_.end()) {
+    it = states_.emplace(model_id, State(options_)).first;
+  }
+  State& state = it->second;
+  ++state.count;
+  bool fired = false;
+  if (state.page_hinkley.update(z)) {
+    alarms_.push_back(
+        {model_id, "page_hinkley", state.count, clock_->now()});
+    fired = true;
+  }
+  if (state.coverage.update(inside)) {
+    alarms_.push_back({model_id, "coverage", state.count, clock_->now()});
+    fired = true;
+  }
+  return fired;
+}
+
+bool DriftMonitor::triggered(const std::string& model_id) const {
+  const std::lock_guard lock(mutex_);
+  const auto it = states_.find(model_id);
+  if (it == states_.end()) return false;
+  return it->second.page_hinkley.triggered() ||
+         it->second.coverage.triggered();
+}
+
+std::vector<DriftMonitor::Alarm> DriftMonitor::alarms() const {
+  const std::lock_guard lock(mutex_);
+  return alarms_;
+}
+
+void DriftMonitor::reset(const std::string& model_id) {
+  const std::lock_guard lock(mutex_);
+  const auto it = states_.find(model_id);
+  if (it == states_.end()) return;
+  it->second.page_hinkley.reset();
+  it->second.coverage.reset();
+}
+
+}  // namespace sspred::calib

@@ -1,0 +1,143 @@
+// Drift detection over prediction-residual streams.
+//
+// A structural model parameterized from NWS forecasts goes stale when a
+// machine's load regime shifts faster than the forecasters track (the
+// paper's §2.1.2 bursty machines are exactly this hazard). Two detectors
+// watch for that from opposite angles:
+//
+//   * PageHinkley: the classic two-sided Page-Hinkley test on the
+//     standardized-residual stream — flags a persistent shift of the
+//     residual mean away from its running average (model bias appearing).
+//   * WindowedCoverageDetector: flags when empirical coverage over a
+//     fixed window falls below an acceptance floor (intervals no longer
+//     bracketing reality, whatever the bias).
+//
+// DriftMonitor runs both per model id and records alarms stamped with an
+// injected support::Clock, so tests drive the whole pipeline off a
+// FakeClock and assert exact alarm times.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/clock.hpp"
+
+namespace sspred::calib {
+
+struct PageHinkleyOptions {
+  /// Magnitude tolerance: deviations smaller than this are absorbed.
+  double delta = 0.05;
+  /// Alarm threshold on the cumulative deviation statistic.
+  double lambda = 12.0;
+  /// Observations required before the test may fire.
+  std::size_t min_samples = 16;
+};
+
+/// Two-sided Page-Hinkley mean-shift test. The alarm is latched: once
+/// triggered it stays triggered until reset().
+class PageHinkley {
+ public:
+  explicit PageHinkley(PageHinkleyOptions options = {});
+
+  /// Feeds one value; returns true exactly when the alarm first fires.
+  bool update(double x) noexcept;
+
+  [[nodiscard]] bool triggered() const noexcept { return triggered_; }
+  [[nodiscard]] std::uint64_t samples() const noexcept { return n_; }
+  /// Current max of the two one-sided cumulative statistics.
+  [[nodiscard]] double statistic() const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  PageHinkleyOptions options_;
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double cum_up_ = 0.0;   ///< cumulative deviations, upward-shift side
+  double min_up_ = 0.0;
+  double cum_dn_ = 0.0;   ///< cumulative deviations, downward-shift side
+  double max_dn_ = 0.0;
+  bool triggered_ = false;
+};
+
+struct WindowedCoverageOptions {
+  std::size_t window = 64;
+  /// Alarm when rolling coverage over a full window drops below this.
+  double min_coverage = 0.80;
+};
+
+/// Flags a model whose interval coverage collapses. Latched like
+/// PageHinkley; only fires once the window has filled.
+class WindowedCoverageDetector {
+ public:
+  explicit WindowedCoverageDetector(WindowedCoverageOptions options = {});
+
+  /// Feeds one hit/miss; returns true exactly when the alarm first fires.
+  bool update(bool inside) noexcept;
+
+  [[nodiscard]] bool triggered() const noexcept { return triggered_; }
+  [[nodiscard]] double rolling_coverage() const noexcept;
+  [[nodiscard]] std::uint64_t samples() const noexcept { return n_; }
+
+  void reset() noexcept;
+
+ private:
+  WindowedCoverageOptions options_;
+  std::vector<std::uint8_t> ring_;
+  std::size_t pos_ = 0;
+  std::size_t filled_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t n_ = 0;
+  bool triggered_ = false;
+};
+
+struct DriftMonitorOptions {
+  PageHinkleyOptions page_hinkley;
+  WindowedCoverageOptions coverage;
+};
+
+/// Per-model drift detection with clock-stamped alarms.
+class DriftMonitor {
+ public:
+  /// A null clock selects support::real_clock().
+  explicit DriftMonitor(DriftMonitorOptions options = {},
+                        std::shared_ptr<support::Clock> clock = nullptr);
+
+  struct Alarm {
+    std::string model_id;
+    std::string detector;       ///< "page_hinkley" or "coverage"
+    std::uint64_t observation;  ///< 1-based index within the model's stream
+    double time;                ///< clock reading when the alarm fired
+  };
+
+  /// Feeds one observation's standardized residual and interval hit;
+  /// returns true when this observation raised at least one new alarm.
+  bool update(const std::string& model_id, double z, bool inside);
+
+  [[nodiscard]] bool triggered(const std::string& model_id) const;
+  [[nodiscard]] std::vector<Alarm> alarms() const;
+
+  /// Re-arms both detectors for `model_id` (recorded alarms remain).
+  void reset(const std::string& model_id);
+
+ private:
+  struct State {
+    explicit State(const DriftMonitorOptions& options)
+        : page_hinkley(options.page_hinkley), coverage(options.coverage) {}
+    PageHinkley page_hinkley;
+    WindowedCoverageDetector coverage;
+    std::uint64_t count = 0;
+  };
+
+  DriftMonitorOptions options_;
+  std::shared_ptr<support::Clock> clock_;
+  mutable std::mutex mutex_;
+  std::map<std::string, State> states_;
+  std::vector<Alarm> alarms_;
+};
+
+}  // namespace sspred::calib

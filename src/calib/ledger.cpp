@@ -1,0 +1,126 @@
+#include "calib/ledger.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/distributions.hpp"
+#include "support/error.hpp"
+
+namespace sspred::calib {
+
+namespace {
+constexpr double kInvSqrtPi = 0.5641895835477563;  // 1/sqrt(pi)
+}  // namespace
+
+double normal_crps(double mean, double sd, double y) {
+  SSPRED_REQUIRE(sd > 0.0, "normal_crps requires sd > 0");
+  const double z = (y - mean) / sd;
+  return sd * (z * (2.0 * stats::normal_cdf(z) - 1.0) +
+               2.0 * stats::normal_pdf(z) - kInvSqrtPi);
+}
+
+double pinball_loss(double q, double tau, double y) noexcept {
+  return y >= q ? tau * (y - q) : (1.0 - tau) * (q - y);
+}
+
+AccuracyLedger::Entry::Entry(const LedgerOptions& options)
+    : abs_z(options.nominal_coverage),
+      ring(std::max<std::size_t>(options.coverage_window, 1), 0) {}
+
+void AccuracyLedger::Entry::record(const stoch::StochasticValue& predicted,
+                                   double observed,
+                                   const LedgerOptions& options) {
+  ++count;
+  const bool hit = predicted.contains(observed);
+  if (hit) ++inside;
+
+  ring_sum += hit ? 1 : 0;
+  ring_sum -= ring[ring_pos];
+  ring[ring_pos] = hit ? 1 : 0;
+  ring_pos = (ring_pos + 1) % ring.size();
+  if (ring_n < ring.size()) ++ring_n;
+
+  halfwidths.add(predicted.halfwidth());
+  if (predicted.is_point()) {
+    ++points;
+    return;
+  }
+  const double sd = predicted.sd();
+  const double zv = (observed - predicted.mean()) / sd;
+  z.add(zv);
+  abs_z.add(std::abs(zv));
+  crps.add(normal_crps(predicted.mean(), sd, observed));
+  const double tau_lo = (1.0 - options.nominal_coverage) / 2.0;
+  const double tau_hi = 1.0 - tau_lo;
+  const stats::Normal normal(predicted.mean(), sd);
+  pinball.add(0.5 * (pinball_loss(normal.quantile(tau_lo), tau_lo, observed) +
+                     pinball_loss(normal.quantile(tau_hi), tau_hi, observed)));
+}
+
+CalibrationSnapshot AccuracyLedger::Entry::snapshot(
+    const LedgerOptions& options) const {
+  CalibrationSnapshot s;
+  s.count = count;
+  s.inside = inside;
+  s.coverage = count == 0 ? 0.0
+                          : static_cast<double>(inside) /
+                                static_cast<double>(count);
+  s.rolling_count = ring_n;
+  s.rolling_coverage = ring_n == 0 ? 0.0
+                                   : static_cast<double>(ring_sum) /
+                                         static_cast<double>(ring_n);
+  s.nominal_coverage = options.nominal_coverage;
+  s.sharpness = halfwidths.count() == 0 ? 0.0 : halfwidths.mean();
+  s.mean_crps = crps.count() == 0 ? 0.0 : crps.mean();
+  s.mean_pinball = pinball.count() == 0 ? 0.0 : pinball.mean();
+  s.z_mean = z.count() == 0 ? 0.0 : z.mean();
+  s.z_sd = z.sd();
+  s.abs_z_quantile = abs_z.value();
+  s.point_predictions = points;
+  return s;
+}
+
+AccuracyLedger::AccuracyLedger(LedgerOptions options)
+    : options_(options), overall_(options) {
+  SSPRED_REQUIRE(
+      options_.nominal_coverage > 0.0 && options_.nominal_coverage < 1.0,
+      "nominal coverage must be in (0, 1)");
+  SSPRED_REQUIRE(options_.coverage_window >= 1,
+                 "coverage window must hold at least one observation");
+}
+
+void AccuracyLedger::record(const std::string& model_id,
+                            const stoch::StochasticValue& predicted,
+                            double observed) {
+  const std::lock_guard lock(mutex_);
+  overall_.record(predicted, observed, options_);
+  auto it = per_model_.find(model_id);
+  if (it == per_model_.end()) {
+    it = per_model_.emplace(model_id, Entry(options_)).first;
+  }
+  it->second.record(predicted, observed, options_);
+}
+
+CalibrationSnapshot AccuracyLedger::snapshot() const {
+  const std::lock_guard lock(mutex_);
+  return overall_.snapshot(options_);
+}
+
+CalibrationSnapshot AccuracyLedger::snapshot(
+    const std::string& model_id) const {
+  const std::lock_guard lock(mutex_);
+  const auto it = per_model_.find(model_id);
+  SSPRED_REQUIRE(it != per_model_.end(),
+                 "no observations recorded for model '" + model_id + "'");
+  return it->second.snapshot(options_);
+}
+
+std::vector<std::string> AccuracyLedger::model_ids() const {
+  const std::lock_guard lock(mutex_);
+  std::vector<std::string> ids;
+  ids.reserve(per_model_.size());
+  for (const auto& [id, _] : per_model_) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace sspred::calib

@@ -103,6 +103,26 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
   return out;
 }
 
+std::string MetricsRegistry::render_json() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\n  \"metrics\": [";
+  bool first = true;
+  for (const auto& s : snapshot()) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"name\": \"" << s.name << "\", \"kind\": \"" << s.kind
+       << "\", \"value\": " << s.value;
+    if (s.kind == "histogram") {
+      os << ", \"mean\": " << s.mean << ", \"p50\": " << s.p50
+         << ", \"p95\": " << s.p95 << ", \"p99\": " << s.p99;
+    }
+    os << "}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
 std::string MetricsRegistry::render() const {
   support::Table t({"metric", "kind", "value", "p50", "p95", "p99"});
   for (const auto& s : snapshot()) {

@@ -107,6 +107,11 @@ class MetricsRegistry {
   /// Snapshot rendered as an aligned text table.
   [[nodiscard]] std::string render() const;
 
+  /// Snapshot rendered as JSON: {"metrics": [{"name", "kind", "value",
+  /// and for histograms "mean"/"p50"/"p95"/"p99"}, ...]} — the
+  /// machine-readable counterpart of render().
+  [[nodiscard]] std::string render_json() const;
+
  private:
   mutable std::mutex mutex_;  ///< guards the maps, not the instruments
   std::map<std::string, Counter> counters_;

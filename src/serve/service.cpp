@@ -46,6 +46,8 @@ PredictionService::PredictionService(ServiceOptions options)
       epochs_published_(metrics_.counter("epochs_published")),
       cache_hits_(metrics_.counter("cache_hits")),
       cache_misses_(metrics_.counter("cache_misses")),
+      observations_recorded_(metrics_.counter("observations_recorded")),
+      observations_unmatched_(metrics_.counter("observations_unmatched")),
       queue_depth_(metrics_.gauge("queue_depth")),
       workers_busy_(metrics_.gauge("workers_busy")),
       latency_(metrics_.histogram("latency_seconds",
@@ -80,13 +82,17 @@ PredictionService::~PredictionService() {
     rejected.error = "service stopped";
     if (auto* job = std::get_if<Job>(&task)) {
       requests_rejected_.increment();
+      rejected.request_id = job->id;
       job->promise.set_value(rejected);
     } else {
       auto& shared = *std::get<McChunk>(task).shared;
       const std::lock_guard lock(shared.m);
       if (!shared.promises.empty()) {
         requests_rejected_.increment(shared.promises.size());
-        for (auto& p : shared.promises) p.set_value(rejected);
+        for (auto& p : shared.promises) {
+          rejected.request_id = p.id;
+          p.promise.set_value(rejected);
+        }
         shared.promises.clear();
       }
     }
@@ -112,6 +118,7 @@ std::future<PredictResult> PredictionService::submit(PredictRequest request) {
   Job job;
   job.request = std::move(request);
   job.epoch = current_epoch();
+  job.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   job.enqueue_time = now();
   auto future = job.promise.get_future();
 
@@ -137,6 +144,7 @@ std::future<PredictResult> PredictionService::submit(PredictRequest request) {
         stopped ? "service stopped"
                 : "queue full (capacity " +
                       std::to_string(options_.queue_capacity) + ")";
+    rejected.request_id = job.id;
     job.promise.set_value(rejected);
   }
   return future;
@@ -309,19 +317,62 @@ void PredictionService::bind(model::ir::SlotEnvironment& env,
   if (model.uses_bandwidth()) env.bind(model.bwavail_slot(), bwavail);
 }
 
-void PredictionService::finish_batch(
-    std::vector<std::promise<PredictResult>>& promises, PredictResult base,
-    double enqueue_time) {
+void PredictionService::finish_batch(std::vector<Pending>& promises,
+                                     PredictResult base, double enqueue_time,
+                                     const std::string& model_id) {
   base.latency_seconds = now() - enqueue_time;
   latency_.observe(base.latency_seconds);
   const auto n = static_cast<std::uint64_t>(promises.size());
-  if (base.status == PredictResult::Status::kOk) {
+  const bool ok = base.status == PredictResult::Status::kOk;
+  if (ok) {
     requests_ok_.increment(n);
   } else {
     requests_error_.increment(n);
   }
-  for (auto& p : promises) p.set_value(base);
+  for (auto& p : promises) {
+    base.request_id = p.id;
+    if (ok) remember_prediction(p.id, model_id, base.value);
+    p.promise.set_value(base);
+  }
   promises.clear();
+}
+
+void PredictionService::remember_prediction(
+    std::uint64_t request_id, const std::string& model_id,
+    const stoch::StochasticValue& value) {
+  if (!options_.ledger || options_.observation_capacity == 0) return;
+  const std::lock_guard lock(observations_mutex_);
+  if (completed_.emplace(request_id, CompletedPrediction{model_id, value})
+          .second) {
+    completed_order_.push_back(request_id);
+  }
+  // Bounding the FIFO bounds the map too (ids reported meanwhile are
+  // already gone from the map and just fall off the deque).
+  while (completed_order_.size() > options_.observation_capacity) {
+    completed_.erase(completed_order_.front());
+    completed_order_.pop_front();
+  }
+}
+
+bool PredictionService::report_observation(std::uint64_t request_id,
+                                           double observed_seconds) {
+  CompletedPrediction prediction;
+  {
+    const std::lock_guard lock(observations_mutex_);
+    const auto it = completed_.find(request_id);
+    if (it == completed_.end() || !options_.ledger) {
+      observations_unmatched_.increment();
+      return false;
+    }
+    prediction = std::move(it->second);
+    completed_.erase(it);
+    // completed_order_ keeps the stale id; eviction skips ids already
+    // erased, so the FIFO stays bounded without a linear scan here.
+  }
+  options_.ledger->record(prediction.model_id, prediction.value,
+                          observed_seconds);
+  observations_recorded_.increment();
+  return true;
 }
 
 void PredictionService::execute_job(Job&& job, std::vector<Job>&& siblings,
@@ -329,10 +380,12 @@ void PredictionService::execute_job(Job&& job, std::vector<Job>&& siblings,
   PredictResult base;
   base.batch_size = 1 + siblings.size();
   base.epoch_version = job.epoch ? job.epoch->version() : 0;
-  std::vector<std::promise<PredictResult>> promises;
+  std::vector<Pending> promises;
   promises.reserve(base.batch_size);
-  promises.push_back(std::move(job.promise));
-  for (auto& s : siblings) promises.push_back(std::move(s.promise));
+  promises.push_back(Pending{job.id, std::move(job.promise)});
+  for (auto& s : siblings) {
+    promises.push_back(Pending{s.id, std::move(s.promise)});
+  }
   if (!siblings.empty()) coalesced_.increment(siblings.size());
   batch_sizes_.observe(static_cast<double>(base.batch_size));
 
@@ -349,6 +402,7 @@ void PredictionService::execute_job(Job&& job, std::vector<Job>&& siblings,
       // combines the partials and resolves the whole batch.
       auto shared = std::make_shared<McShared>();
       shared->model = model;
+      shared->model_id = request.model_id;
       shared->loads = std::move(loads);
       shared->bwavail = bwavail;
       shared->seed = request.seed;
@@ -404,7 +458,8 @@ void PredictionService::execute_job(Job&& job, std::vector<Job>&& siblings,
     base.status = PredictResult::Status::kError;
     base.error = e.what();
   }
-  finish_batch(promises, std::move(base), job.enqueue_time);
+  finish_batch(promises, std::move(base), job.enqueue_time,
+               job.request.model_id);
 }
 
 void PredictionService::execute_chunk(const McChunk& chunk,
@@ -445,7 +500,8 @@ void PredictionService::execute_chunk(const McChunk& chunk,
       // already cleared and just finish their arithmetic.
       failure.epoch_version = shared.epoch_version;
       failure.batch_size = shared.promises.size();
-      finish_batch(shared.promises, std::move(failure), shared.enqueue_time);
+      finish_batch(shared.promises, std::move(failure), shared.enqueue_time,
+                   shared.model_id);
       return;
     }
   }
@@ -469,7 +525,8 @@ void PredictionService::execute_chunk(const McChunk& chunk,
   base.point = mean;
   base.epoch_version = shared.epoch_version;
   base.batch_size = shared.promises.size();
-  finish_batch(shared.promises, std::move(base), shared.enqueue_time);
+  finish_batch(shared.promises, std::move(base), shared.enqueue_time,
+               shared.model_id);
 }
 
 }  // namespace sspred::serve

@@ -19,6 +19,7 @@
 // with status kRejected.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -31,6 +32,7 @@
 #include <variant>
 #include <vector>
 
+#include "calib/ledger.hpp"
 #include "serve/epoch.hpp"
 #include "serve/metrics.hpp"
 #include "serve/program_cache.hpp"
@@ -71,6 +73,7 @@ struct PredictResult {
   std::string error;
   stoch::StochasticValue value;   ///< prediction (point: halfwidth 0)
   double point = 0.0;             ///< mean shortcut
+  std::uint64_t request_id = 0;   ///< ticket for report_observation()
   std::uint64_t epoch_version = 0;  ///< bindings epoch served under (0: none)
   std::size_t batch_size = 1;     ///< requests sharing this evaluation
   double latency_seconds = 0.0;   ///< submit -> completion, service clock
@@ -94,6 +97,12 @@ struct ServiceOptions {
   std::size_t mc_chunk_trials = 2048;
   /// Time source for latency metrics; null selects support::real_clock().
   std::shared_ptr<support::Clock> clock;
+  /// Accuracy ledger fed by report_observation(); null disables the
+  /// predict→observe feedback loop (see calib/ledger.hpp).
+  std::shared_ptr<calib::AccuracyLedger> ledger;
+  /// Completed predictions kept (FIFO) awaiting their observation; a
+  /// report arriving after eviction counts as unmatched.
+  std::size_t observation_capacity = 4096;
   /// Top of the latency histogram range, seconds.
   double latency_range_seconds = 1.0;
   /// Construct with workers blocked; resume() starts processing. Lets
@@ -131,6 +140,13 @@ class PredictionService {
   /// Blocks until the queue is empty and every worker is idle.
   void drain();
 
+  /// Closes the predict→observe loop: reports that the work predicted by
+  /// the (completed, kOk) request `request_id` actually took
+  /// `observed_seconds`, feeding the configured accuracy ledger. Returns
+  /// false — and counts the report as unmatched — when no ledger is
+  /// configured, the id is unknown, already reported, or was evicted.
+  bool report_observation(std::uint64_t request_id, double observed_seconds);
+
   [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
   [[nodiscard]] ProgramCache& cache() noexcept { return cache_; }
   [[nodiscard]] const ServiceOptions& options() const noexcept {
@@ -143,19 +159,27 @@ class PredictionService {
     PredictRequest request;
     std::promise<PredictResult> promise;
     EpochPtr epoch;
+    std::uint64_t id = 0;  ///< stamped at submit; returned in the result
     double enqueue_time = 0.0;
+  };
+
+  /// A promise awaiting resolution, tagged with its request id.
+  struct Pending {
+    std::uint64_t id = 0;
+    std::promise<PredictResult> promise;
   };
 
   /// Shared state of one fanned-out Monte-Carlo evaluation.
   struct McShared {
     CompiledModelPtr model;
+    std::string model_id;
     std::vector<stoch::StochasticValue> loads;  ///< resolved bindings
     stoch::StochasticValue bwavail;
     std::uint64_t seed = 0;
     std::size_t total_trials = 0;
     std::uint64_t epoch_version = 0;
     double enqueue_time = 0.0;
-    std::vector<std::promise<PredictResult>> promises;  ///< whole batch
+    std::vector<Pending> promises;  ///< whole batch
 
     std::mutex m;
     /// Per-chunk (sum, sum of squares); combined in index order at the
@@ -198,9 +222,15 @@ class PredictionService {
   void bind(model::ir::SlotEnvironment& env, const CompiledModel& model,
             std::span<const stoch::StochasticValue> loads,
             const stoch::StochasticValue& bwavail) const;
-  /// Fulfills the batch's promises with `base` (per-promise latency).
-  void finish_batch(std::vector<std::promise<PredictResult>>& promises,
-                    PredictResult base, double enqueue_time);
+  /// Fulfills the batch's promises with `base` (per-promise request id);
+  /// successful results are remembered for report_observation().
+  void finish_batch(std::vector<Pending>& promises, PredictResult base,
+                    double enqueue_time, const std::string& model_id);
+  /// Remembers a completed prediction until its observation arrives
+  /// (bounded FIFO; no-op without a ledger).
+  void remember_prediction(std::uint64_t request_id,
+                           const std::string& model_id,
+                           const stoch::StochasticValue& value);
   [[nodiscard]] bool coalescable(const Job& a, const Job& b) const;
   [[nodiscard]] double now() const noexcept { return clock_->now(); }
 
@@ -226,6 +256,18 @@ class PredictionService {
 
   std::vector<std::thread> threads_;
 
+  std::atomic<std::uint64_t> next_request_id_{1};
+
+  /// Completed predictions awaiting report_observation(), FIFO-bounded
+  /// by options_.observation_capacity.
+  struct CompletedPrediction {
+    std::string model_id;
+    stoch::StochasticValue value;
+  };
+  std::mutex observations_mutex_;
+  std::map<std::uint64_t, CompletedPrediction> completed_;
+  std::deque<std::uint64_t> completed_order_;
+
   // Hot-path instrument handles (stable addresses inside metrics_).
   Counter& requests_total_;
   Counter& requests_ok_;
@@ -236,6 +278,8 @@ class PredictionService {
   Counter& epochs_published_;
   Counter& cache_hits_;
   Counter& cache_misses_;
+  Counter& observations_recorded_;
+  Counter& observations_unmatched_;
   Gauge& queue_depth_;
   Gauge& workers_busy_;
   LatencyHistogram& latency_;

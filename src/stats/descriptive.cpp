@@ -125,6 +125,81 @@ void OnlineStats::merge(const OnlineStats& other) noexcept {
   max_ = std::max(max_, other.max_);
 }
 
+P2Quantile::P2Quantile(double p) : p_(p) {
+  SSPRED_REQUIRE(p > 0.0 && p < 1.0, "P2Quantile needs p in (0, 1)");
+  const double inc[5] = {0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0};
+  for (int i = 0; i < 5; ++i) {
+    increments_[i] = inc[i];
+    desired_[i] = 1.0 + 2.0 * (p + 1.0) * inc[i];
+  }
+}
+
+void P2Quantile::add(double x) noexcept {
+  if (n_total_ < 5) {
+    heights_[n_total_++] = x;
+    std::sort(heights_, heights_ + n_total_);
+    if (n_total_ == 5) {
+      for (int i = 0; i < 5; ++i) positions_[i] = double(i + 1);
+      desired_[0] = 1.0;
+      desired_[1] = 1.0 + 2.0 * p_;
+      desired_[2] = 1.0 + 4.0 * p_;
+      desired_[3] = 3.0 + 2.0 * p_;
+      desired_[4] = 5.0;
+    }
+    return;
+  }
+  ++n_total_;
+
+  // Locate the cell containing x, extending the extremes when needed.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Nudge interior markers towards their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double below = positions_[i] - positions_[i - 1];
+    const double above = positions_[i + 1] - positions_[i];
+    if ((d >= 1.0 && above > 1.0) || (d <= -1.0 && below > 1.0)) {
+      const double s = d >= 1.0 ? 1.0 : -1.0;
+      // Piecewise-parabolic estimate of the height at the moved position.
+      const double q =
+          heights_[i] +
+          s / (positions_[i + 1] - positions_[i - 1]) *
+              ((below + s) * (heights_[i + 1] - heights_[i]) / above +
+               (above - s) * (heights_[i] - heights_[i - 1]) / below);
+      if (heights_[i - 1] < q && q < heights_[i + 1]) {
+        heights_[i] = q;
+      } else {
+        // Parabolic fit left the bracket: fall back to linear.
+        const int j = i + (s > 0.0 ? 1 : -1);
+        heights_[i] += s * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::value() const noexcept {
+  if (n_total_ == 0) return 0.0;
+  if (n_total_ <= 5) {
+    // Exact quantile over the buffered (sorted) prefix.
+    return quantile_sorted(std::span<const double>(heights_, n_total_), p_);
+  }
+  return heights_[2];
+}
+
 double fraction_within(std::span<const double> xs, double lo, double hi) {
   SSPRED_REQUIRE(!xs.empty(), "fraction_within needs a non-empty sample");
   std::size_t inside = 0;

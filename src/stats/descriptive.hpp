@@ -72,4 +72,33 @@ class OnlineStats {
 [[nodiscard]] double fraction_within(std::span<const double> xs, double lo,
                                      double hi);
 
+/// Streaming estimate of one quantile in O(1) memory (the P² algorithm of
+/// Jain & Chlamtac, CACM 1985): five markers track the running min, max,
+/// target quantile and its two flanking quantiles, adjusted towards their
+/// ideal positions with a piecewise-parabolic fit after every observation.
+/// Exact for the first five observations; converges to the empirical
+/// quantile as the stream grows. Shared by the calibration ledger
+/// (calib/ledger.hpp), which cannot afford to buffer residual streams.
+class P2Quantile {
+ public:
+  /// `p` is the tracked quantile, in (0, 1).
+  explicit P2Quantile(double p);
+
+  void add(double x) noexcept;
+
+  /// Current estimate; exact while count() <= 5. Returns 0 when empty.
+  [[nodiscard]] double value() const noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_total_; }
+  [[nodiscard]] double p() const noexcept { return p_; }
+
+ private:
+  double p_;
+  std::size_t n_total_ = 0;
+  double heights_[5] = {};   ///< marker heights (ascending)
+  double positions_[5] = {}; ///< actual marker positions (1-based)
+  double desired_[5] = {};   ///< desired marker positions
+  double increments_[5] = {};///< desired-position increment per observation
+};
+
 }  // namespace sspred::stats

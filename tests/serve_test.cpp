@@ -8,7 +8,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <future>
+#include <map>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -124,6 +127,66 @@ TEST(ServeMetrics, RegistrySnapshotNamesEverything) {
   EXPECT_FALSE(registry.render().empty());
 }
 
+TEST(ServeMetrics, EmptyHistogramIsAllZeros) {
+  LatencyHistogram h(1.0, 16);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  // Quantiles of an empty histogram are 0, never NaN.
+  for (const double q : {0.0, 0.5, 0.95, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_FALSE(std::isnan(v));
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+  EXPECT_THROW((void)h.quantile(1.5), support::Error);
+  EXPECT_THROW((void)h.quantile(-0.1), support::Error);
+}
+
+TEST(ServeMetrics, SingleSampleHistogramClampsAllQuantilesToIt) {
+  LatencyHistogram h(1.0, 16);
+  h.observe(0.3);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.3);
+  // Every quantile of a one-sample distribution is that sample: bucket
+  // interpolation must clamp to the observed extremes, not bucket edges.
+  for (const double q : {0.0, 0.01, 0.5, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 0.3) << "q=" << q;
+  }
+}
+
+TEST(ServeMetrics, OverflowObservationsSaturateTheTopBucket) {
+  LatencyHistogram h(1.0, 16);  // tracked range [0, 1)
+  h.observe(0.5);
+  h.observe(50.0);
+  h.observe(100.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  // Out-of-range values clamp into the top bucket; high quantiles
+  // saturate at the exact observed max rather than the bucket edge.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+  EXPECT_LE(h.quantile(0.9), 100.0);
+  EXPECT_GE(h.quantile(0.9), 0.5);
+  EXPECT_FALSE(std::isnan(h.quantile(0.99)));
+}
+
+TEST(ServeMetrics, RenderJsonListsEveryInstrumentWithoutNans) {
+  MetricsRegistry registry;
+  registry.counter("reqs").increment(3);
+  registry.gauge("depth").set(-2);
+  (void)registry.histogram("lat", 1.0, 8);  // deliberately left empty
+  registry.histogram("sizes", 16.0, 16).observe(4.0);
+  const std::string json = registry.render_json();
+  EXPECT_NE(json.find("\"name\": \"reqs\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"value\": -2"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  // An empty histogram must render as zeros, not NaN (invalid JSON).
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
 TEST(ServeProgramCache, StructurallyIdenticalSpecsShareOneProgram) {
   ProgramCache cache;
   const auto a = cache.get_or_compile(small_spec());
@@ -190,6 +253,125 @@ TEST(ServeEpoch, BridgePublishesVersionedConsistentSnapshots) {
   EXPECT_EQ(bridge.current().get(), second.get());
   // The first epoch is immutable and still readable by in-flight work.
   EXPECT_NEAR(first->lookup("cpu/b").mean(), 0.5, 1e-6);
+}
+
+// Epoch pinning: a request must never observe bindings from two epochs,
+// and must be served under exactly the epoch current at submit time.
+// Every epoch version carries distinct load values, so any tearing or
+// re-reading of "current" mid-evaluation produces a value that matches
+// no version's expectation.
+TEST(ServeEpoch, RequestsPinTheSubmitTimeEpochUnderConcurrentPublishes) {
+  constexpr std::uint64_t kEpochs = 100;
+  const auto spec = small_spec();
+
+  const auto loads_for_version = [](std::uint64_t k) {
+    const double base = 0.5 + 0.4 * double(k) / double(kEpochs);
+    return std::vector<stoch::StochasticValue>{
+        stoch::StochasticValue(base, 0.05),
+        stoch::StochasticValue(base - 0.1, 0.05)};
+  };
+
+  // Reference evaluation per version, outside the service.
+  const predict::SorStructuralModel direct(spec.platform, spec.config,
+                                           spec.options);
+  std::map<std::uint64_t, stoch::StochasticValue> expected;
+  for (std::uint64_t k = 1; k <= kEpochs; ++k) {
+    expected.emplace(k, direct.predict(direct.make_slot_env(
+                            loads_for_version(k), stoch::StochasticValue(1.0))));
+  }
+
+  const auto epoch_for = [&](std::uint64_t k) {
+    const auto loads = loads_for_version(k);
+    return std::make_shared<const BindingsEpoch>(
+        k, std::map<std::string, stoch::StochasticValue>{
+               {"cpu/a", loads[0]}, {"cpu/b", loads[1]}});
+  };
+
+  ServiceOptions options;
+  options.workers = 4;
+  PredictionService service(options);
+  service.register_model("sor", spec);
+  service.publish_epoch(epoch_for(1));
+
+  std::atomic<bool> stop{false};
+  std::thread publisher([&] {
+    for (std::uint64_t k = 2; k <= kEpochs && !stop.load(); ++k) {
+      service.publish_epoch(epoch_for(k));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    stop.store(true);
+  });
+
+  constexpr int kSubmitters = 3;
+  std::vector<std::thread> submitters;
+  std::atomic<int> checked{0};
+  std::atomic<bool> mismatch{false};
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&] {
+      while (!stop.load()) {
+        auto result =
+            service.submit(resource_request("sor", {"cpu/a", "cpu/b"})).get();
+        if (!result.ok()) continue;  // rejected under shutdown only
+        const auto it = expected.find(result.epoch_version);
+        if (it == expected.end() || result.value != it->second) {
+          mismatch.store(true);
+        }
+        checked.fetch_add(1);
+      }
+    });
+  }
+  publisher.join();
+  for (auto& t : submitters) t.join();
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_GT(checked.load(), 0);
+}
+
+// Concurrent set_transform / publish / current on the bridge (TSan).
+TEST(ServeEpoch, BridgeTransformInstallAndPublishAreRaceFree) {
+  nws::ServiceOptions nws_options;
+  nws_options.history_capacity = 64;
+  nws_options.warmup = 4;
+  nws::Service nws_service(nws_options);
+  for (int i = 0; i < 16; ++i) {
+    nws_service.observe("cpu/a", 0.8 + (i % 2 == 0 ? 0.05 : -0.05));
+  }
+  NwsBridge bridge(nws_service, {"cpu/a"});
+  const auto base = bridge.publish()->lookup("cpu/a");
+
+  std::atomic<bool> stop{false};
+  std::thread flipper([&] {
+    for (int i = 0; i < 500; ++i) {
+      bridge.set_transform(
+          [](std::map<std::string, stoch::StochasticValue>& values) {
+            for (auto& [name, v] : values) {
+              v = stoch::StochasticValue(v.mean(), 2.0 * v.halfwidth());
+            }
+          });
+      bridge.set_transform(nullptr);
+    }
+    stop.store(true);
+  });
+  std::thread publisher([&] {
+    while (!stop.load()) (void)bridge.publish();
+  });
+  std::atomic<bool> bad{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      const auto epoch = bridge.current();
+      if (!epoch) continue;
+      const auto v = epoch->lookup("cpu/a");
+      // Either the raw forecast or the doubled one; nothing in between.
+      if (v.mean() != base.mean() ||
+          (v.halfwidth() != base.halfwidth() &&
+           v.halfwidth() != 2.0 * base.halfwidth())) {
+        bad.store(true);
+      }
+    }
+  });
+  flipper.join();
+  publisher.join();
+  reader.join();
+  EXPECT_FALSE(bad.load());
 }
 
 TEST(ServeService, StochasticPredictionMatchesDirectModel) {

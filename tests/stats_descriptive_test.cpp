@@ -2,6 +2,7 @@
 // accumulation, quantiles, autocorrelation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -163,6 +164,53 @@ TEST(VarianceHelpers, TinySamples) {
   EXPECT_DOUBLE_EQ(stddev(one), 0.0);
   const std::vector<double> two{1.0, 3.0};
   EXPECT_DOUBLE_EQ(variance(two), 2.0);
+}
+
+TEST(P2QuantileSketch, ExactForFirstFiveObservations) {
+  P2Quantile q(0.5);
+  EXPECT_DOUBLE_EQ(q.value(), 0.0);  // empty
+  std::vector<double> xs;
+  for (const double x : {7.0, 1.0, 5.0, 3.0, 9.0}) {
+    q.add(x);
+    xs.push_back(x);
+    std::vector<double> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_DOUBLE_EQ(q.value(), quantile_sorted(sorted, 0.5))
+        << "after " << xs.size() << " observations";
+  }
+  EXPECT_EQ(q.count(), 5u);
+  EXPECT_DOUBLE_EQ(q.p(), 0.5);
+}
+
+TEST(P2QuantileSketch, ConvergesToBatchQuantileOnNormalStream) {
+  support::Rng rng(31);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.normal(10.0, 2.0));
+  for (const double p : {0.5, 0.9, 0.95, 0.99}) {
+    P2Quantile sketch(p);
+    for (const double x : xs) sketch.add(x);
+    const double exact = quantile(xs, p);
+    // O(1)-memory estimate tracks the batch quantile to a few percent
+    // of the distribution's sd.
+    EXPECT_NEAR(sketch.value(), exact, 0.15) << "p=" << p;
+    EXPECT_EQ(sketch.count(), xs.size());
+  }
+}
+
+TEST(P2QuantileSketch, TracksShiftedStream) {
+  // The markers adapt when the stream's distribution moves.
+  support::Rng rng(37);
+  P2Quantile sketch(0.95);
+  for (int i = 0; i < 2000; ++i) sketch.add(rng.normal(0.0, 1.0));
+  for (int i = 0; i < 20000; ++i) sketch.add(rng.normal(50.0, 1.0));
+  // Dominated by the shifted regime: its 95th percentile is ~51.6.
+  EXPECT_NEAR(sketch.value(), 51.6, 1.5);
+}
+
+TEST(P2QuantileSketch, RejectsDegenerateProbabilities) {
+  EXPECT_THROW(P2Quantile(0.0), support::Error);
+  EXPECT_THROW(P2Quantile(1.0), support::Error);
+  EXPECT_THROW(P2Quantile(-0.5), support::Error);
 }
 
 }  // namespace
