@@ -131,6 +131,7 @@ void emit_json(const LoopResult& control, const LoopResult& drifted,
   out.precision(6);
   out << "{\n"
       << "  \"artifact\": \"bench_calibration\",\n"
+      << "  \"build_type\": \"" << bench::build_type() << "\",\n"
       << "  \"nominal_coverage\": " << kNominal << ",\n"
       << "  \"trials\": " << kTrials << ",\n"
       << "  \"pass\": " << (pass ? "true" : "false") << ",\n"

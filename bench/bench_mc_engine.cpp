@@ -1,0 +1,188 @@
+// Blocked vs scalar Monte-Carlo engine comparison (self-checking).
+//
+// Sweeps the compiled-program sampler across trial counts (1k / 10k /
+// 100k) and model sizes (a handful-of-nodes expression, the Platform-2
+// SOR structural model, and a 16-host wide SOR) in both RNG stream orders
+// (ir::SampleOrder): kScalarCompat is the pre-batching per-trial
+// interpreter, kBlocked the trial-major SoA engine with the ziggurat
+// batch sampler. Numbers land in BENCH_mc_engine.json.
+//
+// Self-check: in optimized builds the blocked engine must be at least
+// kSpeedupFloor x faster than scalar order on the 10k-trial SOR model
+// (the ISSUE-5 acceptance bar); the process exits non-zero otherwise.
+// Unoptimized builds report but do not assert — their timings are noise.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/platform.hpp"
+#include "model/compile.hpp"
+#include "model/expr.hpp"
+#include "model/ir.hpp"
+#include "predict/sor_model.hpp"
+#include "stoch/stochastic_value.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace sspred;
+using stoch::StochasticValue;
+
+constexpr double kSpeedupFloor = 4.0;
+constexpr std::size_t kTrialCounts[] = {1'000, 10'000, 100'000};
+constexpr std::size_t kReps = 3;  // best-of, to shed scheduler noise
+// Every measurement samples this many trials in total (small counts loop
+// more), so short calls still time a >= millisecond region.
+constexpr std::size_t kTrialsPerMeasurement = 100'000;
+
+struct Case {
+  std::string name;
+  model::ir::Program program;
+  model::ir::SlotEnvironment env;
+  std::size_t nodes = 0;
+};
+
+Case small_case() {
+  // ExTime = work / load + const overhead: the calibration demo's model,
+  // a few nodes — dominated by the per-trial draw cost.
+  const auto expr = model::add(
+      model::quotient(model::constant(StochasticValue(4.0)),
+                      model::param("load")),
+      model::constant(StochasticValue(0.2, 0.04)));
+  model::ir::Program prog = model::compile(*expr);
+  model::ir::SlotEnvironment env = prog.make_environment();
+  env.bind(prog.slot("load"), StochasticValue(0.8, 0.15));
+  const std::size_t nodes = prog.node_count();
+  return {"small-expr", std::move(prog), std::move(env), nodes};
+}
+
+Case sor_case(const std::string& name, const cluster::PlatformSpec& platform,
+              std::size_t n, std::size_t iterations) {
+  sor::SorConfig cfg;
+  cfg.n = n;
+  cfg.iterations = iterations;
+  const predict::SorStructuralModel model(platform, cfg);
+  const std::vector<StochasticValue> loads(platform.hosts.size(),
+                                           StochasticValue(0.62, 0.08));
+  model::ir::Program prog = model.program();
+  model::ir::SlotEnvironment env =
+      model.make_slot_env(loads, StochasticValue(0.525, 0.06));
+  const std::size_t nodes = prog.node_count();
+  return {name, std::move(prog), std::move(env), nodes};
+}
+
+/// Seconds per `trials`-trial sample_trials() call in `order` (best of
+/// kReps, warm workspace, inner loop sized to kTrialsPerMeasurement).
+double measure(const Case& c, std::size_t trials, model::ir::SampleOrder order) {
+  support::Rng rng(20260806);
+  model::ir::EvalWorkspace ws;
+  (void)c.program.sample_trials(c.env, rng, trials, ws, order);  // warmup
+  const std::size_t inner = std::max<std::size_t>(1, kTrialsPerMeasurement / trials);
+  double best = 1e300;
+  for (std::size_t rep = 0; rep < kReps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < inner; ++i) {
+      (void)c.program.sample_trials(c.env, rng, trials, ws, order);
+    }
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - start;
+    best = std::min(best, dt.count() / static_cast<double>(inner));
+  }
+  return best;
+}
+
+struct Row {
+  std::string model;
+  std::size_t nodes = 0;
+  std::size_t trials = 0;
+  double scalar_s = 0.0;
+  double blocked_s = 0.0;
+  [[nodiscard]] double speedup() const { return scalar_s / blocked_s; }
+  [[nodiscard]] double blocked_trials_per_s() const {
+    return static_cast<double>(trials) / blocked_s;
+  }
+};
+
+void emit_json(const std::vector<Row>& rows, double gate_speedup, bool pass) {
+  std::ofstream out("BENCH_mc_engine.json");
+  out.precision(6);
+  out << "{\n"
+      << "  \"artifact\": \"bench_mc_engine\",\n"
+      << "  \"build_type\": \"" << bench::build_type() << "\",\n"
+      << "  \"optimized_build\": " << (bench::optimized_build() ? "true" : "false")
+      << ",\n"
+      << "  \"speedup_floor\": " << kSpeedupFloor << ",\n"
+      << "  \"gate\": \"sor-p2 @ 10000 trials\",\n"
+      << "  \"gate_speedup\": " << gate_speedup << ",\n"
+      << "  \"pass\": " << (pass ? "true" : "false") << ",\n"
+      << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"model\": \"" << r.model << "\", \"nodes\": " << r.nodes
+        << ", \"trials\": " << r.trials << ", \"scalar_sec\": " << r.scalar_s
+        << ", \"blocked_sec\": " << r.blocked_s
+        << ", \"speedup\": " << r.speedup()
+        << ", \"blocked_trials_per_sec\": " << r.blocked_trials_per_s() << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("mc engine: blocked vs scalar",
+                "trial-major SoA batch kernels + ziggurat sampler vs the "
+                "per-trial interpreter (model/ir.cpp)");
+
+  std::vector<Case> cases;
+  cases.push_back(small_case());
+  cases.push_back(sor_case("sor-p2", cluster::platform2(), 600, 20));
+  cases.push_back(sor_case("sor-wide16", cluster::dedicated_platform(16),
+                           1'000, 30));
+
+  std::vector<Row> rows;
+  double gate_speedup = 0.0;
+  for (const Case& c : cases) {
+    bench::section(c.name + " (" + std::to_string(c.nodes) + " IR nodes)");
+    support::Table t({"trials", "scalar", "blocked", "speedup", "blocked trials/s"});
+    for (const std::size_t trials : kTrialCounts) {
+      Row r;
+      r.model = c.name;
+      r.nodes = c.nodes;
+      r.trials = trials;
+      r.scalar_s = measure(c, trials, model::ir::SampleOrder::kScalarCompat);
+      r.blocked_s = measure(c, trials, model::ir::SampleOrder::kBlocked);
+      if (c.name == "sor-p2" && trials == 10'000) gate_speedup = r.speedup();
+      t.add_row({std::to_string(trials),
+                 support::fmt(r.scalar_s * 1e3, 2) + " ms",
+                 support::fmt(r.blocked_s * 1e3, 2) + " ms",
+                 support::fmt(r.speedup(), 2) + "x",
+                 support::fmt(r.blocked_trials_per_s() / 1e6, 2) + "M"});
+      rows.push_back(r);
+    }
+    std::printf("%s", t.render().c_str());
+  }
+
+  bench::section("verdict");
+  const bool gate_met = gate_speedup >= kSpeedupFloor;
+  // Only optimized builds assert: debug/sanitizer timings say nothing
+  // about the engine (the JSON still records which build produced it).
+  const bool pass = gate_met || !bench::optimized_build();
+  std::printf("  gate: sor-p2 @ 10k trials, blocked >= %.1fx scalar\n",
+              kSpeedupFloor);
+  std::printf("  measured: %.2fx (%s build)\n", gate_speedup,
+              bench::build_type());
+  if (!bench::optimized_build()) {
+    std::printf("  unoptimized build: reporting only, floor not asserted\n");
+  }
+  std::printf("  => %s (BENCH_mc_engine.json written)\n",
+              pass ? "PASS" : "FAIL");
+
+  emit_json(rows, gate_speedup, pass);
+  return pass ? 0 : 1;
+}

@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "cluster/platform.hpp"
 #include "machine/load_trace.hpp"
 #include "model/compile.hpp"
@@ -244,6 +245,32 @@ void BM_ModelCompiledMonteCarlo10k(benchmark::State& state) {
 }
 BENCHMARK(BM_ModelCompiledMonteCarlo10k)->Unit(benchmark::kMillisecond);
 
+void BM_ModelCompiledMonteCarlo10kScalarOrder(benchmark::State& state) {
+  // The pre-batching per-trial interpreter order, kept benchmarkable for
+  // direct comparison with the blocked default above (bench_mc_engine
+  // sweeps the comparison across trial counts and model sizes).
+  const SorFixture fx;
+  support::Rng rng(17);
+  model::ir::EvalWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.model.program().sample_trials(
+        *fx.slots, rng, 10'000, ws, model::ir::SampleOrder::kScalarCompat));
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_ModelCompiledMonteCarlo10kScalarOrder)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus the build-type context key: google-benchmark's own
+// `library_build_type` describes the benchmark library, which CI installs
+// once; this key records how THIS code was compiled.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("build_type", sspred::bench::build_type());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include <future>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "cluster/platform.hpp"
 #include "predict/sor_model.hpp"
 #include "serve/service.hpp"
@@ -104,6 +105,47 @@ BENCHMARK(BM_ServiceThroughput)
     ->Args({4, 1, 0})
     ->Args({4, 1, 1});
 
+// Monte-Carlo mode: the request fans out as fixed-size chunks executed on
+// the workers' pooled SoA arenas by the blocked trial-major engine.
+// items_per_second counts TRIALS (not requests), so this row is directly
+// comparable across engine changes; the worker sweep shows the fan-out
+// scaling.
+void BM_ServiceMonteCarloTrials(benchmark::State& state) {
+  serve::ServiceOptions options;
+  options.workers = std::size_t(state.range(0));
+  options.queue_capacity = 4 * kBatch;
+  serve::PredictionService service(options);
+  service.register_model("sor", bench_spec());
+
+  constexpr std::size_t kTrials = 20'000;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    serve::PredictRequest request;
+    request.model_id = "sor";
+    request.loads = loads_at(i++);
+    request.mode = serve::Mode::kMonteCarlo;
+    request.trials = kTrials;
+    request.seed = 99;
+    const auto result = service.submit(std::move(request)).get();
+    if (!result.ok()) state.SkipWithError(result.error.c_str());
+    benchmark::DoNotOptimize(result.value);
+  }
+  state.SetItemsProcessed(state.iterations() * std::int64_t(kTrials));
+}
+BENCHMARK(BM_ServiceMonteCarloTrials)
+    ->UseRealTime()
+    ->ArgNames({"workers"})
+    ->Arg(1)
+    ->Arg(4);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus the build-type context key (see bench_util.hpp).
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("build_type", sspred::bench::build_type());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,10 +10,26 @@
 
 namespace sspred::bench {
 
+const char* build_type() noexcept {
+#ifdef SSPRED_BUILD_TYPE
+  return SSPRED_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
+bool optimized_build() noexcept {
+  const std::string t = build_type();
+  return t == "Release" || t == "RelWithDebInfo" || t == "MinSizeRel";
+}
+
 void banner(const std::string& artifact, const std::string& description) {
   std::cout << "\n"
             << std::string(78, '=') << "\n"
             << artifact << " — " << description << "\n"
+            << "build type: " << build_type()
+            << (optimized_build() ? "" : "  (UNOPTIMIZED — timings not comparable)")
+            << "\n"
             << std::string(78, '=') << "\n";
 }
 

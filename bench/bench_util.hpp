@@ -10,7 +10,21 @@
 
 namespace sspred::bench {
 
-/// Prints a banner naming the paper artifact being regenerated.
+/// CMAKE_BUILD_TYPE the bench binaries were compiled with ("Release",
+/// "RelWithDebInfo", "Debug", ...). Timing artifacts are only meaningful
+/// from optimized builds, so every bench records this prominently: the
+/// banner prints it, and the google-benchmark binaries add it as the
+/// `build_type` context key (google-benchmark's own `library_build_type`
+/// describes the benchmark LIBRARY, not this code).
+[[nodiscard]] const char* build_type() noexcept;
+
+/// True for build types that optimize (Release / RelWithDebInfo /
+/// MinSizeRel): the ones whose timings are comparable across runs and
+/// whose perf floors are worth asserting.
+[[nodiscard]] bool optimized_build() noexcept;
+
+/// Prints a banner naming the paper artifact being regenerated (and the
+/// build type the numbers come from).
 void banner(const std::string& artifact, const std::string& description);
 
 /// Prints a sub-section heading.

@@ -244,8 +244,16 @@ class DivExpr final : public Expr {
     return num_->sample(env, cache, rng) / d;
   }
   std::string to_string() const override {
-    return "(" + num_->to_string() + " / " + den_->to_string() + ")" +
-           dep_suffix(dep_);
+    // Built up with += (not one chained operator+) to dodge GCC 12's
+    // -Wrestrict false positive on `const char* + std::string&&` at -O3
+    // (GCC PR 105329), which -Werror turns fatal in Release builds.
+    std::string s = "(";
+    s += num_->to_string();
+    s += " / ";
+    s += den_->to_string();
+    s += ")";
+    s += dep_suffix(dep_);
+    return s;
   }
   void collect_params(std::vector<std::string>& out) const override {
     num_->collect_params(out);
@@ -407,9 +415,8 @@ ExprPtr iterate(ExprPtr body, std::size_t iterations, Dependence dep) {
 stoch::StochasticValue monte_carlo(const Expr& expr, const Environment& env,
                                    support::Rng& rng, std::size_t trials) {
   SSPRED_REQUIRE(trials >= 2, "monte_carlo needs at least 2 trials");
-  // Compile once, then batch the trials on the flat program: one value
-  // stack and one per-slot sample cache for the whole run, and an RNG
-  // stream identical to sampling the tree trial by trial.
+  // Compile once (optimization pipeline included), then run the blocked
+  // trial-major engine on the flat program.
   const ir::Program program = compile(expr);
   return program.sample_trials(bind_environment(program, env), rng, trials);
 }

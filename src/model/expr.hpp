@@ -129,9 +129,9 @@ class Expr {
 }
 
 /// Full Monte-Carlo evaluation: `trials` samples summarized as mean ± 2sd.
-/// Routes through the compiled flat IR (one compile, then batched
-/// sampling with a reused value stack and per-slot sample cache); the RNG
-/// stream is identical to sampling the tree directly.
+/// Routes through the compiled flat IR (one compile, then the blocked
+/// trial-major engine — see ir::SampleOrder in model/ir.hpp for the RNG
+/// stream contract and the scalar-compatible fallback order).
 [[nodiscard]] stoch::StochasticValue monte_carlo(const Expr& expr,
                                                  const Environment& env,
                                                  support::Rng& rng,

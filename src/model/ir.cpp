@@ -6,6 +6,15 @@
 #include "stoch/montecarlo.hpp"
 #include "support/error.hpp"
 
+// Inner per-lane loops of the blocked engine are flat and alias-free;
+// with SSPRED_SIMD=ON the build defines SSPRED_USE_OMP_SIMD and marks them
+// for explicit vectorization (plain builds rely on auto-vectorization).
+#if defined(SSPRED_USE_OMP_SIMD)
+#define SSPRED_SIMD_LOOP _Pragma("omp simd")
+#else
+#define SSPRED_SIMD_LOOP
+#endif
+
 namespace sspred::model::ir {
 
 using stoch::Dependence;
@@ -22,6 +31,18 @@ namespace {
     out += n;
   }
   return out;
+}
+
+/// One batched draw for a stochastic value: point values fill their mean
+/// without touching the RNG (mirroring stoch::sample), stochastic values
+/// take `lanes` consecutive ziggurat normals.
+void fill_lane(const StochasticValue& v, support::Rng& rng, double* row,
+               std::size_t lanes) {
+  if (v.is_point()) {
+    std::fill(row, row + lanes, v.mean());
+  } else {
+    rng.normal_fill({row, lanes}, v.mean(), v.sd());
+  }
 }
 
 }  // namespace
@@ -59,6 +80,56 @@ std::uint32_t Program::slot(const std::string& name) const {
                  "no model parameter named '" + name +
                      "'; program parameters: " + join_names(*slot_names_));
   return it->second;
+}
+
+void Program::reindex() {
+  sample_skips_.clear();
+  has_skip_.assign(nodes_.size(), 0);
+  live_slots_.clear();
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    if (node.op == OpCode::kIterate && node.dep == Dependence::kUnrelated) {
+      sample_skips_.emplace_back(node.body_begin, i);
+    } else if (node.op == OpCode::kParam) {
+      live_slots_.push_back(node.payload);
+    }
+  }
+  std::sort(sample_skips_.begin(), sample_skips_.end());
+  for (const auto& [pos, _] : sample_skips_) has_skip_[pos] = 1;
+  std::sort(live_slots_.begin(), live_slots_.end());
+  live_slots_.erase(std::unique(live_slots_.begin(), live_slots_.end()),
+                    live_slots_.end());
+  // Pure-ref analysis (see the member note in ir.hpp): a kRef whose region
+  // re-execution provably consumes no RNG and recomputes the target bit
+  // for bit can be satisfied by a row copy in the blocked engine. Refs
+  // point backward, so an ascending scan sees nested refs' flags first.
+  ref_pure_.assign(nodes_.size(), 0);
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    if (node.op != OpCode::kRef) continue;
+    bool pure = true;
+    for (std::uint32_t j = node.body_begin; j <= node.payload && pure; ++j) {
+      const Node& n = nodes_[j];
+      if (n.op == OpCode::kConst) {
+        pure = constants_[n.payload].is_point();
+      } else if (n.op == OpCode::kIterate) {
+        pure = n.dep != Dependence::kUnrelated;
+      } else if (n.op == OpCode::kRef) {
+        pure = ref_pure_[j] != 0;
+      }
+    }
+    // An unrelated-iterate body between the region and the ref resets the
+    // region's slot draws (each repetition redraws them), so re-execution
+    // there is a fresh draw, not a replay: require every such body to
+    // contain the ref and its region together or not at all.
+    for (const auto& [body_begin, iter] : sample_skips_) {
+      const bool ref_inside = body_begin <= i && i < iter;
+      const bool region_inside = body_begin <= node.body_begin &&
+                                 node.payload < iter;
+      if (ref_inside != region_inside) pure = false;
+    }
+    ref_pure_[i] = pure ? 1 : 0;
+  }
 }
 
 void Program::resize_workspace(EvalWorkspace& ws) const {
@@ -449,23 +520,237 @@ double Program::sample(const SlotEnvironment& env, support::Rng& rng,
   return ws.point_values[nodes_.size() - 1];
 }
 
+// --- Blocked trial-major engine ---------------------------------------------
+//
+// exec_blocked is exec_sample transposed: instead of one trial flowing
+// through all nodes, each node processes a whole block of trials against
+// structure-of-arrays rows (lane_values[node][lane], lane_slots[slot][lane],
+// both kBlockTrials wide). Group ops become flat elementwise kernels the
+// compiler can vectorize; every stochastic draw event becomes one batched
+// ziggurat fill. The skip/iterate/ref structure — and therefore the
+// per-trial sampling semantics — is identical to the scalar walk; only the
+// RNG stream order differs (see SampleOrder::kBlocked in the header).
+
+void Program::exec_blocked(const SlotEnvironment& env, support::Rng& rng,
+                           EvalWorkspace& ws, std::uint32_t lo,
+                           std::uint32_t hi, std::size_t lanes) const {
+  double* const vals = ws.lane_values.data();
+  double* const slots = ws.lane_slots.data();
+  const std::uint32_t* const ops = operands_.data();
+  const auto row = [vals](std::uint32_t i) {
+    return vals + static_cast<std::size_t>(i) * kBlockTrials;
+  };
+  const auto slot_row = [slots](std::uint32_t s) {
+    return slots + static_cast<std::size_t>(s) * kBlockTrials;
+  };
+  std::uint32_t i = lo;
+  while (i < hi) {
+    // Same region-skip protocol as the scalar walk: an unrelated-iterate
+    // body runs under the iterate node's own repetition loop, with fresh
+    // per-slot draws (here: fresh rows) for every repetition.
+    if (has_skip_[i] != 0) {
+      auto it = std::lower_bound(
+          sample_skips_.begin(), sample_skips_.end(),
+          std::pair<std::uint32_t, std::uint32_t>{i, 0});
+      std::uint32_t target = 0;
+      for (; it != sample_skips_.end() && it->first == i; ++it) {
+        if (it->second < hi) target = std::max(target, it->second);
+      }
+      if (target != 0) {
+        const Node& node = nodes_[target];
+        const std::size_t mark = ws.lane_saved.size();
+        for (std::uint32_t k = 0; k < node.slots_count; ++k) {
+          const double* const src =
+              slot_row(body_slots_[node.slots_first + k]);
+          ws.lane_saved.insert(ws.lane_saved.end(), src, src + lanes);
+        }
+        double* const acc = row(target);
+        std::fill(acc, acc + lanes, 0.0);
+        for (std::uint32_t rep = 0; rep < node.payload; ++rep) {
+          for (std::uint32_t k = 0; k < node.slots_count; ++k) {
+            const std::uint32_t s = body_slots_[node.slots_first + k];
+            fill_lane(env.lookup(s), rng, slot_row(s), lanes);
+          }
+          exec_blocked(env, rng, ws, node.body_begin, target, lanes);
+          const double* const body = row(target - 1);
+          SSPRED_SIMD_LOOP
+          for (std::size_t t = 0; t < lanes; ++t) acc[t] += body[t];
+        }
+        for (std::uint32_t k = 0; k < node.slots_count; ++k) {
+          std::copy_n(ws.lane_saved.data() + mark + k * lanes, lanes,
+                      slot_row(body_slots_[node.slots_first + k]));
+        }
+        ws.lane_saved.resize(mark);
+        i = target + 1;
+        continue;
+      }
+    }
+    const Node& node = nodes_[i];
+    switch (node.op) {
+      case OpCode::kConst:
+        // Stochastic constants draw per occurrence (per block), exactly
+        // like the scalar walk draws per occurrence per trial.
+        fill_lane(constants_[node.payload], rng, row(i), lanes);
+        break;
+      case OpCode::kParam:
+        std::copy_n(slot_row(node.payload), lanes, row(i));
+        break;
+      case OpCode::kSum: {
+        double* const r = row(i);
+        std::copy_n(row(ops[node.first]), lanes, r);
+        for (std::uint32_t k = 1; k < node.count; ++k) {
+          const double* const b = row(ops[node.first + k]);
+          SSPRED_SIMD_LOOP
+          for (std::size_t t = 0; t < lanes; ++t) r[t] += b[t];
+        }
+        break;
+      }
+      case OpCode::kProd: {
+        double* const r = row(i);
+        std::copy_n(row(ops[node.first]), lanes, r);
+        for (std::uint32_t k = 1; k < node.count; ++k) {
+          const double* const b = row(ops[node.first + k]);
+          SSPRED_SIMD_LOOP
+          for (std::size_t t = 0; t < lanes; ++t) r[t] *= b[t];
+        }
+        break;
+      }
+      case OpCode::kMax: {
+        double* const r = row(i);
+        std::copy_n(row(ops[node.first]), lanes, r);
+        for (std::uint32_t k = 1; k < node.count; ++k) {
+          const double* const b = row(ops[node.first + k]);
+          SSPRED_SIMD_LOOP
+          for (std::size_t t = 0; t < lanes; ++t) r[t] = std::max(r[t], b[t]);
+        }
+        break;
+      }
+      case OpCode::kMin: {
+        double* const r = row(i);
+        std::copy_n(row(ops[node.first]), lanes, r);
+        for (std::uint32_t k = 1; k < node.count; ++k) {
+          const double* const b = row(ops[node.first + k]);
+          SSPRED_SIMD_LOOP
+          for (std::size_t t = 0; t < lanes; ++t) r[t] = std::min(r[t], b[t]);
+        }
+        break;
+      }
+      case OpCode::kDiv: {
+        const double* const num = row(ops[node.first]);
+        const double* const den = row(ops[node.first + 1]);
+        double* const r = row(i);
+        bool zero = false;
+        for (std::size_t t = 0; t < lanes; ++t) {
+          zero = zero || den[t] == 0.0;
+        }
+        SSPRED_REQUIRE(!zero, "sampled division by zero");
+        SSPRED_SIMD_LOOP
+        for (std::size_t t = 0; t < lanes; ++t) r[t] = num[t] / den[t];
+        break;
+      }
+      case OpCode::kIterate: {
+        // Only related iterates reach the linear walk (see the skip above):
+        // one shared body draw per trial, repeated n times.
+        const double n = static_cast<double>(node.payload);
+        const double* const body = row(i - 1);
+        double* const r = row(i);
+        SSPRED_SIMD_LOOP
+        for (std::size_t t = 0; t < lanes; ++t) r[t] = n * body[t];
+        break;
+      }
+      case OpCode::kRef: {
+        // A pure region (no draw events at re-execution time; see
+        // reindex()) would recompute the target row bit for bit while
+        // consuming no RNG — copy it instead of re-running the region.
+        if (ref_pure_[i] != 0) {
+          std::copy_n(row(node.payload), lanes, row(i));
+          break;
+        }
+        // Re-execute the occurrence region for an independent draw, with
+        // the region's rows — contiguous in node-major layout — saved
+        // around the re-run: they may still be pending operands of later
+        // consumers.
+        const std::uint32_t begin = node.body_begin;
+        const std::uint32_t target = node.payload;
+        const std::size_t span_len =
+            static_cast<std::size_t>(target - begin + 1) * kBlockTrials;
+        const std::size_t mark = ws.lane_saved.size();
+        ws.lane_saved.insert(ws.lane_saved.end(), row(begin),
+                             row(begin) + span_len);
+        exec_blocked(env, rng, ws, begin, target + 1, lanes);
+        std::copy_n(row(target), lanes, row(i));
+        std::copy_n(ws.lane_saved.data() + mark, span_len, row(begin));
+        ws.lane_saved.resize(mark);
+        break;
+      }
+    }
+    ++i;
+  }
+}
+
+void Program::sample_into(const SlotEnvironment& env, support::Rng& rng,
+                          std::span<double> out, EvalWorkspace& ws,
+                          SampleOrder order) const {
+  SSPRED_REQUIRE(env.size() == slot_count(),
+                 "slot environment shape does not match the program (create "
+                 "it with make_environment())");
+  resize_workspace(ws);
+  const auto n = static_cast<std::uint32_t>(nodes_.size());
+  if (order == SampleOrder::kScalarCompat) {
+    for (double& o : out) {
+      std::fill(ws.slot_drawn.begin(), ws.slot_drawn.end(),
+                static_cast<std::uint8_t>(0));
+      exec_sample(env, rng, ws, 0, n);
+      o = ws.point_values[n - 1];
+    }
+    return;
+  }
+  ws.lane_values.resize(nodes_.size() * kBlockTrials);
+  ws.lane_slots.resize(slot_count() * kBlockTrials);
+  const double* const root =
+      ws.lane_values.data() + static_cast<std::size_t>(n - 1) * kBlockTrials;
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::size_t lanes = std::min(kBlockTrials, out.size() - done);
+    // Block prologue: one batched draw per live slot, ascending slot id.
+    // Dead slots (present in the table, read by no node) draw nothing.
+    for (const std::uint32_t s : live_slots_) {
+      fill_lane(env.lookup(s), rng,
+                ws.lane_slots.data() + static_cast<std::size_t>(s) * kBlockTrials,
+                lanes);
+    }
+    exec_blocked(env, rng, ws, 0, n, lanes);
+    std::copy_n(root, lanes, out.begin() + static_cast<std::ptrdiff_t>(done));
+    done += lanes;
+  }
+}
+
 StochasticValue Program::sample_trials(const SlotEnvironment& env,
                                        support::Rng& rng, std::size_t trials,
-                                       EvalWorkspace& ws) const {
+                                       EvalWorkspace& ws,
+                                       SampleOrder order) const {
   SSPRED_REQUIRE(trials >= 2, "sample_trials needs at least 2 trials");
-  ws.trial_results.clear();
-  ws.trial_results.reserve(trials);
-  for (std::size_t t = 0; t < trials; ++t) {
-    ws.trial_results.push_back(sample(env, rng, ws));
+  SSPRED_REQUIRE(env.size() == slot_count(),
+                 "slot environment shape does not match the program (create "
+                 "it with make_environment())");
+  // A fully folded point program needs no sampling at all: every trial
+  // would be exactly the mean. Short-circuiting is observable only through
+  // summary rounding, so it is reserved for the blocked contract;
+  // kScalarCompat keeps the trial loop (and its bit-exact summary).
+  if (order == SampleOrder::kBlocked && nodes_.size() == 1 &&
+      nodes_[0].op == OpCode::kConst && constants_[0].is_point()) {
+    return constants_[0];
   }
+  ws.trial_results.resize(trials);
+  sample_into(env, rng, ws.trial_results, ws, order);
   return StochasticValue::from_sample(ws.trial_results);
 }
 
 StochasticValue Program::sample_trials(const SlotEnvironment& env,
-                                       support::Rng& rng,
-                                       std::size_t trials) const {
+                                       support::Rng& rng, std::size_t trials,
+                                       SampleOrder order) const {
   EvalWorkspace ws;
-  return sample_trials(env, rng, trials, ws);
+  return sample_trials(env, rng, trials, ws, order);
 }
 
 // --- Builder --------------------------------------------------------------
@@ -561,9 +846,6 @@ std::uint32_t Builder::emit_iterate(std::uint32_t body_begin,
   prog_.body_slots_.insert(prog_.body_slots_.end(), slots.begin(),
                            slots.end());
   const std::uint32_t idx = next_index();
-  if (dep == Dependence::kUnrelated) {
-    prog_.sample_skips_.emplace_back(body_begin, idx);
-  }
   prog_.nodes_.push_back(node);
   return idx;
 }
@@ -596,9 +878,7 @@ Program Builder::take() {
   SSPRED_REQUIRE(!prog_.nodes_.empty(), "cannot compile an empty program");
   prog_.slot_names_ =
       std::make_shared<const std::vector<std::string>>(std::move(names_));
-  std::sort(prog_.sample_skips_.begin(), prog_.sample_skips_.end());
-  prog_.has_skip_.assign(prog_.nodes_.size(), 0);
-  for (const auto& [pos, _] : prog_.sample_skips_) prog_.has_skip_[pos] = 1;
+  prog_.reindex();
   return std::move(prog_);
 }
 

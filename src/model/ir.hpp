@@ -10,12 +10,18 @@
 // the tree API with three entry points:
 //   * evaluate()       — the §2.3 stochastic calculus;
 //   * evaluate_point() — conventional point prediction;
-//   * sample_trials()  — batched Monte-Carlo that reuses one value stack
-//                        and one per-slot sample cache across all trials.
-// All three are semantically interchangeable with the tree evaluators;
-// sample_trials() even consumes the RNG stream in exactly the same order
-// as repeated Expr::sample() calls, so the tree remains a differential-
-// testing oracle for the compiled path (tests/compile_test.cpp).
+//   * sample_trials()  — batched Monte-Carlo over trial-major blocks of
+//                        structure-of-arrays buffers (one double[block]
+//                        row per node and per slot), so each node is a
+//                        flat arithmetic kernel over the whole block.
+// All three are semantically interchangeable with the tree evaluators.
+// Monte-Carlo additionally carries two versioned RNG stream contracts
+// (SampleOrder below): the default kBlocked order feeds whole blocks from
+// the batched ziggurat sampler, while kScalarCompat reproduces the exact
+// stream of repeated Expr::sample() calls, keeping the tree a bit-exact
+// differential-testing oracle for the compiled path
+// (tests/compile_test.cpp; the blocked order is pinned by
+// tests/mc_engine_test.cpp).
 #pragma once
 
 #include <cstdint>
@@ -76,6 +82,29 @@ struct Node {
 
 class Program;
 
+/// Which order Monte-Carlo sampling consumes the RNG stream in. Both
+/// orders draw the same distributions, so estimates agree statistically,
+/// but per-seed results differ; each order is a versioned determinism
+/// contract pinned by its own regression tests.
+enum class SampleOrder : std::uint8_t {
+  /// Trial-major blocks of kBlockTrials lanes over SoA buffers. Per draw
+  /// event the whole block's normals are drawn consecutively (ziggurat):
+  /// first every live parameter slot in ascending slot-id order, then the
+  /// node-major walk (stochastic constants per occurrence; unrelated
+  /// iterate repetitions redraw their body slots, ascending, per
+  /// repetition). The default and the fast path.
+  kBlocked,
+  /// One trial at a time, consuming the stream exactly like repeated
+  /// Expr::sample() calls on the authoring tree (the PR-2 differential
+  /// testing contract).
+  kScalarCompat,
+};
+
+/// Lanes per block of the blocked Monte-Carlo engine. Also its RNG
+/// batching unit, i.e. part of the kBlocked determinism contract —
+/// changing it changes every blocked stream.
+inline constexpr std::size_t kBlockTrials = 1024;
+
 /// Dense parameter bindings for one compiled evaluation: a vector of
 /// stochastic values indexed by slot id, replacing the tree path's
 /// per-evaluation string->value map lookups.
@@ -119,6 +148,12 @@ struct EvalWorkspace {
   std::vector<std::uint8_t> saved_drawn;
   std::vector<double> saved_values;             ///< ref region save/restore
   std::vector<double> trial_results;            ///< sample_trials batch
+  // Blocked-engine structure-of-arrays arenas (one kBlockTrials-wide row
+  // per node / per slot; kept hot across calls, so serving workers pay no
+  // per-request allocation on the Monte-Carlo path after warmup).
+  std::vector<double> lane_values;              ///< node-major value rows
+  std::vector<double> lane_slots;               ///< slot-major draw rows
+  std::vector<double> lane_saved;               ///< row save/restore stack
 };
 
 /// A compiled structural model: arena-style flat buffers, value semantics,
@@ -137,16 +172,24 @@ class Program {
   [[nodiscard]] double evaluate_point(const SlotEnvironment& env,
                                       EvalWorkspace& ws) const;
 
-  /// `trials` Monte-Carlo samples summarized as mean ± 2sd. One value
-  /// stack and one per-slot sample cache are reused across all trials;
-  /// the RNG stream matches `trials` sequential Expr::sample() calls.
-  [[nodiscard]] stoch::StochasticValue sample_trials(const SlotEnvironment& env,
-                                                     support::Rng& rng,
-                                                     std::size_t trials) const;
-  [[nodiscard]] stoch::StochasticValue sample_trials(const SlotEnvironment& env,
-                                                     support::Rng& rng,
-                                                     std::size_t trials,
-                                                     EvalWorkspace& ws) const;
+  /// `trials` Monte-Carlo samples summarized as mean ± 2sd. Workspace
+  /// buffers are reused across all trials (and across calls when the
+  /// caller passes its own workspace). The RNG stream follows `order`:
+  /// kBlocked (default) is the trial-major SoA fast path, kScalarCompat
+  /// matches `trials` sequential Expr::sample() calls bit for bit.
+  [[nodiscard]] stoch::StochasticValue sample_trials(
+      const SlotEnvironment& env, support::Rng& rng, std::size_t trials,
+      SampleOrder order = SampleOrder::kBlocked) const;
+  [[nodiscard]] stoch::StochasticValue sample_trials(
+      const SlotEnvironment& env, support::Rng& rng, std::size_t trials,
+      EvalWorkspace& ws, SampleOrder order = SampleOrder::kBlocked) const;
+
+  /// Writes one Monte-Carlo sample per element of `out` (out.size()
+  /// trials). The raw-sample entry point for callers that reduce trials
+  /// themselves (serve's chunked fan-out combines per-chunk partials).
+  void sample_into(const SlotEnvironment& env, support::Rng& rng,
+                   std::span<double> out, EvalWorkspace& ws,
+                   SampleOrder order = SampleOrder::kBlocked) const;
 
   /// One Monte-Carlo trial (the tree's Expr::sample analogue).
   [[nodiscard]] double sample(const SlotEnvironment& env, support::Rng& rng,
@@ -174,10 +217,24 @@ class Program {
     return nodes_.size();
   }
   [[nodiscard]] const Node& node(std::size_t i) const { return nodes_[i]; }
+  /// Constant-pool entry `i` (kConst nodes index it through payload).
+  [[nodiscard]] const stoch::StochasticValue& constant(std::size_t i) const {
+    return constants_[i];
+  }
+  /// Slots some node actually reads, ascending. Slots present only in the
+  /// table (e.g. inherited from a slot_base) are dead: the blocked engine
+  /// never draws for them, and the optimizer reports them.
+  [[nodiscard]] std::span<const std::uint32_t> live_slots() const noexcept {
+    return live_slots_;
+  }
 
  private:
   friend class Builder;
+  friend class ProgramRewriter;  ///< optimizer passes (model/compile.cpp)
 
+  /// Recomputes the derived indexes (sample skips, per-node skip flags,
+  /// live slots) from nodes_; called after building and after rewrites.
+  void reindex();
   void resize_workspace(EvalWorkspace& ws) const;
   void exec_stochastic(const SlotEnvironment& env, EvalWorkspace& ws) const;
   void exec_point(const SlotEnvironment& env, EvalWorkspace& ws) const;
@@ -186,6 +243,11 @@ class Program {
   /// node's own loop, with fresh per-slot draws each iteration).
   void exec_sample(const SlotEnvironment& env, support::Rng& rng,
                    EvalWorkspace& ws, std::uint32_t lo, std::uint32_t hi) const;
+  /// Blocked analogue of exec_sample: executes nodes [lo, hi) for `lanes`
+  /// trials at once against the workspace's SoA rows.
+  void exec_blocked(const SlotEnvironment& env, support::Rng& rng,
+                    EvalWorkspace& ws, std::uint32_t lo, std::uint32_t hi,
+                    std::size_t lanes) const;
 
   std::vector<Node> nodes_;                       ///< post-order; root last
   std::vector<std::uint32_t> operands_;           ///< group operand node ids
@@ -197,6 +259,18 @@ class Program {
   /// region being executed).
   std::vector<std::pair<std::uint32_t, std::uint32_t>> sample_skips_;
   std::vector<std::uint8_t> has_skip_;            ///< per-node skip flag
+  /// Per-node flag, set only on kRef nodes whose occurrence region is
+  /// draw-free at re-execution time: every constant in the region is
+  /// point-valued, it contains no unrelated iterate (and no impure nested
+  /// ref), and no unrelated-iterate body separates the ref from its region
+  /// (which would reset the region's slot draws in between). Re-executing
+  /// such a region consumes no RNG and recomputes the target's values bit
+  /// for bit, so the blocked engine copies the target row instead —
+  /// skipping the region re-run and its lane save/restore. kScalarCompat
+  /// deliberately keeps the re-execution: it is the versioned image of the
+  /// pre-batching interpreter, preserved instruction for instruction.
+  std::vector<std::uint8_t> ref_pure_;
+  std::vector<std::uint32_t> live_slots_;         ///< referenced slots, asc
   std::shared_ptr<const std::vector<std::string>> slot_names_ =
       std::make_shared<const std::vector<std::string>>();
   std::map<std::string, std::uint32_t> slot_ids_;

@@ -86,11 +86,22 @@ stoch::StochasticValue bandwidth_parameter(const SeriesConfig& config,
   return stoch::StochasticValue(mean, std::max(half, 0.0));
 }
 
+/// Shared trial state for Monte-Carlo prediction: one RNG stream over the
+/// whole series (trials stay reproducible for a fixed SeriesConfig::seed)
+/// and one workspace so the blocked engine's SoA arenas are reused across
+/// trials instead of reallocated.
+struct McState {
+  explicit McState(std::uint64_t seed) : rng(seed) {}
+  support::Rng rng;
+  model::ir::EvalWorkspace ws;
+};
+
 TrialOutcome run_one(const SeriesConfig& config, sim::Engine& engine,
                      cluster::Platform& platform,
                      const SorStructuralModel& model,
                      const sor::SorConfig& sor_cfg,
-                     const nws::Service& bw_service, support::Seconds start) {
+                     const nws::Service& bw_service, support::Seconds start,
+                     McState& mc) {
   // Advance to the trial start first so live sensors (bandwidth probes)
   // have produced their history before the model is parameterized.
   engine.run_until(start);
@@ -104,7 +115,10 @@ TrialOutcome run_one(const SeriesConfig& config, sim::Engine& engine,
   // no string lookups inside the trial loop.
   const model::ir::SlotEnvironment env = model.make_slot_env(
       outcome.load_params, bandwidth_parameter(config, bw_service));
-  outcome.predicted = model.predict(env);
+  outcome.predicted =
+      config.method == PredictionMethod::kMonteCarlo
+          ? model.predict_monte_carlo(env, mc.rng, config.mc_trials, mc.ws)
+          : model.predict(env);
   const sor::SorResult result =
       sor::run_distributed_sor(engine, platform, sor_cfg, start);
   outcome.actual = result.total_time;
@@ -134,6 +148,9 @@ std::vector<TrialOutcome> run_series(const SeriesConfig& config) {
   // compile the structural model once; trials only rebind its slots.
   const SorStructuralModel model(config.platform, config.sor, config.model);
 
+  // Distinct stream from the platform's trace RNG (same seed would
+  // correlate the sampled loads with the simulated load signal).
+  McState mc(config.seed ^ 0x9e3779b97f4a7c15ULL);
   std::vector<TrialOutcome> outcomes;
   outcomes.reserve(config.trials);
   for (std::size_t i = 0; i < config.trials; ++i) {
@@ -141,7 +158,7 @@ std::vector<TrialOutcome> run_series(const SeriesConfig& config) {
         std::max(config.first_start + static_cast<double>(i) * config.spacing,
                  engine.now());
     outcomes.push_back(run_one(config, engine, platform, model, config.sor,
-                               bw_service, start));
+                               bw_service, start, mc));
   }
   return outcomes;
 }
@@ -164,6 +181,7 @@ std::vector<TrialOutcome> run_size_sweep(const SeriesConfig& config,
                                        config.bw_probe_interval, horizon));
   }
 
+  McState mc(config.seed ^ 0x9e3779b97f4a7c15ULL);
   std::vector<TrialOutcome> outcomes;
   outcomes.reserve(sizes.size());
   for (std::size_t i = 0; i < sizes.size(); ++i) {
@@ -175,8 +193,8 @@ std::vector<TrialOutcome> run_size_sweep(const SeriesConfig& config,
     const support::Seconds start =
         std::max(config.first_start + static_cast<double>(i) * config.spacing,
                  engine.now());
-    outcomes.push_back(
-        run_one(config, engine, platform, model, sor_cfg, bw_service, start));
+    outcomes.push_back(run_one(config, engine, platform, model, sor_cfg,
+                               bw_service, start, mc));
   }
   return outcomes;
 }

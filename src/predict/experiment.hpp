@@ -45,6 +45,18 @@ enum class LoadParameterSource {
   kDedicated,
 };
 
+/// How the stochastic prediction is produced from the compiled model.
+enum class PredictionMethod {
+  /// The §2.3 stochastic calculus (the paper's contribution) — exact
+  /// interval arithmetic over the compiled program.
+  kCalculus,
+  /// Monte-Carlo ground truth: sample the parameters, run the blocked
+  /// trial-major engine, summarize as mean ± 2sd. Useful for validating
+  /// the calculus on a series and for models where the calculus is
+  /// conservative (e.g. group-Max policies).
+  kMonteCarlo,
+};
+
 /// How the bandwidth-availability parameter is derived.
 enum class BandwidthSource {
   /// Use SeriesConfig::bwavail as-is (e.g. a known segment profile).
@@ -69,6 +81,9 @@ struct SeriesConfig {
   BandwidthSource bw_source = BandwidthSource::kFixed;
   support::Seconds bw_probe_interval = 15.0;   ///< kNwsProbe period
   support::Bytes bw_probe_bytes = 32.0 * 1024.0;
+  /// Prediction routing: calculus (default) or blocked Monte-Carlo.
+  PredictionMethod method = PredictionMethod::kCalculus;
+  std::size_t mc_trials = 10'000;          ///< trials for kMonteCarlo
   std::uint64_t seed = 20260707;
 };
 

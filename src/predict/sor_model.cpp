@@ -202,6 +202,19 @@ double SorStructuralModel::predict_point(const model::Environment& env) const {
   return program_.evaluate_point(model::bind_environment(program_, env));
 }
 
+StochasticValue SorStructuralModel::predict_monte_carlo(
+    const model::ir::SlotEnvironment& env, support::Rng& rng,
+    std::size_t trials, model::ir::EvalWorkspace& ws,
+    model::ir::SampleOrder order) const {
+  return program_.sample_trials(env, rng, trials, ws, order);
+}
+
+StochasticValue SorStructuralModel::predict_monte_carlo(
+    const model::ir::SlotEnvironment& env, support::Rng& rng,
+    std::size_t trials, model::ir::SampleOrder order) const {
+  return program_.sample_trials(env, rng, trials, order);
+}
+
 SorStructuralModel::Breakdown SorStructuralModel::breakdown(
     const model::ir::SlotEnvironment& env) const {
   Breakdown b;

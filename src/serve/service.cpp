@@ -396,10 +396,13 @@ void PredictionService::execute_job(Job&& job, std::vector<Job>&& siblings,
     resolve_bindings(job, *model, loads, bwavail);
 
     const auto& request = job.request;
-    if (request.mode == Mode::kMonteCarlo && options_.workers > 1 &&
+    if (request.mode == Mode::kMonteCarlo &&
         request.trials > options_.mc_chunk_trials) {
       // Fan the trials out as chunk tasks; the last chunk to finish
-      // combines the partials and resolves the whole batch.
+      // combines the partials and resolves the whole batch. Chunking is
+      // NOT gated on the worker count: per-chunk seeds make the result a
+      // pure function of (seed, trials, chunk size), so one worker
+      // draining the chunks bit-matches any pool size.
       auto shared = std::make_shared<McShared>();
       shared->model = model;
       shared->model_id = request.model_id;
@@ -479,8 +482,14 @@ void PredictionService::execute_chunk(const McChunk& chunk,
         options_.enable_cache ? state.env_for(shared.model) : *local;
     bind(env, *shared.model, shared.loads, shared.bwavail);
     support::Rng rng(chunk_seed(shared.seed, chunk.index));
-    for (std::size_t t = 0; t < chunk.trials; ++t) {
-      const double x = shared.model->program().sample(env, rng, state.ws);
+    // Whole-block execution on the worker's pooled SoA arenas: after the
+    // first chunk of a model's shape, the Monte-Carlo path allocates
+    // nothing. Per-chunk seeds plus index-ordered combine keep the result
+    // deterministic for a fixed request seed at any worker count.
+    state.ws.trial_results.resize(chunk.trials);
+    shared.model->program().sample_into(env, rng, state.ws.trial_results,
+                                        state.ws);
+    for (const double x : state.ws.trial_results) {
       sum += x;
       sum_sq += x * x;
     }

@@ -77,6 +77,80 @@ double Rng::normal(double mean, double sd) noexcept {
   return mean + sd * normal();
 }
 
+namespace {
+
+/// Marsaglia & Tsang's 128-strip ziggurat for the standard normal, scaled
+/// to 53-bit integers (the double mantissa width) instead of the original
+/// 32-bit tables. Built once from closed-form constants with the same
+/// deterministic recurrence on every platform, so streams stay portable.
+struct ZigguratTables {
+  std::uint64_t kn[128];  ///< quick-accept thresholds, |hz| < kn[i]
+  double wn[128];         ///< strip widths: x = hz * wn[i]
+  double fn[128];         ///< pdf at each strip boundary
+  ZigguratTables() noexcept {
+    constexpr double m1 = 9007199254740992.0;  // 2^53
+    const double vn = 9.91256303526217e-3;     // strip area
+    double dn = 3.442619855899;                // tail boundary R
+    double tn = dn;
+    const double q = vn / std::exp(-0.5 * dn * dn);
+    kn[0] = static_cast<std::uint64_t>((dn / q) * m1);
+    kn[1] = 0;
+    wn[0] = q / m1;
+    wn[127] = dn / m1;
+    fn[0] = 1.0;
+    fn[127] = std::exp(-0.5 * dn * dn);
+    for (int i = 126; i >= 1; --i) {
+      dn = std::sqrt(-2.0 * std::log(vn / dn + std::exp(-0.5 * dn * dn)));
+      kn[i + 1] = static_cast<std::uint64_t>((dn / tn) * m1);
+      tn = dn;
+      fn[i] = std::exp(-0.5 * dn * dn);
+      wn[i] = dn / m1;
+    }
+  }
+};
+
+const ZigguratTables& ziggurat_tables() noexcept {
+  static const ZigguratTables tables;
+  return tables;
+}
+
+}  // namespace
+
+double Rng::normal_ziggurat() noexcept {
+  const ZigguratTables& t = ziggurat_tables();
+  constexpr double kTail = 3.442619855899;  // = the tables' R
+  for (;;) {
+    const std::uint64_t bits = (*this)();
+    const std::size_t i = bits & 127;
+    // Arithmetic shift keeps the sign: hz is a signed 54-bit value whose
+    // magnitude reuses 53 of the strip-selection draw's high bits.
+    const std::int64_t hz = static_cast<std::int64_t>(bits) >> 10;
+    // |hz| <= 2^53, so negation cannot overflow.
+    const auto az = static_cast<std::uint64_t>(hz < 0 ? -hz : hz);
+    if (az < t.kn[i]) return static_cast<double>(hz) * t.wn[i];
+    if (i == 0) {
+      // Base strip: sample the tail x > R exactly (Marsaglia's method).
+      double x = 0.0;
+      double y = 0.0;
+      do {
+        x = -std::log(1.0 - uniform()) / kTail;
+        y = -std::log(1.0 - uniform());
+      } while (y + y < x * x);
+      return hz >= 0 ? kTail + x : -(kTail + x);
+    }
+    const double x = static_cast<double>(hz) * t.wn[i];
+    if (t.fn[i] + uniform() * (t.fn[i - 1] - t.fn[i]) <
+        std::exp(-0.5 * x * x)) {
+      return x;
+    }
+    // Wedge rejected: retry from a fresh strip.
+  }
+}
+
+void Rng::normal_fill(std::span<double> out, double mean, double sd) noexcept {
+  for (double& v : out) v = mean + sd * normal_ziggurat();
+}
+
 double Rng::lognormal(double mu, double sigma) noexcept {
   return std::exp(normal(mu, sigma));
 }

@@ -1,0 +1,131 @@
+// Allocation-freedom of the warm Monte-Carlo path (own binary: it
+// overrides global operator new to count every heap allocation in the
+// process).
+//
+// The serving layer pools one EvalWorkspace per worker (WorkerState in
+// serve/service.cpp) precisely so that the blocked engine's SoA arenas —
+// lane_values / lane_slots / lane_saved plus the trial-results buffer —
+// are paid for once per worker and reused across requests. This test pins
+// the contract that makes the pooling worth it: after a warmup call has
+// sized the arenas, sample_trials()/sample_into() on the same workspace
+// must not allocate at all.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "model/compile.hpp"
+#include "model/expr.hpp"
+#include "model/ir.hpp"
+#include "stoch/stochastic_value.hpp"
+#include "support/rng.hpp"
+
+// The replaced operator new hands out malloc'd memory that the replaced
+// operator delete frees; GCC's heuristic pairs call sites across the TU
+// and flags the malloc/free crossing, but the pairing is the point here.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+// Counting overrides for every replaceable allocation signature a
+// libstdc++ container can reach. Deletes stay uncounted: freeing reused
+// capacity is fine, acquiring new memory on the hot path is not.
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  ++g_allocations;
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) /
+                                       static_cast<std::size_t>(align) *
+                                       static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace sspred::model {
+namespace {
+
+using stoch::Dependence;
+using stoch::StochasticValue;
+
+TEST(McEngineAlloc, WarmBlockedSamplingIsAllocationFree) {
+  // A model exercising every allocation-prone engine feature: stochastic
+  // constants, an unrelated iterate (body-slot save/restore rows) and a
+  // shared subtree (kRef region save/restore rows).
+  const auto shared = mul(param("a"), constant(StochasticValue(2.0, 0.5)));
+  const auto body = add(shared, mul(param("b"), shared));
+  const auto expr = iterate(body, 6, Dependence::kUnrelated);
+  const ir::Program prog = compile(*expr);
+  ir::SlotEnvironment env = prog.make_environment();
+  env.bind(prog.slot("a"), StochasticValue(1.0, 0.3));
+  env.bind(prog.slot("b"), StochasticValue(0.8, 0.2));
+
+  support::Rng rng(2026);
+  ir::EvalWorkspace ws;
+  constexpr std::size_t kTrials = 3000;  // multiple blocks per call
+
+  // Warmup sizes every arena (lane rows, slot rows, save stack, results).
+  (void)prog.sample_trials(env, rng, kTrials, ws);
+
+  const std::uint64_t before = g_allocations.load();
+  double acc = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    acc += prog.sample_trials(env, rng, kTrials, ws).mean();
+  }
+  std::vector<double> out(kTrials);  // allocated outside the hot section
+  const std::uint64_t before_into = g_allocations.load();
+  prog.sample_into(env, rng, out, ws);
+  const std::uint64_t after = g_allocations.load();
+
+  EXPECT_EQ(before_into - before, 1u)  // only `out` itself
+      << "warm sample_trials allocated";
+  EXPECT_EQ(after, before_into) << "warm sample_into allocated";
+  EXPECT_GT(acc, 0.0);
+}
+
+TEST(McEngineAlloc, WorkspaceReuseAcrossTrialCountsOnlyGrows) {
+  const auto expr = add(param("x"), constant(StochasticValue(1.0, 0.2)));
+  const ir::Program prog = compile(*expr);
+  ir::SlotEnvironment env = prog.make_environment();
+  env.bind(prog.slot("x"), StochasticValue(1.0, 0.4));
+
+  support::Rng rng(7);
+  ir::EvalWorkspace ws;
+  // Warm with the largest trial count the loop will see...
+  (void)prog.sample_trials(env, rng, 4096, ws);
+  const std::uint64_t before = g_allocations.load();
+  // ...then every smaller request fits in the retained capacity.
+  for (const std::size_t trials : {64u, 1000u, 2048u, 4096u}) {
+    (void)prog.sample_trials(env, rng, trials, ws);
+  }
+  EXPECT_EQ(g_allocations.load(), before);
+}
+
+}  // namespace
+}  // namespace sspred::model

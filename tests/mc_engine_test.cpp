@@ -1,0 +1,452 @@
+// Tests for the blocked trial-major Monte-Carlo engine (model/ir.hpp),
+// the ziggurat batch sampler behind it (support/rng.hpp), and the IR
+// optimization pipeline (model/compile.hpp).
+//
+// The blocked RNG stream (ir::SampleOrder::kBlocked) is a versioned
+// determinism contract. Rather than freezing literal doubles, the golden
+// tests here REPLAY the documented draw order by hand — per block: every
+// live parameter slot in ascending slot-id order, then the node-major
+// walk (stochastic constants per occurrence, unrelated iterate
+// repetitions redrawing their body slots per repetition) — and require
+// sample_into() to match bit for bit. Any change to the block size, the
+// ziggurat, or the draw order fails these tests and must bump the
+// contract. The scalar-compatible order is pinned by compile_test.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "model/compile.hpp"
+#include "model/expr.hpp"
+#include "model/ir.hpp"
+#include "stoch/stochastic_value.hpp"
+#include "support/rng.hpp"
+
+namespace sspred::model {
+namespace {
+
+using stoch::Dependence;
+using stoch::ExtremePolicy;
+using stoch::StochasticValue;
+
+// ---------------------------------------------------------------------------
+// Ziggurat sampler.
+
+TEST(ZigguratSampler, StreamIsDeterministicPerSeed) {
+  support::Rng a(2026), b(2026), c(2027);
+  std::vector<double> xa(257), xb(257), xc(257);
+  a.normal_fill(xa);
+  b.normal_fill(xb);
+  c.normal_fill(xc);
+  EXPECT_EQ(xa, xb);
+  EXPECT_NE(xa, xc);
+}
+
+TEST(ZigguratSampler, FillAppliesMeanAndSdAffinely) {
+  support::Rng a(7), b(7);
+  std::vector<double> std_draws(64), scaled(64);
+  a.normal_fill(std_draws);
+  b.normal_fill(scaled, 5.0, 0.25);
+  for (std::size_t i = 0; i < std_draws.size(); ++i) {
+    EXPECT_DOUBLE_EQ(scaled[i], 5.0 + 0.25 * std_draws[i]) << "draw " << i;
+  }
+}
+
+TEST(ZigguratSampler, MomentsAndCoverageMatchTheStandardNormal) {
+  support::Rng rng(123456);
+  constexpr std::size_t kN = 200'000;
+  std::vector<double> xs(kN);
+  rng.normal_fill(xs);
+  double sum = 0.0, sum_sq = 0.0;
+  std::size_t within_1 = 0, within_2 = 0, tail = 0;
+  for (const double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+    within_1 += std::abs(x) <= 1.0 ? 1 : 0;
+    within_2 += std::abs(x) <= 2.0 ? 1 : 0;
+    // Beyond the ziggurat's base strip boundary: exercises the tail branch.
+    tail += std::abs(x) > 3.442619855899 ? 1 : 0;
+  }
+  const double n = static_cast<double>(kN);
+  const double mean = sum / n;
+  const double sd = std::sqrt(sum_sq / n - mean * mean);
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(sd, 1.0, 0.01);
+  EXPECT_NEAR(static_cast<double>(within_1) / n, 0.682689, 0.005);
+  EXPECT_NEAR(static_cast<double>(within_2) / n, 0.954500, 0.003);
+  // P(|Z| > 3.4426) ~ 5.75e-4, so ~115 of 200k; the branch must be live.
+  EXPECT_GT(tail, 0u);
+  EXPECT_LT(tail, 400u);
+}
+
+TEST(ZigguratSampler, DoesNotDisturbThePolarSpare) {
+  // normal_ziggurat() consumes raw 64-bit words directly and never
+  // touches normal()'s cached spare: polar draws generate values in
+  // pairs, and the second of a pair must survive ziggurat draws spliced
+  // in between.
+  support::Rng plain(99), mixed(99);
+  const double p1 = plain.normal();
+  const double p2 = plain.normal();  // served from the cached spare
+  const double m1 = mixed.normal();
+  (void)mixed.normal_ziggurat();
+  std::vector<double> z(9);
+  mixed.normal_fill(z);
+  const double m2 = mixed.normal();  // must still be the cached spare
+  EXPECT_DOUBLE_EQ(p1, m1);
+  EXPECT_DOUBLE_EQ(p2, m2);
+}
+
+// ---------------------------------------------------------------------------
+// Blocked-engine golden replay: the documented kBlocked draw order,
+// executed by hand against a second identically-seeded Rng.
+
+TEST(McEngineBlocked, StreamMatchesDocumentedDrawOrderAcrossBlocks) {
+  const auto expr =
+      add(param("x"), constant(StochasticValue(2.0, 0.5)));
+  const ir::Program prog = compile(*expr);
+  ir::SlotEnvironment env = prog.make_environment();
+  env.bind(prog.slot("x"), StochasticValue(0.8, 0.2));
+
+  // One full block plus a short remainder block.
+  const std::size_t trials = ir::kBlockTrials + 7;
+  std::vector<double> got(trials);
+  support::Rng rng(4242);
+  ir::EvalWorkspace ws;
+  prog.sample_into(env, rng, got, ws);
+
+  // Replay: per block, slot "x" first (live slot, ascending), then the
+  // stochastic constant at its node occurrence. sd = halfwidth / 2.
+  std::vector<double> expected(trials);
+  support::Rng replay(4242);
+  std::vector<double> xs(ir::kBlockTrials), cs(ir::kBlockTrials);
+  std::size_t done = 0;
+  while (done < trials) {
+    const std::size_t lanes = std::min(ir::kBlockTrials, trials - done);
+    replay.normal_fill({xs.data(), lanes}, 0.8, 0.1);
+    replay.normal_fill({cs.data(), lanes}, 2.0, 0.25);
+    for (std::size_t i = 0; i < lanes; ++i) {
+      expected[done + i] = xs[i] + cs[i];
+    }
+    done += lanes;
+  }
+  for (std::size_t t = 0; t < trials; ++t) {
+    ASSERT_DOUBLE_EQ(got[t], expected[t]) << "trial " << t;
+  }
+}
+
+TEST(McEngineBlocked, UnrelatedIterateRedrawsBodySlotsPerRepetition) {
+  const auto expr = iterate(param("x"), 3, Dependence::kUnrelated);
+  const ir::Program prog = compile(*expr);
+  ir::SlotEnvironment env = prog.make_environment();
+  env.bind(prog.slot("x"), StochasticValue(1.0, 0.4));
+
+  const std::size_t trials = 64;
+  std::vector<double> got(trials);
+  support::Rng rng(11);
+  ir::EvalWorkspace ws;
+  prog.sample_into(env, rng, got, ws);
+
+  // Replay: the block prefill draws "x" once (the enclosing trial's
+  // cached draw — unused here because every read is inside the unrelated
+  // body), then each of the 3 repetitions redraws it.
+  support::Rng replay(11);
+  std::vector<double> prefill(trials), rep(trials), expected(trials, 0.0);
+  replay.normal_fill({prefill.data(), trials}, 1.0, 0.2);
+  for (int r = 0; r < 3; ++r) {
+    replay.normal_fill({rep.data(), trials}, 1.0, 0.2);
+    for (std::size_t t = 0; t < trials; ++t) expected[t] += rep[t];
+  }
+  for (std::size_t t = 0; t < trials; ++t) {
+    ASSERT_DOUBLE_EQ(got[t], expected[t]) << "trial " << t;
+  }
+}
+
+TEST(McEngineBlocked, RelatedIterateScalesOneSharedDraw) {
+  const auto expr = iterate(param("x"), 4, Dependence::kRelated);
+  const ir::Program prog = compile(*expr);
+  ir::SlotEnvironment env = prog.make_environment();
+  env.bind(prog.slot("x"), StochasticValue(1.0, 0.4));
+
+  const std::size_t trials = 32;
+  std::vector<double> got(trials);
+  support::Rng rng(17);
+  ir::EvalWorkspace ws;
+  prog.sample_into(env, rng, got, ws);
+
+  support::Rng replay(17);
+  std::vector<double> xs(trials);
+  replay.normal_fill({xs.data(), trials}, 1.0, 0.2);
+  for (std::size_t t = 0; t < trials; ++t) {
+    ASSERT_DOUBLE_EQ(got[t], 4.0 * xs[t]) << "trial " << t;
+  }
+}
+
+TEST(McEngineBlocked, SameSeedSameResultAcrossWorkspaces) {
+  const auto expr = add(mul(param("a"), param("b")),
+                        constant(StochasticValue(3.0, 0.6)));
+  const ir::Program prog = compile(*expr);
+  ir::SlotEnvironment env = prog.make_environment();
+  env.bind(prog.slot("a"), StochasticValue(0.9, 0.2));
+  env.bind(prog.slot("b"), StochasticValue(1.1, 0.1));
+
+  support::Rng r1(5), r2(5), r3(6);
+  ir::EvalWorkspace w1, w2, w3;
+  const auto a = prog.sample_trials(env, r1, 5000, w1);
+  const auto b = prog.sample_trials(env, r2, 5000, w2);
+  const auto c = prog.sample_trials(env, r3, 5000, w3);
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+  EXPECT_DOUBLE_EQ(a.halfwidth(), b.halfwidth());
+  EXPECT_NE(a.mean(), c.mean());
+}
+
+TEST(McEngineBlocked, AgreesWithScalarOrderStatistically) {
+  // Same distributions, different stream order: the two estimators must
+  // agree on the underlying quantity, not bit for bit.
+  const auto phase = vmax({mul(param("a"), constant(StochasticValue(2.0))),
+                           mul(param("b"), constant(StochasticValue(1.5)))});
+  const auto expr = iterate(phase, 10, Dependence::kUnrelated);
+  const ir::Program prog = compile(*expr);
+  ir::SlotEnvironment env = prog.make_environment();
+  env.bind(prog.slot("a"), StochasticValue(1.0, 0.3));
+  env.bind(prog.slot("b"), StochasticValue(1.2, 0.4));
+
+  support::Rng rb(303), rs(404);
+  const auto blocked = prog.sample_trials(env, rb, 40'000);
+  const auto scalar =
+      prog.sample_trials(env, rs, 40'000, ir::SampleOrder::kScalarCompat);
+  EXPECT_NEAR(blocked.mean(), scalar.mean(), 0.02 * scalar.mean());
+  EXPECT_NEAR(blocked.halfwidth(), scalar.halfwidth(),
+              0.10 * scalar.halfwidth());
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer passes.
+
+/// Random expression DAGs for the optimizer's differential tests: nested
+/// sums/products/quotients/extremes/iterates over a small parameter pool,
+/// with occasional subtree reuse (shared nodes lower to kRef).
+ExprPtr random_expr(support::Rng& rng, int depth, std::vector<ExprPtr>& pool) {
+  static const std::string kParams[] = {"a", "b", "c"};
+  if (depth <= 0 || rng.uniform() < 0.25) {
+    switch (rng.uniform_int(4)) {
+      case 0:
+        return constant(StochasticValue(rng.uniform(0.5, 3.0)));
+      case 1:
+        return constant(
+            StochasticValue(rng.uniform(1.0, 3.0), rng.uniform(0.0, 0.4)));
+      case 2:
+        if (!pool.empty()) return pool[rng.uniform_int(pool.size())];
+        [[fallthrough]];
+      default:
+        return param(kParams[rng.uniform_int(3)]);
+    }
+  }
+  const auto child = [&] { return random_expr(rng, depth - 1, pool); };
+  const auto children = [&](std::size_t lo) {
+    std::vector<ExprPtr> out;
+    const std::size_t k = lo + rng.uniform_int(3);
+    out.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) out.push_back(child());
+    return out;
+  };
+  const Dependence dep =
+      rng.uniform() < 0.5 ? Dependence::kUnrelated : Dependence::kRelated;
+  static const ExtremePolicy kPolicies[] = {ExtremePolicy::kLargestMean,
+                                            ExtremePolicy::kLargestUpper,
+                                            ExtremePolicy::kClark};
+  ExprPtr e;
+  switch (rng.uniform_int(6)) {
+    case 0:
+      e = sum(children(2), dep);
+      break;
+    case 1:
+      e = prod(children(2), dep);
+      break;
+    case 2:
+      // Denominator mean >= 2 with sd <= 0.1 keeps sampled denominators
+      // 20+ sigma from zero: deterministic seeds, deterministic safety.
+      e = quotient(child(),
+                   constant(StochasticValue(rng.uniform(2.0, 4.0),
+                                            rng.uniform(0.0, 0.2))),
+                   dep);
+      break;
+    case 3:
+      e = vmax(children(2), kPolicies[rng.uniform_int(3)]);
+      break;
+    case 4:
+      e = vmin(children(2), kPolicies[rng.uniform_int(3)]);
+      break;
+    default:
+      e = iterate(child(), 1 + rng.uniform_int(4), dep);
+      break;
+  }
+  pool.push_back(e);
+  return e;
+}
+
+void expect_sv_eq(const StochasticValue& a, const StochasticValue& b,
+                  const std::string& what) {
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean()) << what;
+  EXPECT_DOUBLE_EQ(a.halfwidth(), b.halfwidth()) << what;
+}
+
+TEST(OptimizerPasses, EveryPassIsBitExactInAllModesOnRandomDags) {
+  constexpr std::size_t kDags = 25;
+  constexpr std::size_t kTrials = 300;
+  const OptimizeOptions kVariants[] = {
+      {.fold_constants = true, .fuse_groups = false, .eliminate_dead = false},
+      {.fold_constants = false, .fuse_groups = true, .eliminate_dead = false},
+      {.fold_constants = false, .fuse_groups = false, .eliminate_dead = true},
+      {},  // the full default pipeline
+  };
+  for (std::size_t d = 0; d < kDags; ++d) {
+    support::Rng gen(9000 + d);
+    std::vector<ExprPtr> pool;
+    const ExprPtr expr = random_expr(gen, 4, pool);
+    const ir::Program base = compile_unoptimized(*expr);
+    ir::SlotEnvironment env = base.make_environment();
+    for (std::uint32_t s = 0; s < base.slot_count(); ++s) {
+      env.bind(s, StochasticValue(gen.uniform(0.6, 1.4), gen.uniform(0.0, 0.3)));
+    }
+    for (std::size_t v = 0; v < std::size(kVariants); ++v) {
+      OptimizeStats stats;
+      const ir::Program opt = optimize(base, kVariants[v], &stats);
+      const std::string what =
+          "dag " + std::to_string(d) + " variant " + std::to_string(v);
+      EXPECT_LE(opt.node_count(), base.node_count()) << what;
+      // The slot table is preserved verbatim, so `env` drives both.
+      ASSERT_EQ(opt.slot_count(), base.slot_count()) << what;
+      expect_sv_eq(opt.evaluate(env), base.evaluate(env), what + " stochastic");
+      EXPECT_DOUBLE_EQ(opt.evaluate_point(env), base.evaluate_point(env))
+          << what << " point";
+      // Bit-exact per seed in BOTH sample orders: no pass may add, drop,
+      // or reorder a draw event.
+      {
+        support::Rng ra(100 + d), rb(100 + d);
+        expect_sv_eq(opt.sample_trials(env, ra, kTrials),
+                     base.sample_trials(env, rb, kTrials), what + " blocked");
+      }
+      {
+        support::Rng ra(200 + d), rb(200 + d);
+        expect_sv_eq(
+            opt.sample_trials(env, ra, kTrials, ir::SampleOrder::kScalarCompat),
+            base.sample_trials(env, rb, kTrials,
+                               ir::SampleOrder::kScalarCompat),
+            what + " scalar");
+      }
+    }
+  }
+}
+
+TEST(OptimizerPasses, PurePointModelFoldsToOneLiteralAndSkipsSampling) {
+  // (2 + 0.5) summed over 4 unrelated iterations: every value is a point,
+  // so the whole model folds to the literal 10 (dyadic values keep the
+  // three modes' arithmetic — including sample-mode repeated addition —
+  // exactly equal, which the fold guard requires).
+  const auto expr = iterate(add(constant(StochasticValue(2.0)),
+                                constant(StochasticValue(0.5))),
+                            4, Dependence::kUnrelated);
+  const ir::Program base = compile_unoptimized(*expr);
+  OptimizeStats stats;
+  const ir::Program opt = optimize(base, {}, &stats);
+  ASSERT_EQ(opt.node_count(), 1u);
+  EXPECT_EQ(opt.node(0).op, ir::OpCode::kConst);
+  EXPECT_TRUE(opt.constant(0).is_point());
+  EXPECT_DOUBLE_EQ(opt.constant(0).mean(), 10.0);
+  EXPECT_GE(stats.folded, 2u);
+  EXPECT_EQ(stats.removed_nodes, base.node_count() - 1);
+
+  // Sampling a pure-point program is a no-op on the RNG: the fast path
+  // returns the literal without drawing.
+  ir::SlotEnvironment env = opt.make_environment();
+  support::Rng rng(77), untouched(77);
+  const auto mc = opt.sample_trials(env, rng, 10'000);
+  EXPECT_TRUE(mc.is_point());
+  EXPECT_DOUBLE_EQ(mc.mean(), 10.0);
+  EXPECT_EQ(rng(), untouched());
+}
+
+TEST(OptimizerPasses, FusesMaxTreesAndHeadPositionSumChains) {
+  const auto a = param("a"), b = param("b"), c = param("c"), d = param("d"),
+             e = param("e");
+  {
+    // Balanced max-of-max tree, one policy: both inner nodes splice into
+    // the root (any operand position), leaving one wide 5-ary max.
+    const auto tree = vmax({vmax({a, b}), vmax({c, d}), e});
+    OptimizeStats stats;
+    const ir::Program opt =
+        optimize(compile_unoptimized(*tree), {}, &stats);
+    EXPECT_EQ(stats.fused, 2u);
+    EXPECT_EQ(stats.removed_nodes, 2u);
+    const ir::Node& root = opt.node(opt.node_count() - 1);
+    EXPECT_EQ(root.op, ir::OpCode::kMax);
+    EXPECT_EQ(root.count, 5u);
+  }
+  {
+    // Sum chains fuse only at the head (sequential folds are bit-exact
+    // under flattening only there): add(add(a,b),c) flattens...
+    const auto head = add(add(a, b), c);
+    OptimizeStats stats;
+    const ir::Program opt =
+        optimize(compile_unoptimized(*head), {}, &stats);
+    EXPECT_EQ(stats.fused, 1u);
+    EXPECT_EQ(opt.node(opt.node_count() - 1).count, 3u);
+  }
+  {
+    // ...but a tail-position nested sum stays nested.
+    const auto tail = sum({a, add(b, c)});
+    OptimizeStats stats;
+    const ir::Program opt =
+        optimize(compile_unoptimized(*tail), {}, &stats);
+    EXPECT_EQ(stats.fused, 0u);
+  }
+  {
+    // Clark's fold is not associative: no fusion under kClark.
+    const auto clark = vmax({vmax({a, b}, ExtremePolicy::kClark), c},
+                            ExtremePolicy::kClark);
+    OptimizeStats stats;
+    const ir::Program opt =
+        optimize(compile_unoptimized(*clark), {}, &stats);
+    EXPECT_EQ(stats.fused, 0u);
+  }
+}
+
+TEST(OptimizerPasses, ReportsDeadSlotsAndBlockedEngineNeverDrawsThem) {
+  // Seed the slot table from a base model over {x, y}, then compile an
+  // expression that only reads x: slot y exists but is dead.
+  const auto base_expr = add(param("x"), param("y"));
+  const ir::Program base = compile_unoptimized(*base_expr);
+  const auto expr = mul(param("x"), constant(StochasticValue(2.0)));
+  OptimizeStats stats;
+  const ir::Program prog =
+      optimize(compile_unoptimized(*expr, base), {}, &stats);
+  ASSERT_EQ(prog.slot_count(), 2u);
+  EXPECT_EQ(stats.dead_slots, 1u);
+  ASSERT_EQ(prog.live_slots().size(), 1u);
+  EXPECT_EQ(prog.live_slots()[0], prog.slot("x"));
+
+  // Both slots bound stochastic; the replay draws ONLY x. If the engine
+  // drew for dead slot y the streams would diverge.
+  ir::SlotEnvironment env = prog.make_environment();
+  env.bind(prog.slot("x"), StochasticValue(1.0, 0.4));
+  env.bind(prog.slot("y"), StochasticValue(5.0, 2.0));
+  const std::size_t trials = 16;
+  std::vector<double> got(trials);
+  support::Rng rng(33);
+  ir::EvalWorkspace ws;
+  prog.sample_into(env, rng, got, ws);
+
+  support::Rng replay(33);
+  std::vector<double> xs(trials);
+  replay.normal_fill({xs.data(), trials}, 1.0, 0.2);
+  for (std::size_t t = 0; t < trials; ++t) {
+    ASSERT_DOUBLE_EQ(got[t], 2.0 * xs[t]) << "trial " << t;
+  }
+}
+
+}  // namespace
+}  // namespace sspred::model

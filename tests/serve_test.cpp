@@ -435,6 +435,31 @@ TEST(ServeService, ChunkedMonteCarloIsDeterministicAndSane) {
               0.25 * calc.value.mean() + 1e-9);
 }
 
+TEST(ServeService, ChunkedMonteCarloIsIndependentOfWorkerCount) {
+  // The blocked engine samples each chunk from its own derived seed and
+  // the partials combine in chunk-index order, so the result is a pure
+  // function of (seed, trials, chunk size) — scheduling, worker count and
+  // which worker's pooled arenas ran a chunk must all be invisible.
+  auto run_with = [](std::size_t workers) {
+    ServiceOptions options;
+    options.workers = workers;
+    options.mc_chunk_trials = 1000;
+    PredictionService service(options);
+    service.register_model("sor", small_spec());
+    auto request = stochastic_request("sor", loads_for(2));
+    request.mode = Mode::kMonteCarlo;
+    request.trials = 7500;  // uneven tail chunk included
+    request.seed = 1234;
+    return service.submit(std::move(request)).get();
+  };
+  const auto one = run_with(1);
+  const auto four = run_with(4);
+  ASSERT_TRUE(one.ok()) << one.error;
+  ASSERT_TRUE(four.ok()) << four.error;
+  EXPECT_DOUBLE_EQ(one.value.mean(), four.value.mean());
+  EXPECT_DOUBLE_EQ(one.value.halfwidth(), four.value.halfwidth());
+}
+
 TEST(ServeService, UnknownModelIdIsStructuredErrorAndPoolSurvives) {
   PredictionService service(options_with(2));
   service.register_model("sor", small_spec());
