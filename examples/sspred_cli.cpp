@@ -12,7 +12,7 @@
 //                      --loads ... [--metric mean|p95|upper]
 //   sspred_cli serve   --platform platform2 --n 1000 --iters 15
 //                      [--requests R] [--workers W] [--mc-every M]
-//                      [--seed N] [--no-cache] [--no-coalesce]
+//                      [--seed N] [--no-cache] [--no-coalesce] [--no-fuse]
 //                      [--metrics-json FILE]
 //   sspred_cli calibrate --platform platform2 --n 1000 --iters 15
 //                      [--trials T] [--seed N] [--source nws|sample|mix]
@@ -62,7 +62,8 @@ using namespace sspred;
       "           [--metric mean|p95|upper]\n"
       "  serve    --platform P --n N --iters K [--requests R]\n"
       "           [--workers W] [--mc-every M] [--seed N]\n"
-      "           [--no-cache] [--no-coalesce] [--metrics-json FILE]\n"
+      "           [--no-cache] [--no-coalesce] [--no-fuse]\n"
+      "           [--metrics-json FILE]\n"
       "           run the prediction service over generated load traces\n"
       "  calibrate --platform P --n N --iters K [--trials T] [--seed N]\n"
       "           [--source nws|sample|mix] [--window W]\n"
@@ -80,7 +81,8 @@ std::map<std::string, std::string> parse_options(int argc, char** argv,
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) usage("unexpected argument: " + key);
     key = key.substr(2);
-    if (key == "breakdown" || key == "no-cache" || key == "no-coalesce") {
+    if (key == "breakdown" || key == "no-cache" || key == "no-coalesce" ||
+        key == "no-fuse") {
       opts[key] = "1";
       continue;
     }
@@ -322,6 +324,7 @@ int cmd_serve(const std::map<std::string, std::string>& opts) {
   service_options.workers = workers;
   service_options.enable_cache = !opts.contains("no-cache");
   service_options.enable_coalescing = !opts.contains("no-coalesce");
+  service_options.enable_fusion = !opts.contains("no-fuse");
   serve::PredictionService service(service_options);
   service.register_model("sor", model_spec);
 

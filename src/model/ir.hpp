@@ -22,6 +22,18 @@
 // differential-testing oracle for the compiled path
 // (tests/compile_test.cpp; the blocked order is pinned by
 // tests/mc_engine_test.cpp).
+//
+// Each entry point also has a *fused request-major* variant
+// (evaluate_fused / evaluate_point_fused / sample_fused) that evaluates N
+// independent sets of bindings — a LaneEnvironment, the slot table
+// columned by request lane — in one sweep over the node buffer,
+// amortizing per-node dispatch across concurrent requests instead of only
+// across the trials of one request. Every fused variant is bit-exact per
+// lane against its single-request counterpart (sample_fused drives one
+// RNG substream per lane, reproducing each lane's standalone kBlocked
+// stream bit for bit), so fusing is a pure throughput optimization: the
+// serving layer batches structure-equal requests into lanes without any
+// observable effect on results (tests/fused_test.cpp pins this).
 #pragma once
 
 #include <cstdint>
@@ -134,6 +146,41 @@ class SlotEnvironment {
   std::shared_ptr<const std::vector<std::string>> names_;
 };
 
+/// Dense per-lane parameter bindings for a fused request-major evaluation:
+/// the slot table columned by request lane. Storage is slot-major
+/// (values_[slot * lanes + lane]) so the fused kernels and the blocked
+/// sampler's per-slot prologue read one lane run per slot. A default
+/// constructed environment is empty; reset() (re)shapes it for a program
+/// and lane count, retaining capacity, so serving workers reuse one
+/// environment across batches allocation-free after warmup.
+class LaneEnvironment {
+ public:
+  LaneEnvironment() = default;
+
+  /// Reshapes for `lanes` lanes of `program`'s slot table and clears every
+  /// binding. Capacity only grows.
+  void reset(const Program& program, std::size_t lanes);
+
+  void bind(std::size_t lane, std::uint32_t slot,
+            stoch::StochasticValue value);
+
+  /// Throws sspred::support::Error naming the lane and slot when the slot
+  /// is out of range or unbound in that lane.
+  [[nodiscard]] const stoch::StochasticValue& lookup(std::size_t lane,
+                                                     std::uint32_t slot) const;
+
+  [[nodiscard]] std::size_t lanes() const noexcept { return lanes_; }
+  [[nodiscard]] std::size_t slot_count() const noexcept {
+    return names_ ? names_->size() : 0;
+  }
+
+ private:
+  std::vector<stoch::StochasticValue> values_;  ///< [slot * lanes + lane]
+  std::vector<std::uint8_t> bound_;
+  std::size_t lanes_ = 0;
+  std::shared_ptr<const std::vector<std::string>> names_;
+};
+
 /// Reusable evaluation buffers. Every Program entry point has an overload
 /// taking one of these; the overloads without it allocate a fresh
 /// workspace per call. Reuse across calls (and across the trials of one
@@ -195,9 +242,43 @@ class Program {
   [[nodiscard]] double sample(const SlotEnvironment& env, support::Rng& rng,
                               EvalWorkspace& ws) const;
 
+  // --- Fused request-major evaluation ------------------------------------
+  //
+  // One sweep over the node buffer evaluates env.lanes() independent sets
+  // of bindings. Each fused entry point is bit-exact per lane against its
+  // single-request counterpart, so batching requests into lanes is
+  // observable only as throughput. out.size() must equal env.lanes().
+
+  /// Fused evaluate(): §2.3 stochastic calculus, one result per lane.
+  void evaluate_fused(const LaneEnvironment& env, EvalWorkspace& ws,
+                      std::span<stoch::StochasticValue> out) const;
+
+  /// Fused evaluate_point(): conventional point prediction per lane.
+  void evaluate_point_fused(const LaneEnvironment& env, EvalWorkspace& ws,
+                            std::span<double> out) const;
+
+  /// Fused sample_trials(): `trials` Monte-Carlo samples per lane,
+  /// summarized as mean ± 2sd. Lane k draws exclusively from rngs[k] and
+  /// consumes it in exactly the standalone kBlocked order — the per-lane
+  /// RNG substream contract — so out[k] is bit-identical to
+  /// sample_trials(env_k, rngs[k], trials, kBlocked) run alone.
+  /// rngs.size() must equal env.lanes(); all lanes share one trial count
+  /// (the serving layer only fuses requests with equal trials).
+  void sample_fused(const LaneEnvironment& env, std::span<support::Rng> rngs,
+                    std::size_t trials, EvalWorkspace& ws,
+                    std::span<stoch::StochasticValue> out) const;
+
   /// A SlotEnvironment shaped for this program, all slots unbound.
   [[nodiscard]] SlotEnvironment make_environment() const {
     return SlotEnvironment(slot_names_);
+  }
+
+  /// A LaneEnvironment shaped for this program with `lanes` lanes, all
+  /// slots unbound in every lane.
+  [[nodiscard]] LaneEnvironment make_lane_environment(std::size_t lanes) const {
+    LaneEnvironment env;
+    env.reset(*this, lanes);
+    return env;
   }
 
   /// Slot id for `name`; throws sspred::support::Error listing the known
@@ -231,6 +312,7 @@ class Program {
  private:
   friend class Builder;
   friend class ProgramRewriter;  ///< optimizer passes (model/compile.cpp)
+  friend class LaneEnvironment;  ///< reset() shares slot_names_
 
   /// Recomputes the derived indexes (sample skips, per-node skip flags,
   /// live slots) from nodes_; called after building and after rewrites.
@@ -248,6 +330,18 @@ class Program {
   void exec_blocked(const SlotEnvironment& env, support::Rng& rng,
                     EvalWorkspace& ws, std::uint32_t lo, std::uint32_t hi,
                     std::size_t lanes) const;
+  /// Shared body of the single-request and fused blocked walks. `Fill`
+  /// supplies the two draw sites (parameter-slot rows and stochastic
+  /// constants); `stride` is the allocated row width (kBlockTrials for the
+  /// single walk, requests * kBlockTrials when fused) and `lanes` the
+  /// occupied prefix of each row.
+  template <class Fill>
+  void exec_blocked_impl(Fill& fill, EvalWorkspace& ws, std::uint32_t lo,
+                         std::uint32_t hi, std::size_t lanes,
+                         std::size_t stride) const;
+  void exec_stochastic_fused(const LaneEnvironment& env,
+                             EvalWorkspace& ws) const;
+  void exec_point_fused(const LaneEnvironment& env, EvalWorkspace& ws) const;
 
   std::vector<Node> nodes_;                       ///< post-order; root last
   std::vector<std::uint32_t> operands_;           ///< group operand node ids

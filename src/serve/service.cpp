@@ -42,6 +42,7 @@ PredictionService::PredictionService(ServiceOptions options)
       requests_error_(metrics_.counter("requests_error")),
       requests_rejected_(metrics_.counter("requests_rejected")),
       coalesced_(metrics_.counter("requests_coalesced")),
+      requests_fused_(metrics_.counter("requests_fused")),
       mc_chunks_(metrics_.counter("mc_chunks_executed")),
       epochs_published_(metrics_.counter("epochs_published")),
       cache_hits_(metrics_.counter("cache_hits")),
@@ -54,6 +55,10 @@ PredictionService::PredictionService(ServiceOptions options)
                                   options.latency_range_seconds, 512)),
       batch_sizes_(metrics_.histogram(
           "batch_size", static_cast<double>(options.max_batch) + 1.0,
+          std::max<std::size_t>(options.max_batch, 1))),
+      fused_occupancy_(metrics_.histogram(
+          "fused_batch_occupancy",
+          static_cast<double>(options.max_batch) + 1.0,
           std::max<std::size_t>(options.max_batch, 1))) {
   SSPRED_REQUIRE(options_.workers >= 1, "service needs at least one worker");
   SSPRED_REQUIRE(options_.queue_capacity >= 1,
@@ -101,8 +106,10 @@ PredictionService::~PredictionService() {
 }
 
 void PredictionService::register_model(const std::string& id, ModelSpec spec) {
+  std::string key = spec.structure_key();  // outside the lock: it serializes
   const std::lock_guard lock(models_mutex_);
-  models_.insert_or_assign(id, std::move(spec));
+  models_.insert_or_assign(id,
+                           RegisteredModel{std::move(spec), std::move(key)});
 }
 
 std::vector<std::string> PredictionService::model_ids() const {
@@ -120,6 +127,15 @@ std::future<PredictResult> PredictionService::submit(PredictRequest request) {
   job.epoch = current_epoch();
   job.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   job.enqueue_time = now();
+  {
+    // Stamp the registered model's structure key so the dequeue scan can
+    // group structure-equal requests without touching the model table.
+    // Unknown ids leave it empty (they never fuse; the solo path reports
+    // the structured unknown-model error).
+    const std::lock_guard lock(models_mutex_);
+    const auto it = models_.find(job.request.model_id);
+    if (it != models_.end()) job.structure_key = it->second.structure_key;
+  }
   auto future = job.promise.get_future();
 
   bool admitted = false;
@@ -202,6 +218,25 @@ bool PredictionService::coalescable(const Job& a, const Job& b) const {
   return true;
 }
 
+bool PredictionService::fusable(const Job& a, const Job& b) const {
+  const auto& ra = a.request;
+  const auto& rb = b.request;
+  if (ra.mode != rb.mode) return false;
+  const std::uint64_t ea = a.epoch ? a.epoch->version() : 0;
+  const std::uint64_t eb = b.epoch ? b.epoch->version() : 0;
+  if (ea != eb) return false;
+  if (ra.mode == Mode::kMonteCarlo) {
+    // Lanes of one sweep share the trial count (distinct seeds are fine —
+    // each lane drives its own RNG substream). Chunked requests
+    // (trials > mc_chunk_trials) keep the fan-out path, and sample_fused
+    // needs at least 2 trials, like sample_trials.
+    if (ra.trials != rb.trials) return false;
+    if (ra.trials < 2 || ra.trials > options_.mc_chunk_trials) return false;
+  }
+  if (ra.model_id == rb.model_id) return true;
+  return !a.structure_key.empty() && a.structure_key == b.structure_key;
+}
+
 void PredictionService::worker_loop() {
   WorkerState state;
   for (;;) {
@@ -212,15 +247,40 @@ void PredictionService::worker_loop() {
     if (stop_) return;
     Task task = std::move(queue_.front());
     queue_.pop_front();
-    std::vector<Job> siblings;
+    std::vector<FusedLane> lanes;
     if (auto* job = std::get_if<Job>(&task)) {
       --queued_jobs_;
-      if (options_.enable_coalescing) {
-        for (auto it = queue_.begin();
-             it != queue_.end() && siblings.size() + 1 < options_.max_batch;) {
-          if (auto* other = std::get_if<Job>(&*it);
-              other != nullptr && coalescable(*job, *other)) {
-            siblings.push_back(std::move(*other));
+      // Dequeue-time grouping. Each queued job first tries to collapse
+      // onto ANY open lane with identical bindings (one evaluation, result
+      // fanned out) and only then to open a new lane of the fused sweep —
+      // so mixed streams of identical and merely structure-equal requests
+      // fill lanes instead of starving the fused path. Fusion needs the
+      // program cache: the sweep shares one compiled program.
+      const bool fuse = options_.enable_fusion && options_.enable_cache;
+      lanes.push_back(FusedLane{std::move(*job), {}});
+      if (options_.enable_coalescing || fuse) {
+        for (auto it = queue_.begin(); it != queue_.end();) {
+          auto* other = std::get_if<Job>(&*it);
+          bool taken = false;
+          if (other != nullptr) {
+            if (options_.enable_coalescing) {
+              for (auto& lane : lanes) {
+                if (lane.extra.size() + 1 < options_.max_batch &&
+                    coalescable(lane.job, *other)) {
+                  lane.extra.push_back(
+                      Pending{other->id, std::move(other->promise)});
+                  taken = true;
+                  break;
+                }
+              }
+            }
+            if (!taken && fuse && lanes.size() < options_.max_batch &&
+                fusable(lanes.front().job, *other)) {
+              lanes.push_back(FusedLane{std::move(*other), {}});
+              taken = true;
+            }
+          }
+          if (taken) {
             it = queue_.erase(it);
             --queued_jobs_;
           } else {
@@ -234,8 +294,13 @@ void PredictionService::worker_loop() {
     workers_busy_.set(static_cast<std::int64_t>(busy_));
     lock.unlock();
 
-    if (auto* job = std::get_if<Job>(&task)) {
-      execute_job(std::move(*job), std::move(siblings), state);
+    if (std::holds_alternative<Job>(task)) {
+      if (lanes.size() > 1) {
+        execute_fused(std::move(lanes), state);
+      } else {
+        execute_job(std::move(lanes.front().job),
+                    std::move(lanes.front().extra), state);
+      }
     } else {
       execute_chunk(std::get<McChunk>(task), state);
     }
@@ -260,7 +325,7 @@ CompiledModelPtr PredictionService::resolve_model(
       msg << ')';
       throw support::Error(msg.str());
     }
-    spec = it->second;
+    spec = it->second.spec;
   }
   if (options_.enable_cache) {
     const auto lookup = cache_.get_or_compile(spec);
@@ -375,18 +440,16 @@ bool PredictionService::report_observation(std::uint64_t request_id,
   return true;
 }
 
-void PredictionService::execute_job(Job&& job, std::vector<Job>&& siblings,
+void PredictionService::execute_job(Job&& job, std::vector<Pending>&& extra,
                                     WorkerState& state) {
   PredictResult base;
-  base.batch_size = 1 + siblings.size();
+  base.batch_size = 1 + extra.size();
   base.epoch_version = job.epoch ? job.epoch->version() : 0;
   std::vector<Pending> promises;
   promises.reserve(base.batch_size);
   promises.push_back(Pending{job.id, std::move(job.promise)});
-  for (auto& s : siblings) {
-    promises.push_back(Pending{s.id, std::move(s.promise)});
-  }
-  if (!siblings.empty()) coalesced_.increment(siblings.size());
+  for (auto& p : extra) promises.push_back(std::move(p));
+  if (!extra.empty()) coalesced_.increment(extra.size());
   batch_sizes_.observe(static_cast<double>(base.batch_size));
 
   try {
@@ -463,6 +526,127 @@ void PredictionService::execute_job(Job&& job, std::vector<Job>&& siblings,
   }
   finish_batch(promises, std::move(base), job.enqueue_time,
                job.request.model_id);
+}
+
+void PredictionService::execute_fused(std::vector<FusedLane>&& lanes,
+                                      WorkerState& state) {
+  const std::size_t requests = lanes.size();
+  const Mode mode = lanes.front().job.request.mode;
+
+  // Any condition that prevents serving the whole batch as one sweep —
+  // model churn between submit and dequeue, a binding error in any lane,
+  // an evaluation throw (e.g. sampled division by zero) — falls back to
+  // the per-lane solo path. Solo is the canonical semantics the fused
+  // sweep is bit-exact against, so the fallback preserves per-request
+  // results and error isolation; it only costs the batching win.
+  const auto fall_back_solo = [&] {
+    for (auto& lane : lanes) {
+      execute_job(std::move(lane.job), std::move(lane.extra), state);
+    }
+  };
+
+  CompiledModelPtr model;
+  try {
+    // One registry pass validates the whole sweep instead of a per-lane
+    // resolve: fusable() already proved structural equality from the
+    // submit-time key stamps, so here it only remains to guard against a
+    // model id re-registered to a NEW structure between submit and now.
+    // Every lane's id must currently map to the leader's structure key;
+    // then the leader's program is resolved ONCE and shared. This is most
+    // of the fused throughput win: the cache lookup re-serializes the
+    // spec's structure key, which dwarfs evaluating a small model, so
+    // paying it per sweep instead of per lane is what lets high fan-in
+    // batches amortize the service's per-request resolution cost.
+    bool structure_stable = true;
+    {
+      const std::lock_guard lock(models_mutex_);
+      const auto leader = models_.find(lanes.front().job.request.model_id);
+      if (leader == models_.end()) {
+        structure_stable = false;
+      } else {
+        for (std::size_t k = 1; structure_stable && k < requests; ++k) {
+          const auto& id = lanes[k].job.request.model_id;
+          if (id == leader->first) continue;
+          const auto it = models_.find(id);
+          structure_stable = it != models_.end() &&
+                             it->second.structure_key ==
+                                 leader->second.structure_key;
+        }
+      }
+    }
+    if (!structure_stable) {
+      fall_back_solo();
+      return;
+    }
+    model = resolve_model(lanes.front().job.request);
+
+    state.lane_env.reset(model->program(), requests);
+    for (std::size_t k = 0; k < requests; ++k) {
+      state.lane_loads.clear();
+      stoch::StochasticValue bwavail;
+      resolve_bindings(lanes[k].job, *model, state.lane_loads, bwavail);
+      for (std::size_t p = 0; p < state.lane_loads.size(); ++p) {
+        state.lane_env.bind(k, model->load_slot(p), state.lane_loads[p]);
+      }
+      if (model->uses_bandwidth()) {
+        state.lane_env.bind(k, model->bwavail_slot(), bwavail);
+      }
+    }
+
+    switch (mode) {
+      case Mode::kStochastic: {
+        state.fused_values.resize(requests);
+        model->program().evaluate_fused(
+            state.lane_env, state.ws,
+            {state.fused_values.data(), requests});
+        break;
+      }
+      case Mode::kPoint: {
+        state.fused_points.resize(requests);
+        model->program().evaluate_point_fused(
+            state.lane_env, state.ws,
+            {state.fused_points.data(), requests});
+        break;
+      }
+      case Mode::kMonteCarlo: {
+        state.fused_values.resize(requests);
+        state.rngs.clear();
+        for (const auto& lane : lanes) {
+          state.rngs.emplace_back(lane.job.request.seed);
+        }
+        model->program().sample_fused(
+            state.lane_env, {state.rngs.data(), requests},
+            lanes.front().job.request.trials, state.ws,
+            {state.fused_values.data(), requests});
+        break;
+      }
+    }
+  } catch (const std::exception&) {
+    fall_back_solo();
+    return;
+  }
+
+  fused_occupancy_.observe(static_cast<double>(requests));
+  for (std::size_t k = 0; k < requests; ++k) {
+    auto& lane = lanes[k];
+    PredictResult base;
+    base.status = PredictResult::Status::kOk;
+    base.epoch_version = lane.job.epoch ? lane.job.epoch->version() : 0;
+    base.batch_size = 1 + lane.extra.size();
+    if (mode == Mode::kPoint) {
+      base.point = state.fused_points[k];
+      base.value = stoch::StochasticValue(base.point);
+    } else {
+      base.value = state.fused_values[k];
+      base.point = base.value.mean();
+    }
+    if (!lane.extra.empty()) coalesced_.increment(lane.extra.size());
+    batch_sizes_.observe(static_cast<double>(base.batch_size));
+    requests_fused_.increment(base.batch_size);
+    lane.extra.push_back(Pending{lane.job.id, std::move(lane.job.promise)});
+    finish_batch(lane.extra, std::move(base), lane.job.enqueue_time,
+                 lane.job.request.model_id);
+  }
 }
 
 void PredictionService::execute_chunk(const McChunk& chunk,

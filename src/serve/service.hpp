@@ -37,6 +37,7 @@
 #include "serve/metrics.hpp"
 #include "serve/program_cache.hpp"
 #include "support/clock.hpp"
+#include "support/rng.hpp"
 
 namespace sspred::serve {
 
@@ -91,7 +92,13 @@ struct ServiceOptions {
   /// Coalesce identical queued (model, epoch, bindings) requests into one
   /// evaluation at dequeue time.
   bool enable_coalescing = true;
-  std::size_t max_batch = 64;  ///< coalesced requests per evaluation
+  /// Fuse queued structure-equal requests with *distinct* bindings into the
+  /// lanes of one request-major kernel sweep at dequeue time (bit-exact per
+  /// request; see ir::Program::sample_fused). Needs the program cache
+  /// (fusion shares one compiled program across lanes), so enable_cache
+  /// off disables it too.
+  bool enable_fusion = true;
+  std::size_t max_batch = 64;  ///< coalesced/fused requests per evaluation
   /// Monte-Carlo requests with more trials than this are split into
   /// chunks executed across the pool (when workers > 1).
   std::size_t mc_chunk_trials = 2048;
@@ -161,12 +168,24 @@ class PredictionService {
     EpochPtr epoch;
     std::uint64_t id = 0;  ///< stamped at submit; returned in the result
     double enqueue_time = 0.0;
+    /// Structure key of the registered model at submit time (empty when
+    /// the id is unknown). Lets the dequeue scan group structure-equal
+    /// requests across model ids without touching the model table.
+    std::string structure_key;
   };
 
   /// A promise awaiting resolution, tagged with its request id.
   struct Pending {
     std::uint64_t id = 0;
     std::promise<PredictResult> promise;
+  };
+
+  /// One lane of a fused request-major evaluation: a distinct-bindings
+  /// request plus the promises of identical requests collapsed onto it
+  /// (those fan the lane's single result out).
+  struct FusedLane {
+    Job job;
+    std::vector<Pending> extra;
   };
 
   /// Shared state of one fanned-out Monte-Carlo evaluation.
@@ -204,13 +223,25 @@ class PredictionService {
              std::pair<CompiledModelPtr, model::ir::SlotEnvironment>>
         envs;
     model::ir::EvalWorkspace ws;
+    // Fused-path pools, reused across batches (allocation-free once warm).
+    model::ir::LaneEnvironment lane_env;
+    std::vector<support::Rng> rngs;
+    std::vector<stoch::StochasticValue> fused_values;
+    std::vector<double> fused_points;
+    std::vector<stoch::StochasticValue> lane_loads;
 
     [[nodiscard]] model::ir::SlotEnvironment& env_for(
         const CompiledModelPtr& model);
   };
 
   void worker_loop();
-  void execute_job(Job&& job, std::vector<Job>&& siblings, WorkerState& state);
+  void execute_job(Job&& job, std::vector<Pending>&& extra,
+                   WorkerState& state);
+  /// Runs `lanes` (>= 2, pairwise fusable) as one fused sweep; falls back
+  /// to per-lane execute_job — the canonical solo path — when the batch
+  /// cannot be served as one sweep (model churn, binding errors, an
+  /// evaluation throw in any lane).
+  void execute_fused(std::vector<FusedLane>&& lanes, WorkerState& state);
   void execute_chunk(const McChunk& chunk, WorkerState& state);
   /// Resolves the request's model (cache or fresh compile per options).
   [[nodiscard]] CompiledModelPtr resolve_model(const PredictRequest& request);
@@ -232,6 +263,11 @@ class PredictionService {
                            const std::string& model_id,
                            const stoch::StochasticValue& value);
   [[nodiscard]] bool coalescable(const Job& a, const Job& b) const;
+  /// Whether two non-identical jobs can share one fused sweep: same mode
+  /// and epoch version, same compiled structure (same model id or equal
+  /// non-empty structure keys), and for Monte-Carlo the same unchunked
+  /// trial count (chunked requests keep the fan-out path).
+  [[nodiscard]] bool fusable(const Job& a, const Job& b) const;
   [[nodiscard]] double now() const noexcept { return clock_->now(); }
 
   ServiceOptions options_;
@@ -239,8 +275,14 @@ class PredictionService {
   MetricsRegistry metrics_;
   ProgramCache cache_;
 
+  /// A registered model plus its precomputed structure fingerprint (the
+  /// fused grouping key, stamped onto jobs at submit).
+  struct RegisteredModel {
+    ModelSpec spec;
+    std::string structure_key;
+  };
   mutable std::mutex models_mutex_;
-  std::map<std::string, ModelSpec> models_;
+  std::map<std::string, RegisteredModel> models_;
 
   mutable std::mutex epoch_mutex_;
   EpochPtr epoch_;
@@ -274,6 +316,7 @@ class PredictionService {
   Counter& requests_error_;
   Counter& requests_rejected_;
   Counter& coalesced_;
+  Counter& requests_fused_;
   Counter& mc_chunks_;
   Counter& epochs_published_;
   Counter& cache_hits_;
@@ -284,6 +327,7 @@ class PredictionService {
   Gauge& workers_busy_;
   LatencyHistogram& latency_;
   LatencyHistogram& batch_sizes_;
+  LatencyHistogram& fused_occupancy_;
 };
 
 }  // namespace sspred::serve

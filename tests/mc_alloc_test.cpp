@@ -109,6 +109,52 @@ TEST(McEngineAlloc, WarmBlockedSamplingIsAllocationFree) {
   EXPECT_GT(acc, 0.0);
 }
 
+TEST(McEngineAlloc, WarmFusedSamplingIsAllocationFree) {
+  // Same allocation-prone model as above, evaluated request-major: once a
+  // warmup sweep has sized the fused arenas (stride = lanes * kBlockTrials)
+  // and the LaneEnvironment, rebinding lanes and re-running sample_fused /
+  // evaluate_fused / evaluate_point_fused must not allocate. This is what
+  // lets the serving layer keep one LaneEnvironment per worker.
+  const auto shared = mul(param("a"), constant(StochasticValue(2.0, 0.5)));
+  const auto body = add(shared, mul(param("b"), shared));
+  const auto expr = iterate(body, 6, Dependence::kUnrelated);
+  const ir::Program prog = compile(*expr);
+
+  constexpr std::size_t kLanes = 6;
+  constexpr std::size_t kTrials = 3000;  // multiple blocks per sweep
+  ir::LaneEnvironment env = prog.make_lane_environment(kLanes);
+  std::vector<support::Rng> rngs;
+  std::vector<StochasticValue> out(kLanes);
+  std::vector<double> points(kLanes);
+  for (std::size_t k = 0; k < kLanes; ++k) rngs.emplace_back(100 + k);
+
+  const auto bind_all = [&] {
+    for (std::size_t k = 0; k < kLanes; ++k) {
+      env.bind(k, prog.slot("a"), StochasticValue(1.0 + 0.1 * k, 0.3));
+      env.bind(k, prog.slot("b"), StochasticValue(0.8, 0.2 + 0.01 * k));
+    }
+  };
+  bind_all();
+  ir::EvalWorkspace ws;
+  // Warmup sizes every arena each entry point touches.
+  prog.sample_fused(env, rngs, kTrials, ws, out);
+  prog.evaluate_fused(env, ws, out);
+  prog.evaluate_point_fused(env, ws, points);
+
+  const std::uint64_t before = g_allocations.load();
+  double acc = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    env.reset(prog, kLanes);  // per-request reset reuses capacity
+    bind_all();
+    prog.sample_fused(env, rngs, kTrials, ws, out);
+    prog.evaluate_fused(env, ws, out);
+    prog.evaluate_point_fused(env, ws, points);
+    acc += out[0].mean() + points[0];
+  }
+  EXPECT_EQ(g_allocations.load(), before) << "warm fused path allocated";
+  EXPECT_GT(acc, 0.0);
+}
+
 TEST(McEngineAlloc, WorkspaceReuseAcrossTrialCountsOnlyGrows) {
   const auto expr = add(param("x"), constant(StochasticValue(1.0, 0.2)));
   const ir::Program prog = compile(*expr);
