@@ -11,7 +11,7 @@
 //   sspred_cli plan    --platform platform1 --n 1000 --iters 15
 //                      --loads ... [--metric mean|p95|upper]
 //   sspred_cli serve   --platform platform2 --n 1000 --iters 15
-//                      [--requests R] [--workers W] [--mc-every M]
+//                      [--requests R] [--workers W] [--shards S] [--mc-every M]
 //                      [--seed N] [--no-cache] [--no-coalesce] [--no-fuse]
 //                      [--metrics-json FILE]
 //   sspred_cli calibrate --platform platform2 --n 1000 --iters 15
@@ -61,7 +61,7 @@ using namespace sspred;
       "  plan     --platform P --n N --iters K --loads m:sd,...\n"
       "           [--metric mean|p95|upper]\n"
       "  serve    --platform P --n N --iters K [--requests R]\n"
-      "           [--workers W] [--mc-every M] [--seed N]\n"
+      "           [--workers W] [--shards S] [--mc-every M] [--seed N]\n"
       "           [--no-cache] [--no-coalesce] [--no-fuse]\n"
       "           [--metrics-json FILE]\n"
       "           run the prediction service over generated load traces\n"
@@ -298,6 +298,8 @@ int cmd_serve(const std::map<std::string, std::string>& opts) {
       std::strtoul(get(opts, "requests", "200").c_str(), nullptr, 10);
   const auto workers =
       std::strtoul(get(opts, "workers", "4").c_str(), nullptr, 10);
+  const auto shards =
+      std::strtoul(get(opts, "shards", "1").c_str(), nullptr, 10);
   const auto mc_every =
       std::strtoul(get(opts, "mc-every", "10").c_str(), nullptr, 10);
   const auto seed = std::strtoull(get(opts, "seed", "1").c_str(), nullptr, 10);
@@ -322,6 +324,7 @@ int cmd_serve(const std::map<std::string, std::string>& opts) {
   serve::NwsBridge bridge(nws_service, resources);
   serve::ServiceOptions service_options;
   service_options.workers = workers;
+  service_options.shards = shards;
   service_options.enable_cache = !opts.contains("no-cache");
   service_options.enable_coalescing = !opts.contains("no-coalesce");
   service_options.enable_fusion = !opts.contains("no-fuse");

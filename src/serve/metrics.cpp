@@ -78,28 +78,53 @@ LatencyHistogram& MetricsRegistry::histogram(const std::string& name,
   return histograms_.try_emplace(name, hi, bins).first->second;
 }
 
-std::vector<MetricSample> MetricsRegistry::snapshot() const {
+void MetricsRegistry::add_child(const std::string& label,
+                                const MetricsRegistry* child) {
+  SSPRED_REQUIRE(child != nullptr && child != this,
+                 "metrics child must be a distinct registry");
   const std::lock_guard lock(mutex_);
+  children_.emplace_back(label, child);
+}
+
+void MetricsRegistry::clear_children() {
+  const std::lock_guard lock(mutex_);
+  children_.clear();
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
   std::vector<MetricSample> out;
-  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
-  for (const auto& [name, c] : counters_) {
-    out.push_back({name, "counter", static_cast<double>(c.value())});
-  }
-  for (const auto& [name, g] : gauges_) {
-    out.push_back({name, "gauge", static_cast<double>(g.value())});
-  }
-  for (const auto& [name, h] : histograms_) {
-    MetricSample s{name, "histogram", static_cast<double>(h.count())};
-    s.p50 = h.quantile(0.50);
-    s.p95 = h.quantile(0.95);
-    s.p99 = h.quantile(0.99);
-    s.mean = h.mean();
-    out.push_back(s);
+  std::vector<std::pair<std::string, const MetricsRegistry*>> children;
+  {
+    const std::lock_guard lock(mutex_);
+    out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+    for (const auto& [name, c] : counters_) {
+      out.push_back({name, "counter", static_cast<double>(c.value())});
+    }
+    for (const auto& [name, g] : gauges_) {
+      out.push_back({name, "gauge", static_cast<double>(g.value())});
+    }
+    for (const auto& [name, h] : histograms_) {
+      MetricSample s{name, "histogram", static_cast<double>(h.count())};
+      s.p50 = h.quantile(0.50);
+      s.p95 = h.quantile(0.95);
+      s.p99 = h.quantile(0.99);
+      s.mean = h.mean();
+      out.push_back(s);
+    }
+    children = children_;
   }
   std::sort(out.begin(), out.end(),
             [](const MetricSample& a, const MetricSample& b) {
               return a.name < b.name;
             });
+  // Children after the roll-up, each block contiguous under its label
+  // (recursing outside mutex_: the child takes its own lock).
+  for (const auto& [label, child] : children) {
+    for (MetricSample s : child->snapshot()) {
+      s.name = label + "/" + s.name;
+      out.push_back(std::move(s));
+    }
+  }
   return out;
 }
 

@@ -101,7 +101,16 @@ class MetricsRegistry {
                                             double hi = 1.0,
                                             std::size_t bins = 256);
 
-  /// All instruments, name-sorted (histograms summarized as p50/p95/p99).
+  /// Attaches `child` so snapshots (and both renderings) include its
+  /// instruments as "label/name" rows after this registry's own — how
+  /// the sharded service reports per-shard p50/p95/p99 next to the
+  /// rolled-up totals. `child` is not owned and must stay alive until
+  /// detached (clear_children()) or the registry dies.
+  void add_child(const std::string& label, const MetricsRegistry* child);
+  void clear_children();
+
+  /// All instruments, name-sorted (histograms summarized as p50/p95/p99),
+  /// followed by each attached child's instruments label-prefixed.
   [[nodiscard]] std::vector<MetricSample> snapshot() const;
 
   /// Snapshot rendered as an aligned text table.
@@ -117,6 +126,9 @@ class MetricsRegistry {
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, LatencyHistogram> histograms_;
+  /// Attached sub-registries, rendered label-prefixed (never snapshotted
+  /// while holding mutex_ — children take their own locks).
+  std::vector<std::pair<std::string, const MetricsRegistry*>> children_;
 };
 
 }  // namespace sspred::serve

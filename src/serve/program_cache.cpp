@@ -1,7 +1,6 @@
 #include "serve/program_cache.hpp"
 
-#include <sstream>
-
+#include "model/fingerprint.hpp"
 #include "support/error.hpp"
 
 namespace sspred::serve {
@@ -30,40 +29,40 @@ Impl make_impl(const ModelSpec& spec) {
 }  // namespace
 
 std::string ModelSpec::structure_key() const {
-  std::ostringstream key;
-  key.precision(17);
+  // One canonical builder (model/fingerprint.hpp) serializes every
+  // structural input; registration, the cache and the shard router all
+  // consume this same key, so they can never disagree about structure.
+  model::Fingerprint fp;
   switch (app) {
-    case App::kSor: key << "sor"; break;
-    case App::kBlockSor: key << "block"; break;
-    case App::kJacobi: key << "jacobi"; break;
+    case App::kSor: fp.tag("sor"); break;
+    case App::kBlockSor: fp.tag("block"); break;
+    case App::kJacobi: fp.tag("jacobi"); break;
   }
-  key << "|n=" << config.n << "|it=" << config.iterations;
-  if (!config.rows_per_rank.empty()) {
-    key << "|rows=";
-    for (std::size_t r : config.rows_per_rank) key << r << ',';
-  }
-  if (app == App::kBlockSor) key << "|grid=" << pr << 'x' << pc;
-  key << "|dep=" << static_cast<int>(options.iteration_dependence)
-      << static_cast<int>(options.phase_dependence)
-      << "|pol=" << static_cast<int>(options.max_policy)
-      << "|form=" << static_cast<int>(options.compute_form)
-      << "|ops=" << options.ops_per_element
-      << "|mem=" << options.account_memory;
-  key << "|fabric=" << static_cast<int>(platform.fabric);
+  fp.field("n", config.n).field("it", config.iterations);
+  for (std::size_t r : config.rows_per_rank) fp.field("rows", r);
+  if (app == App::kBlockSor) fp.field("pr", pr).field("pc", pc);
+  fp.field("idep", options.iteration_dependence)
+      .field("pdep", options.phase_dependence)
+      .field("pol", options.max_policy)
+      .field("form", options.compute_form)
+      .field("ops", options.ops_per_element)
+      .field("mem", options.account_memory);
+  fp.field("fabric", platform.fabric);
   if (platform.fabric == cluster::FabricKind::kSharedSegment) {
-    key << '/' << platform.ethernet.nominal_bandwidth << '/'
-        << platform.ethernet.latency;
+    fp.field("bw", platform.ethernet.nominal_bandwidth)
+        .field("lat", platform.ethernet.latency);
   } else {
-    key << '/' << platform.switched.link_bandwidth << '/'
-        << platform.switched.latency;
+    fp.field("bw", platform.switched.link_bandwidth)
+        .field("lat", platform.switched.latency);
   }
   for (const auto& host : platform.hosts) {
-    key << "|h=" << host.machine.name << ','
-        << host.machine.bm_seconds_per_element << ','
-        << host.machine.ops_per_second << ',' << host.machine.memory_elements
-        << ',' << host.machine.thrash_slope;
+    fp.field("h", host.machine.name)
+        .field("bm", host.machine.bm_seconds_per_element)
+        .field("ops", host.machine.ops_per_second)
+        .field("memel", host.machine.memory_elements)
+        .field("thrash", host.machine.thrash_slope);
   }
-  return key.str();
+  return fp.str();
 }
 
 CompiledModel::CompiledModel(const ModelSpec& spec)
@@ -95,7 +94,11 @@ std::uint32_t CompiledModel::bwavail_slot() const {
 }
 
 ProgramCache::Lookup ProgramCache::get_or_compile(const ModelSpec& spec) {
-  const std::string key = spec.structure_key();
+  return get_or_compile(spec, spec.structure_key());
+}
+
+ProgramCache::Lookup ProgramCache::get_or_compile(const ModelSpec& spec,
+                                                  const std::string& key) {
   std::shared_ptr<Slot> slot;
   bool compiler = false;
   {

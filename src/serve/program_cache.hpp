@@ -93,6 +93,14 @@ class ProgramCache {
   /// bad, retrying cannot help.
   [[nodiscard]] Lookup get_or_compile(const ModelSpec& spec);
 
+  /// Same, with spec's structure key already serialized (the service
+  /// fingerprints a model once at registration and passes the stamped key
+  /// here, so the hot path never re-serializes the spec — per-request key
+  /// serialization used to be the dominant service-side cost). `key` MUST
+  /// equal spec.structure_key().
+  [[nodiscard]] Lookup get_or_compile(const ModelSpec& spec,
+                                      const std::string& key);
+
   /// Number of compilations actually performed (== distinct keys seen,
   /// counting failed ones).
   [[nodiscard]] std::uint64_t compile_count() const noexcept {

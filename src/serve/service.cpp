@@ -1,167 +1,76 @@
 #include "serve/service.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <optional>
-#include <sstream>
-
+#include "model/fingerprint.hpp"
 #include "support/error.hpp"
-#include "support/rng.hpp"
 
 namespace sspred::serve {
-
-namespace {
-
-/// Independent, deterministic RNG seed for Monte-Carlo chunk `index`:
-/// fixed (request seed, index) -> fixed stream, whatever worker runs it.
-[[nodiscard]] std::uint64_t chunk_seed(std::uint64_t seed,
-                                       std::size_t index) noexcept {
-  std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * (index + 1));
-  return support::splitmix64(state);
-}
-
-}  // namespace
-
-model::ir::SlotEnvironment& PredictionService::WorkerState::env_for(
-    const CompiledModelPtr& model) {
-  auto it = envs.find(model.get());
-  if (it == envs.end()) {
-    it = envs
-             .emplace(model.get(),
-                      std::make_pair(model, model->program().make_environment()))
-             .first;
-  }
-  return it->second.second;
-}
 
 PredictionService::PredictionService(ServiceOptions options)
     : options_(options),
       clock_(options.clock ? options.clock : support::real_clock()),
-      requests_total_(metrics_.counter("requests_total")),
-      requests_ok_(metrics_.counter("requests_ok")),
-      requests_error_(metrics_.counter("requests_error")),
-      requests_rejected_(metrics_.counter("requests_rejected")),
-      coalesced_(metrics_.counter("requests_coalesced")),
-      requests_fused_(metrics_.counter("requests_fused")),
-      mc_chunks_(metrics_.counter("mc_chunks_executed")),
+      router_(options.shards, options.router_vnodes),
       epochs_published_(metrics_.counter("epochs_published")),
-      cache_hits_(metrics_.counter("cache_hits")),
-      cache_misses_(metrics_.counter("cache_misses")),
-      observations_recorded_(metrics_.counter("observations_recorded")),
-      observations_unmatched_(metrics_.counter("observations_unmatched")),
-      queue_depth_(metrics_.gauge("queue_depth")),
-      workers_busy_(metrics_.gauge("workers_busy")),
-      latency_(metrics_.histogram("latency_seconds",
-                                  options.latency_range_seconds, 512)),
-      batch_sizes_(metrics_.histogram(
-          "batch_size", static_cast<double>(options.max_batch) + 1.0,
-          std::max<std::size_t>(options.max_batch, 1))),
-      fused_occupancy_(metrics_.histogram(
-          "fused_batch_occupancy",
-          static_cast<double>(options.max_batch) + 1.0,
-          std::max<std::size_t>(options.max_batch, 1))) {
-  SSPRED_REQUIRE(options_.workers >= 1, "service needs at least one worker");
+      observations_unmatched_(metrics_.counter("observations_unmatched")) {
+  SSPRED_REQUIRE(options_.shards >= 1 && options_.shards <= kMaxShards,
+                 "service needs 1.." + std::to_string(kMaxShards) +
+                     " shards");
   SSPRED_REQUIRE(options_.queue_capacity >= 1,
                  "service needs queue capacity >= 1");
-  SSPRED_REQUIRE(options_.mc_chunk_trials >= 2,
-                 "mc_chunk_trials must be at least 2");
-  paused_ = options_.start_paused;
-  threads_.reserve(options_.workers);
-  for (std::size_t i = 0; i < options_.workers; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+  shards_.reserve(options_.shards);
+  available_ = std::make_unique<std::atomic<bool>[]>(options_.shards);
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    shards_.push_back(std::make_unique<PredictionShard>(
+        s, options_, clock_, models_, metrics_));
+    available_[s].store(true, std::memory_order_relaxed);
+  }
+  if (options_.shards > 1) {
+    // With one shard the rolled-up registry IS the shard's story; the
+    // per-shard breakdown only earns its render space beyond that.
+    for (std::size_t s = 0; s < options_.shards; ++s) {
+      metrics_.add_child("shard" + std::to_string(s),
+                         &shards_[s]->metrics());
+    }
   }
 }
 
 PredictionService::~PredictionService() {
-  {
-    const std::lock_guard lock(queue_mutex_);
-    stop_ = true;
-  }
-  queue_cv_.notify_all();
-  for (auto& t : threads_) t.join();
-
-  // Resolve whatever was still queued so no future is left broken.
-  for (auto& task : queue_) {
-    PredictResult rejected;
-    rejected.status = PredictResult::Status::kRejected;
-    rejected.error = "service stopped";
-    if (auto* job = std::get_if<Job>(&task)) {
-      requests_rejected_.increment();
-      rejected.request_id = job->id;
-      job->promise.set_value(rejected);
-    } else {
-      auto& shared = *std::get<McChunk>(task).shared;
-      const std::lock_guard lock(shared.m);
-      if (!shared.promises.empty()) {
-        requests_rejected_.increment(shared.promises.size());
-        for (auto& p : shared.promises) {
-          rejected.request_id = p.id;
-          p.promise.set_value(rejected);
-        }
-        shared.promises.clear();
-      }
-    }
-  }
-  idle_cv_.notify_all();
+  shards_.clear();  // joins every worker; shard registries die with them
+  metrics_.clear_children();
 }
 
 void PredictionService::register_model(const std::string& id, ModelSpec spec) {
-  std::string key = spec.structure_key();  // outside the lock: it serializes
-  const std::lock_guard lock(models_mutex_);
-  models_.insert_or_assign(id,
-                           RegisteredModel{std::move(spec), std::move(key)});
+  models_.insert(id, std::move(spec));
 }
 
 std::vector<std::string> PredictionService::model_ids() const {
-  const std::lock_guard lock(models_mutex_);
-  std::vector<std::string> ids;
-  ids.reserve(models_.size());
-  for (const auto& [id, _] : models_) ids.push_back(id);
-  return ids;
+  return models_.ids();
+}
+
+std::size_t PredictionService::shard_of(const std::string& model_id) const {
+  const ModelTable::EntryPtr entry = models_.find(model_id);
+  return entry ? router_.route_hash(entry->key_hash)
+               : router_.route(model_id);
 }
 
 std::future<PredictResult> PredictionService::submit(PredictRequest request) {
-  requests_total_.increment();
-  Job job;
+  PredictionShard::Job job;
   job.request = std::move(request);
-  job.epoch = current_epoch();
-  job.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
-  job.enqueue_time = now();
-  {
-    // Stamp the registered model's structure key so the dequeue scan can
-    // group structure-equal requests without touching the model table.
-    // Unknown ids leave it empty (they never fuse; the solo path reports
-    // the structured unknown-model error).
-    const std::lock_guard lock(models_mutex_);
-    const auto it = models_.find(job.request.model_id);
-    if (it != models_.end()) job.structure_key = it->second.structure_key;
-  }
+  // Submit-time registration stamp: gives the router the structure key's
+  // hash and the shard's fusion scan a table-free equality proof. Null
+  // (unknown id) routes by id text — deterministically, so the shard
+  // that reports the structured error is stable too.
+  job.model = models_.find(job.request.model_id);
+  job.enqueue_time = clock_->now();
+  const std::size_t shard = job.model
+                                ? router_.route_hash(job.model->key_hash)
+                                : router_.route(job.request.model_id);
+  job.id = (next_seq_.fetch_add(1, std::memory_order_relaxed) << kShardBits) |
+           shard;
   auto future = job.promise.get_future();
-
-  bool admitted = false;
-  bool stopped = false;
-  {
-    const std::lock_guard lock(queue_mutex_);
-    stopped = stop_;
-    if (!stop_ && queued_jobs_ < options_.queue_capacity) {
-      queue_.push_back(std::move(job));
-      ++queued_jobs_;
-      queue_depth_.set(static_cast<std::int64_t>(queued_jobs_));
-      admitted = true;
-    }
-  }
-  if (admitted) {
-    queue_cv_.notify_one();
+  if (available_[shard].load(std::memory_order_acquire)) {
+    shards_[shard]->submit(std::move(job));
   } else {
-    requests_rejected_.increment();
-    PredictResult rejected;
-    rejected.status = PredictResult::Status::kRejected;
-    rejected.error =
-        stopped ? "service stopped"
-                : "queue full (capacity " +
-                      std::to_string(options_.queue_capacity) + ")";
-    rejected.request_id = job.id;
-    job.promise.set_value(rejected);
+    shards_[shard]->reject_unavailable(std::move(job));
   }
   return future;
 }
@@ -169,8 +78,13 @@ std::future<PredictResult> PredictionService::submit(PredictRequest request) {
 void PredictionService::publish_epoch(EpochPtr epoch) {
   {
     const std::lock_guard lock(epoch_mutex_);
-    epoch_ = std::move(epoch);
+    epoch_ = epoch;
   }
+  // Fan out in shard order. A publish concurrent with submissions is
+  // naturally racy per shard (a request admitted "around" the publish
+  // pins either the old or the new epoch — never a mix: each job pins
+  // exactly one immutable snapshot at its shard's admission).
+  for (auto& shard : shards_) shard->publish_epoch(epoch);
   epochs_published_.increment();
 }
 
@@ -180,546 +94,41 @@ EpochPtr PredictionService::current_epoch() const {
 }
 
 void PredictionService::pause() {
-  const std::lock_guard lock(queue_mutex_);
-  paused_ = true;
+  for (auto& shard : shards_) shard->pause();
 }
 
 void PredictionService::resume() {
-  {
-    const std::lock_guard lock(queue_mutex_);
-    paused_ = false;
-  }
-  queue_cv_.notify_all();
+  for (auto& shard : shards_) shard->resume();
 }
 
 void PredictionService::drain() {
-  std::unique_lock lock(queue_mutex_);
-  idle_cv_.wait(lock, [&] {
-    return stop_ || (queue_.empty() && busy_ == 0);
-  });
-}
-
-bool PredictionService::coalescable(const Job& a, const Job& b) const {
-  const auto& ra = a.request;
-  const auto& rb = b.request;
-  const std::uint64_t ea = a.epoch ? a.epoch->version() : 0;
-  const std::uint64_t eb = b.epoch ? b.epoch->version() : 0;
-  if (ra.model_id != rb.model_id || ra.mode != rb.mode || ea != eb) {
-    return false;
-  }
-  if (ra.loads != rb.loads || ra.resources != rb.resources ||
-      ra.bwavail != rb.bwavail || ra.bwavail_resource != rb.bwavail_resource) {
-    return false;
-  }
-  if (ra.mode == Mode::kMonteCarlo &&
-      (ra.trials != rb.trials || ra.seed != rb.seed)) {
-    return false;
-  }
-  return true;
-}
-
-bool PredictionService::fusable(const Job& a, const Job& b) const {
-  const auto& ra = a.request;
-  const auto& rb = b.request;
-  if (ra.mode != rb.mode) return false;
-  const std::uint64_t ea = a.epoch ? a.epoch->version() : 0;
-  const std::uint64_t eb = b.epoch ? b.epoch->version() : 0;
-  if (ea != eb) return false;
-  if (ra.mode == Mode::kMonteCarlo) {
-    // Lanes of one sweep share the trial count (distinct seeds are fine —
-    // each lane drives its own RNG substream). Chunked requests
-    // (trials > mc_chunk_trials) keep the fan-out path, and sample_fused
-    // needs at least 2 trials, like sample_trials.
-    if (ra.trials != rb.trials) return false;
-    if (ra.trials < 2 || ra.trials > options_.mc_chunk_trials) return false;
-  }
-  if (ra.model_id == rb.model_id) return true;
-  return !a.structure_key.empty() && a.structure_key == b.structure_key;
-}
-
-void PredictionService::worker_loop() {
-  WorkerState state;
-  for (;;) {
-    std::unique_lock lock(queue_mutex_);
-    queue_cv_.wait(lock, [&] {
-      return stop_ || (!paused_ && !queue_.empty());
-    });
-    if (stop_) return;
-    Task task = std::move(queue_.front());
-    queue_.pop_front();
-    std::vector<FusedLane> lanes;
-    if (auto* job = std::get_if<Job>(&task)) {
-      --queued_jobs_;
-      // Dequeue-time grouping. Each queued job first tries to collapse
-      // onto ANY open lane with identical bindings (one evaluation, result
-      // fanned out) and only then to open a new lane of the fused sweep —
-      // so mixed streams of identical and merely structure-equal requests
-      // fill lanes instead of starving the fused path. Fusion needs the
-      // program cache: the sweep shares one compiled program.
-      const bool fuse = options_.enable_fusion && options_.enable_cache;
-      lanes.push_back(FusedLane{std::move(*job), {}});
-      if (options_.enable_coalescing || fuse) {
-        for (auto it = queue_.begin(); it != queue_.end();) {
-          auto* other = std::get_if<Job>(&*it);
-          bool taken = false;
-          if (other != nullptr) {
-            if (options_.enable_coalescing) {
-              for (auto& lane : lanes) {
-                if (lane.extra.size() + 1 < options_.max_batch &&
-                    coalescable(lane.job, *other)) {
-                  lane.extra.push_back(
-                      Pending{other->id, std::move(other->promise)});
-                  taken = true;
-                  break;
-                }
-              }
-            }
-            if (!taken && fuse && lanes.size() < options_.max_batch &&
-                fusable(lanes.front().job, *other)) {
-              lanes.push_back(FusedLane{std::move(*other), {}});
-              taken = true;
-            }
-          }
-          if (taken) {
-            it = queue_.erase(it);
-            --queued_jobs_;
-          } else {
-            ++it;
-          }
-        }
-      }
-      queue_depth_.set(static_cast<std::int64_t>(queued_jobs_));
-    }
-    ++busy_;
-    workers_busy_.set(static_cast<std::int64_t>(busy_));
-    lock.unlock();
-
-    if (std::holds_alternative<Job>(task)) {
-      if (lanes.size() > 1) {
-        execute_fused(std::move(lanes), state);
-      } else {
-        execute_job(std::move(lanes.front().job),
-                    std::move(lanes.front().extra), state);
-      }
-    } else {
-      execute_chunk(std::get<McChunk>(task), state);
-    }
-
-    lock.lock();
-    --busy_;
-    workers_busy_.set(static_cast<std::int64_t>(busy_));
-    if (queue_.empty() && busy_ == 0) idle_cv_.notify_all();
-  }
-}
-
-CompiledModelPtr PredictionService::resolve_model(
-    const PredictRequest& request) {
-  ModelSpec spec;
-  {
-    const std::lock_guard lock(models_mutex_);
-    const auto it = models_.find(request.model_id);
-    if (it == models_.end()) {
-      std::ostringstream msg;
-      msg << "unknown model id '" << request.model_id << "' (registered:";
-      for (const auto& [id, _] : models_) msg << ' ' << id;
-      msg << ')';
-      throw support::Error(msg.str());
-    }
-    spec = it->second.spec;
-  }
-  if (options_.enable_cache) {
-    const auto lookup = cache_.get_or_compile(spec);
-    (lookup.hit ? cache_hits_ : cache_misses_).increment();
-    return lookup.model;
-  }
-  cache_misses_.increment();
-  return std::make_shared<const CompiledModel>(spec);
-}
-
-void PredictionService::resolve_bindings(
-    const Job& job, const CompiledModel& model,
-    std::vector<stoch::StochasticValue>& loads,
-    stoch::StochasticValue& bwavail) const {
-  const auto& request = job.request;
-  SSPRED_REQUIRE(request.loads.empty() || request.resources.empty(),
-                 "request binds loads both explicitly and by resource name");
-  SSPRED_REQUIRE(!request.loads.empty() || !request.resources.empty(),
-                 "request binds no loads (set loads or resources)");
-  const std::size_t given =
-      request.loads.empty() ? request.resources.size() : request.loads.size();
-  SSPRED_REQUIRE(given == model.hosts(),
-                 "model '" + request.model_id + "' needs " +
-                     std::to_string(model.hosts()) + " load bindings, got " +
-                     std::to_string(given));
-  if (!request.loads.empty()) {
-    loads = request.loads;
-  } else {
-    SSPRED_REQUIRE(job.epoch != nullptr,
-                   "request binds loads by resource name but no bindings "
-                   "epoch has been published");
-    loads.reserve(request.resources.size());
-    for (const auto& resource : request.resources) {
-      loads.push_back(job.epoch->lookup(resource));
-    }
-  }
-  if (!request.bwavail_resource.empty()) {
-    SSPRED_REQUIRE(job.epoch != nullptr,
-                   "request binds bandwidth by resource name but no bindings "
-                   "epoch has been published");
-    bwavail = job.epoch->lookup(request.bwavail_resource);
-  } else {
-    bwavail = request.bwavail;
-  }
-}
-
-void PredictionService::bind(model::ir::SlotEnvironment& env,
-                             const CompiledModel& model,
-                             std::span<const stoch::StochasticValue> loads,
-                             const stoch::StochasticValue& bwavail) const {
-  for (std::size_t p = 0; p < loads.size(); ++p) {
-    env.bind(model.load_slot(p), loads[p]);
-  }
-  if (model.uses_bandwidth()) env.bind(model.bwavail_slot(), bwavail);
-}
-
-void PredictionService::finish_batch(std::vector<Pending>& promises,
-                                     PredictResult base, double enqueue_time,
-                                     const std::string& model_id) {
-  base.latency_seconds = now() - enqueue_time;
-  latency_.observe(base.latency_seconds);
-  const auto n = static_cast<std::uint64_t>(promises.size());
-  const bool ok = base.status == PredictResult::Status::kOk;
-  if (ok) {
-    requests_ok_.increment(n);
-  } else {
-    requests_error_.increment(n);
-  }
-  for (auto& p : promises) {
-    base.request_id = p.id;
-    if (ok) remember_prediction(p.id, model_id, base.value);
-    p.promise.set_value(base);
-  }
-  promises.clear();
-}
-
-void PredictionService::remember_prediction(
-    std::uint64_t request_id, const std::string& model_id,
-    const stoch::StochasticValue& value) {
-  if (!options_.ledger || options_.observation_capacity == 0) return;
-  const std::lock_guard lock(observations_mutex_);
-  if (completed_.emplace(request_id, CompletedPrediction{model_id, value})
-          .second) {
-    completed_order_.push_back(request_id);
-  }
-  // Bounding the FIFO bounds the map too (ids reported meanwhile are
-  // already gone from the map and just fall off the deque).
-  while (completed_order_.size() > options_.observation_capacity) {
-    completed_.erase(completed_order_.front());
-    completed_order_.pop_front();
-  }
+  for (auto& shard : shards_) shard->drain();
 }
 
 bool PredictionService::report_observation(std::uint64_t request_id,
                                            double observed_seconds) {
-  CompletedPrediction prediction;
-  {
-    const std::lock_guard lock(observations_mutex_);
-    const auto it = completed_.find(request_id);
-    if (it == completed_.end() || !options_.ledger) {
-      observations_unmatched_.increment();
-      return false;
-    }
-    prediction = std::move(it->second);
-    completed_.erase(it);
-    // completed_order_ keeps the stale id; eviction skips ids already
-    // erased, so the FIFO stays bounded without a linear scan here.
+  const std::size_t shard = shard_of_id(request_id);
+  if (shard >= shards_.size()) {
+    observations_unmatched_.increment();
+    return false;
   }
-  options_.ledger->record(prediction.model_id, prediction.value,
-                          observed_seconds);
-  observations_recorded_.increment();
-  return true;
+  return shards_[shard]->report_observation(request_id, observed_seconds);
 }
 
-void PredictionService::execute_job(Job&& job, std::vector<Pending>&& extra,
-                                    WorkerState& state) {
-  PredictResult base;
-  base.batch_size = 1 + extra.size();
-  base.epoch_version = job.epoch ? job.epoch->version() : 0;
-  std::vector<Pending> promises;
-  promises.reserve(base.batch_size);
-  promises.push_back(Pending{job.id, std::move(job.promise)});
-  for (auto& p : extra) promises.push_back(std::move(p));
-  if (!extra.empty()) coalesced_.increment(extra.size());
-  batch_sizes_.observe(static_cast<double>(base.batch_size));
-
-  try {
-    const CompiledModelPtr model = resolve_model(job.request);
-    std::vector<stoch::StochasticValue> loads;
-    stoch::StochasticValue bwavail;
-    resolve_bindings(job, *model, loads, bwavail);
-
-    const auto& request = job.request;
-    if (request.mode == Mode::kMonteCarlo &&
-        request.trials > options_.mc_chunk_trials) {
-      // Fan the trials out as chunk tasks; the last chunk to finish
-      // combines the partials and resolves the whole batch. Chunking is
-      // NOT gated on the worker count: per-chunk seeds make the result a
-      // pure function of (seed, trials, chunk size), so one worker
-      // draining the chunks bit-matches any pool size.
-      auto shared = std::make_shared<McShared>();
-      shared->model = model;
-      shared->model_id = request.model_id;
-      shared->loads = std::move(loads);
-      shared->bwavail = bwavail;
-      shared->seed = request.seed;
-      shared->total_trials = request.trials;
-      shared->epoch_version = base.epoch_version;
-      shared->enqueue_time = job.enqueue_time;
-      shared->promises = std::move(promises);
-      const std::size_t chunk = options_.mc_chunk_trials;
-      const std::size_t chunks = (request.trials + chunk - 1) / chunk;
-      shared->partials.resize(chunks);
-      shared->remaining = chunks;
-      {
-        const std::lock_guard lock(queue_mutex_);
-        for (std::size_t i = 0; i < chunks; ++i) {
-          const std::size_t begin = i * chunk;
-          // Chunks jump the external queue: they complete an admitted
-          // request, and are not subject to admission control.
-          queue_.push_front(McChunk{
-              shared, i, std::min(chunk, request.trials - begin)});
-        }
-      }
-      queue_cv_.notify_all();
-      return;
-    }
-
-    std::optional<model::ir::SlotEnvironment> local;
-    if (!options_.enable_cache) local.emplace(model->program().make_environment());
-    model::ir::SlotEnvironment& env =
-        options_.enable_cache ? state.env_for(model) : *local;
-    bind(env, *model, loads, bwavail);
-
-    switch (request.mode) {
-      case Mode::kStochastic: {
-        base.value = model->program().evaluate(env, state.ws);
-        base.point = base.value.mean();
-        break;
-      }
-      case Mode::kPoint: {
-        base.point = model->program().evaluate_point(env, state.ws);
-        base.value = stoch::StochasticValue(base.point);
-        break;
-      }
-      case Mode::kMonteCarlo: {
-        support::Rng rng(request.seed);
-        base.value = model->program().sample_trials(env, rng, request.trials,
-                                                    state.ws);
-        base.point = base.value.mean();
-        break;
-      }
-    }
-    base.status = PredictResult::Status::kOk;
-  } catch (const std::exception& e) {
-    base.status = PredictResult::Status::kError;
-    base.error = e.what();
-  }
-  finish_batch(promises, std::move(base), job.enqueue_time,
-               job.request.model_id);
+ProgramCache& PredictionService::cache(std::size_t shard) {
+  SSPRED_REQUIRE(shard < shards_.size(), "shard index out of range");
+  return shards_[shard]->cache();
 }
 
-void PredictionService::execute_fused(std::vector<FusedLane>&& lanes,
-                                      WorkerState& state) {
-  const std::size_t requests = lanes.size();
-  const Mode mode = lanes.front().job.request.mode;
-
-  // Any condition that prevents serving the whole batch as one sweep —
-  // model churn between submit and dequeue, a binding error in any lane,
-  // an evaluation throw (e.g. sampled division by zero) — falls back to
-  // the per-lane solo path. Solo is the canonical semantics the fused
-  // sweep is bit-exact against, so the fallback preserves per-request
-  // results and error isolation; it only costs the batching win.
-  const auto fall_back_solo = [&] {
-    for (auto& lane : lanes) {
-      execute_job(std::move(lane.job), std::move(lane.extra), state);
-    }
-  };
-
-  CompiledModelPtr model;
-  try {
-    // One registry pass validates the whole sweep instead of a per-lane
-    // resolve: fusable() already proved structural equality from the
-    // submit-time key stamps, so here it only remains to guard against a
-    // model id re-registered to a NEW structure between submit and now.
-    // Every lane's id must currently map to the leader's structure key;
-    // then the leader's program is resolved ONCE and shared. This is most
-    // of the fused throughput win: the cache lookup re-serializes the
-    // spec's structure key, which dwarfs evaluating a small model, so
-    // paying it per sweep instead of per lane is what lets high fan-in
-    // batches amortize the service's per-request resolution cost.
-    bool structure_stable = true;
-    {
-      const std::lock_guard lock(models_mutex_);
-      const auto leader = models_.find(lanes.front().job.request.model_id);
-      if (leader == models_.end()) {
-        structure_stable = false;
-      } else {
-        for (std::size_t k = 1; structure_stable && k < requests; ++k) {
-          const auto& id = lanes[k].job.request.model_id;
-          if (id == leader->first) continue;
-          const auto it = models_.find(id);
-          structure_stable = it != models_.end() &&
-                             it->second.structure_key ==
-                                 leader->second.structure_key;
-        }
-      }
-    }
-    if (!structure_stable) {
-      fall_back_solo();
-      return;
-    }
-    model = resolve_model(lanes.front().job.request);
-
-    state.lane_env.reset(model->program(), requests);
-    for (std::size_t k = 0; k < requests; ++k) {
-      state.lane_loads.clear();
-      stoch::StochasticValue bwavail;
-      resolve_bindings(lanes[k].job, *model, state.lane_loads, bwavail);
-      for (std::size_t p = 0; p < state.lane_loads.size(); ++p) {
-        state.lane_env.bind(k, model->load_slot(p), state.lane_loads[p]);
-      }
-      if (model->uses_bandwidth()) {
-        state.lane_env.bind(k, model->bwavail_slot(), bwavail);
-      }
-    }
-
-    switch (mode) {
-      case Mode::kStochastic: {
-        state.fused_values.resize(requests);
-        model->program().evaluate_fused(
-            state.lane_env, state.ws,
-            {state.fused_values.data(), requests});
-        break;
-      }
-      case Mode::kPoint: {
-        state.fused_points.resize(requests);
-        model->program().evaluate_point_fused(
-            state.lane_env, state.ws,
-            {state.fused_points.data(), requests});
-        break;
-      }
-      case Mode::kMonteCarlo: {
-        state.fused_values.resize(requests);
-        state.rngs.clear();
-        for (const auto& lane : lanes) {
-          state.rngs.emplace_back(lane.job.request.seed);
-        }
-        model->program().sample_fused(
-            state.lane_env, {state.rngs.data(), requests},
-            lanes.front().job.request.trials, state.ws,
-            {state.fused_values.data(), requests});
-        break;
-      }
-    }
-  } catch (const std::exception&) {
-    fall_back_solo();
-    return;
-  }
-
-  fused_occupancy_.observe(static_cast<double>(requests));
-  for (std::size_t k = 0; k < requests; ++k) {
-    auto& lane = lanes[k];
-    PredictResult base;
-    base.status = PredictResult::Status::kOk;
-    base.epoch_version = lane.job.epoch ? lane.job.epoch->version() : 0;
-    base.batch_size = 1 + lane.extra.size();
-    if (mode == Mode::kPoint) {
-      base.point = state.fused_points[k];
-      base.value = stoch::StochasticValue(base.point);
-    } else {
-      base.value = state.fused_values[k];
-      base.point = base.value.mean();
-    }
-    if (!lane.extra.empty()) coalesced_.increment(lane.extra.size());
-    batch_sizes_.observe(static_cast<double>(base.batch_size));
-    requests_fused_.increment(base.batch_size);
-    lane.extra.push_back(Pending{lane.job.id, std::move(lane.job.promise)});
-    finish_batch(lane.extra, std::move(base), lane.job.enqueue_time,
-                 lane.job.request.model_id);
-  }
+MetricsRegistry& PredictionService::shard_metrics(std::size_t shard) {
+  SSPRED_REQUIRE(shard < shards_.size(), "shard index out of range");
+  return shards_[shard]->metrics();
 }
 
-void PredictionService::execute_chunk(const McChunk& chunk,
-                                      WorkerState& state) {
-  auto& shared = *chunk.shared;
-  mc_chunks_.increment();
-
-  PredictResult failure;
-  double sum = 0.0;
-  double sum_sq = 0.0;
-  try {
-    std::optional<model::ir::SlotEnvironment> local;
-    if (!options_.enable_cache) {
-      local.emplace(shared.model->program().make_environment());
-    }
-    model::ir::SlotEnvironment& env =
-        options_.enable_cache ? state.env_for(shared.model) : *local;
-    bind(env, *shared.model, shared.loads, shared.bwavail);
-    support::Rng rng(chunk_seed(shared.seed, chunk.index));
-    // Whole-block execution on the worker's pooled SoA arenas: after the
-    // first chunk of a model's shape, the Monte-Carlo path allocates
-    // nothing. Per-chunk seeds plus index-ordered combine keep the result
-    // deterministic for a fixed request seed at any worker count.
-    state.ws.trial_results.resize(chunk.trials);
-    shared.model->program().sample_into(env, rng, state.ws.trial_results,
-                                        state.ws);
-    for (const double x : state.ws.trial_results) {
-      sum += x;
-      sum_sq += x * x;
-    }
-  } catch (const std::exception& e) {
-    failure.status = PredictResult::Status::kError;
-    failure.error = e.what();
-  }
-
-  bool last = false;
-  {
-    const std::lock_guard lock(shared.m);
-    shared.partials[chunk.index] = {sum, sum_sq};
-    last = (--shared.remaining == 0);
-    if (failure.status == PredictResult::Status::kError &&
-        !shared.promises.empty()) {
-      // First failing chunk resolves the batch; stragglers see promises
-      // already cleared and just finish their arithmetic.
-      failure.epoch_version = shared.epoch_version;
-      failure.batch_size = shared.promises.size();
-      finish_batch(shared.promises, std::move(failure), shared.enqueue_time,
-                   shared.model_id);
-      return;
-    }
-  }
-  if (!last) return;
-
-  const std::lock_guard lock(shared.m);
-  if (shared.promises.empty()) return;  // a failing chunk already resolved it
-  double total = 0.0;
-  double total_sq = 0.0;
-  for (const auto& [s, q] : shared.partials) {
-    total += s;
-    total_sq += q;
-  }
-  const auto n = static_cast<double>(shared.total_trials);
-  const double mean = total / n;
-  const double var =
-      std::max(0.0, (total_sq - n * mean * mean) / (n - 1.0));
-  PredictResult base;
-  base.status = PredictResult::Status::kOk;
-  base.value = stoch::StochasticValue::from_mean_sd(mean, std::sqrt(var));
-  base.point = mean;
-  base.epoch_version = shared.epoch_version;
-  base.batch_size = shared.promises.size();
-  finish_batch(shared.promises, std::move(base), shared.enqueue_time,
-               shared.model_id);
+void PredictionService::set_shard_available(std::size_t shard,
+                                            bool available) {
+  SSPRED_REQUIRE(shard < shards_.size(), "shard index out of range");
+  available_[shard].store(available, std::memory_order_release);
 }
 
 }  // namespace sspred::serve

@@ -1,124 +1,63 @@
-// PredictionService — the concurrent serving layer over compiled models.
+// PredictionService — the facade over the layered, sharded serving stack.
 //
-// Turns the library's one-shot prediction calls into a service:
+// The public API is unchanged from the monolithic service:
 //
 //   submit(PredictRequest) -> std::future<PredictResult>
 //
-// with a fixed worker pool, a bounded admission queue (overload sheds
-// rejected requests instead of growing without bound), a structure-keyed
-// compiled-program cache (program_cache.hpp), request coalescing
-// (identical requests against the same bindings epoch share a single
-// evaluation), Monte-Carlo chunk fan-out across workers, versioned NWS
-// bindings epochs (epoch.hpp) and a metrics registry (metrics.hpp).
+// but behind it the stack is now four layers (DESIGN.md §13):
 //
-// Error contract: a request that cannot be served — unknown model id,
-// wrong binding count, resource missing from the epoch, a worker-side
-// exception of any kind — resolves its future with a structured
-// PredictResult (status kError and a message); worker threads never die
-// on a bad request. Rejection (queue full / service stopped) resolves
-// with status kRejected.
+//   admission  — per-shard lock-free bounded queue with exact,
+//                per-reason shedding                    (admission.hpp)
+//   routing    — consistent-hash ShardRouter sending every request for
+//                one model structure to one shard        (router.hpp)
+//   execution  — S PredictionShards, each a complete engine: worker
+//                pool, program cache, coalescing/fusion, MC chunk
+//                fan-out, epoch pin, observation FIFO      (shard.hpp)
+//   frontend   — optional wire codec for remote clients     (wire.hpp)
+//
+// The facade itself only registers models (ModelTable, shared by all
+// shards), stamps request ids (shard index in the low kShardBits so
+// report_observation routes back to the owning shard), fans epoch
+// publishes out to every shard, and aggregates metrics (service-wide
+// rolled-up registry plus per-shard child registries).
+//
+// Determinism: routing is a pure function of the model's structure key
+// and each shard processes its slice exactly as the monolith processed
+// the whole stream, so for a fixed request set per-request results are
+// bit-exact at ANY shard count (shard_test.cpp pins this).
+//
+// Error contract (unchanged): a request that cannot be served — unknown
+// model id, wrong binding count, resource missing from the epoch, a
+// worker-side exception of any kind — resolves its future with a
+// structured PredictResult (status kError and a message); worker threads
+// never die on a bad request. Rejection (queue full / service stopped /
+// shard unavailable) resolves with status kRejected, counted per reason.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <future>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
-#include <variant>
 #include <vector>
 
-#include "calib/ledger.hpp"
 #include "serve/epoch.hpp"
 #include "serve/metrics.hpp"
 #include "serve/program_cache.hpp"
+#include "serve/request.hpp"
+#include "serve/router.hpp"
+#include "serve/shard.hpp"
 #include "support/clock.hpp"
-#include "support/rng.hpp"
 
 namespace sspred::serve {
 
-/// How the prediction is computed.
-enum class Mode {
-  kStochastic,  ///< compiled §2.3 stochastic calculus
-  kPoint,       ///< conventional point prediction (means only)
-  kMonteCarlo,  ///< sampled mean ± 2sd, chunked across workers
-};
-
-/// One prediction query. Loads are bound either explicitly (`loads`,
-/// one stochastic value per host) or by NWS resource name (`resources`,
-/// resolved against the bindings epoch current at submit time); exactly
-/// one of the two must be provided. The bandwidth parameter defaults to
-/// a dedicated segment and may likewise come from the epoch.
-struct PredictRequest {
-  std::string model_id;
-  Mode mode = Mode::kStochastic;
-  std::vector<stoch::StochasticValue> loads;
-  std::vector<std::string> resources;
-  stoch::StochasticValue bwavail = stoch::StochasticValue(1.0);
-  std::string bwavail_resource;  ///< overrides `bwavail` when non-empty
-  std::size_t trials = 2000;     ///< kMonteCarlo only
-  std::uint64_t seed = 1;        ///< kMonteCarlo only
-};
-
-struct PredictResult {
-  enum class Status {
-    kOk,
-    kError,     ///< structured failure; `error` says what went wrong
-    kRejected,  ///< shed by admission control or service shutdown
-  };
-  Status status = Status::kOk;
-  std::string error;
-  stoch::StochasticValue value;   ///< prediction (point: halfwidth 0)
-  double point = 0.0;             ///< mean shortcut
-  std::uint64_t request_id = 0;   ///< ticket for report_observation()
-  std::uint64_t epoch_version = 0;  ///< bindings epoch served under (0: none)
-  std::size_t batch_size = 1;     ///< requests sharing this evaluation
-  double latency_seconds = 0.0;   ///< submit -> completion, service clock
-
-  [[nodiscard]] bool ok() const noexcept { return status == Status::kOk; }
-};
-
-struct ServiceOptions {
-  std::size_t workers = 4;
-  /// Queued external requests beyond this are rejected, not queued.
-  std::size_t queue_capacity = 1024;
-  /// Share compiled programs across requests/ids (the program cache).
-  /// Off: every request compiles its model from scratch (bench baseline).
-  bool enable_cache = true;
-  /// Coalesce identical queued (model, epoch, bindings) requests into one
-  /// evaluation at dequeue time.
-  bool enable_coalescing = true;
-  /// Fuse queued structure-equal requests with *distinct* bindings into the
-  /// lanes of one request-major kernel sweep at dequeue time (bit-exact per
-  /// request; see ir::Program::sample_fused). Needs the program cache
-  /// (fusion shares one compiled program across lanes), so enable_cache
-  /// off disables it too.
-  bool enable_fusion = true;
-  std::size_t max_batch = 64;  ///< coalesced/fused requests per evaluation
-  /// Monte-Carlo requests with more trials than this are split into
-  /// chunks executed across the pool (when workers > 1).
-  std::size_t mc_chunk_trials = 2048;
-  /// Time source for latency metrics; null selects support::real_clock().
-  std::shared_ptr<support::Clock> clock;
-  /// Accuracy ledger fed by report_observation(); null disables the
-  /// predict→observe feedback loop (see calib/ledger.hpp).
-  std::shared_ptr<calib::AccuracyLedger> ledger;
-  /// Completed predictions kept (FIFO) awaiting their observation; a
-  /// report arriving after eviction counts as unmatched.
-  std::size_t observation_capacity = 4096;
-  /// Top of the latency histogram range, seconds.
-  double latency_range_seconds = 1.0;
-  /// Construct with workers blocked; resume() starts processing. Lets
-  /// tests (and benchmarks) stage a queue deterministically.
-  bool start_paused = false;
-};
-
 class PredictionService {
  public:
+  /// Low bits of every request id carry the owning shard's index.
+  static constexpr std::size_t kShardBits = 8;
+  static constexpr std::size_t kMaxShards = std::size_t{1} << kShardBits;
+
   explicit PredictionService(ServiceOptions options = {});
   ~PredictionService();
 
@@ -131,203 +70,80 @@ class PredictionService {
   [[nodiscard]] std::vector<std::string> model_ids() const;
 
   /// Admits a request. Always returns a future that will be resolved —
-  /// with kRejected immediately when the queue is full.
+  /// with kRejected immediately when the routed shard's queue is full,
+  /// the shard is unavailable, or the service has stopped.
   [[nodiscard]] std::future<PredictResult> submit(PredictRequest request);
 
   /// Installs `epoch` as the bindings epoch for subsequently submitted
-  /// requests; in-flight requests keep the epoch they were admitted with.
+  /// requests on EVERY shard; in-flight requests keep the epoch they
+  /// were admitted with (each pins exactly one epoch snapshot).
   void publish_epoch(EpochPtr epoch);
   [[nodiscard]] EpochPtr current_epoch() const;
 
-  /// Pauses/resumes worker dequeueing (submissions still queue; in-flight
-  /// work finishes). Used by tests to stage coalescing/admission states.
+  /// Pauses/resumes worker dequeueing on all shards (submissions still
+  /// queue; in-flight work finishes). Used by tests to stage states.
   void pause();
   void resume();
 
-  /// Blocks until the queue is empty and every worker is idle.
+  /// Blocks until every shard's queues are empty and workers idle.
   void drain();
 
   /// Closes the predict→observe loop: reports that the work predicted by
   /// the (completed, kOk) request `request_id` actually took
-  /// `observed_seconds`, feeding the configured accuracy ledger. Returns
-  /// false — and counts the report as unmatched — when no ledger is
-  /// configured, the id is unknown, already reported, or was evicted.
+  /// `observed_seconds`, feeding the configured accuracy ledger on the
+  /// shard that served the request. Returns false — and counts the
+  /// report as unmatched — when no ledger is configured, the id is
+  /// unknown, already reported, or was evicted.
   bool report_observation(std::uint64_t request_id, double observed_seconds);
 
+  /// Service-wide registry: rolled-up totals under the monolith's metric
+  /// names, plus per-shard "shard<k>/..." children when shards > 1.
   [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
-  [[nodiscard]] ProgramCache& cache() noexcept { return cache_; }
   [[nodiscard]] const ServiceOptions& options() const noexcept {
     return options_;
   }
 
+  // --- Sharding surface -------------------------------------------------
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  /// Shard 0's program cache (the whole service's cache when shards==1,
+  /// preserving the monolithic accessor).
+  [[nodiscard]] ProgramCache& cache() noexcept { return cache(0); }
+  [[nodiscard]] ProgramCache& cache(std::size_t shard);
+  [[nodiscard]] MetricsRegistry& shard_metrics(std::size_t shard);
+  [[nodiscard]] const ShardRouter& router() const noexcept { return router_; }
+  /// Shard the CURRENT registration of `model_id` routes to (unknown ids
+  /// route by id text so they still shed/err deterministically).
+  [[nodiscard]] std::size_t shard_of(const std::string& model_id) const;
+  /// Owning shard encoded in a request id.
+  [[nodiscard]] static constexpr std::size_t shard_of_id(
+      std::uint64_t request_id) noexcept {
+    return request_id & (kMaxShards - 1);
+  }
+
+  /// Marks a shard (un)available to the routing layer. Requests routed
+  /// to an unavailable shard are shed with rejected_shard_unavailable —
+  /// structure affinity is a cache-locality contract, so the router
+  /// sheds rather than silently rehoming a structure's stream.
+  void set_shard_available(std::size_t shard, bool available);
+
  private:
-  /// One queued external request.
-  struct Job {
-    PredictRequest request;
-    std::promise<PredictResult> promise;
-    EpochPtr epoch;
-    std::uint64_t id = 0;  ///< stamped at submit; returned in the result
-    double enqueue_time = 0.0;
-    /// Structure key of the registered model at submit time (empty when
-    /// the id is unknown). Lets the dequeue scan group structure-equal
-    /// requests across model ids without touching the model table.
-    std::string structure_key;
-  };
-
-  /// A promise awaiting resolution, tagged with its request id.
-  struct Pending {
-    std::uint64_t id = 0;
-    std::promise<PredictResult> promise;
-  };
-
-  /// One lane of a fused request-major evaluation: a distinct-bindings
-  /// request plus the promises of identical requests collapsed onto it
-  /// (those fan the lane's single result out).
-  struct FusedLane {
-    Job job;
-    std::vector<Pending> extra;
-  };
-
-  /// Shared state of one fanned-out Monte-Carlo evaluation.
-  struct McShared {
-    CompiledModelPtr model;
-    std::string model_id;
-    std::vector<stoch::StochasticValue> loads;  ///< resolved bindings
-    stoch::StochasticValue bwavail;
-    std::uint64_t seed = 0;
-    std::size_t total_trials = 0;
-    std::uint64_t epoch_version = 0;
-    double enqueue_time = 0.0;
-    std::vector<Pending> promises;  ///< whole batch
-
-    std::mutex m;
-    /// Per-chunk (sum, sum of squares); combined in index order at the
-    /// end so the result is independent of worker scheduling.
-    std::vector<std::pair<double, double>> partials;
-    std::size_t remaining = 0;
-  };
-
-  /// One queued Monte-Carlo chunk (internal; not admission-controlled).
-  struct McChunk {
-    std::shared_ptr<McShared> shared;
-    std::size_t index = 0;
-    std::size_t trials = 0;
-  };
-
-  using Task = std::variant<Job, McChunk>;
-
-  /// Per-worker reusable evaluation state (slot environments keyed by
-  /// compiled model, one workspace) — keeps the hot path allocation-free.
-  struct WorkerState {
-    std::map<const CompiledModel*,
-             std::pair<CompiledModelPtr, model::ir::SlotEnvironment>>
-        envs;
-    model::ir::EvalWorkspace ws;
-    // Fused-path pools, reused across batches (allocation-free once warm).
-    model::ir::LaneEnvironment lane_env;
-    std::vector<support::Rng> rngs;
-    std::vector<stoch::StochasticValue> fused_values;
-    std::vector<double> fused_points;
-    std::vector<stoch::StochasticValue> lane_loads;
-
-    [[nodiscard]] model::ir::SlotEnvironment& env_for(
-        const CompiledModelPtr& model);
-  };
-
-  void worker_loop();
-  void execute_job(Job&& job, std::vector<Pending>&& extra,
-                   WorkerState& state);
-  /// Runs `lanes` (>= 2, pairwise fusable) as one fused sweep; falls back
-  /// to per-lane execute_job — the canonical solo path — when the batch
-  /// cannot be served as one sweep (model churn, binding errors, an
-  /// evaluation throw in any lane).
-  void execute_fused(std::vector<FusedLane>&& lanes, WorkerState& state);
-  void execute_chunk(const McChunk& chunk, WorkerState& state);
-  /// Resolves the request's model (cache or fresh compile per options).
-  [[nodiscard]] CompiledModelPtr resolve_model(const PredictRequest& request);
-  /// Resolves load/bandwidth bindings against the job's epoch; throws
-  /// support::Error with a structured message on any mismatch.
-  void resolve_bindings(const Job& job, const CompiledModel& model,
-                        std::vector<stoch::StochasticValue>& loads,
-                        stoch::StochasticValue& bwavail) const;
-  void bind(model::ir::SlotEnvironment& env, const CompiledModel& model,
-            std::span<const stoch::StochasticValue> loads,
-            const stoch::StochasticValue& bwavail) const;
-  /// Fulfills the batch's promises with `base` (per-promise request id);
-  /// successful results are remembered for report_observation().
-  void finish_batch(std::vector<Pending>& promises, PredictResult base,
-                    double enqueue_time, const std::string& model_id);
-  /// Remembers a completed prediction until its observation arrives
-  /// (bounded FIFO; no-op without a ledger).
-  void remember_prediction(std::uint64_t request_id,
-                           const std::string& model_id,
-                           const stoch::StochasticValue& value);
-  [[nodiscard]] bool coalescable(const Job& a, const Job& b) const;
-  /// Whether two non-identical jobs can share one fused sweep: same mode
-  /// and epoch version, same compiled structure (same model id or equal
-  /// non-empty structure keys), and for Monte-Carlo the same unchunked
-  /// trial count (chunked requests keep the fan-out path).
-  [[nodiscard]] bool fusable(const Job& a, const Job& b) const;
-  [[nodiscard]] double now() const noexcept { return clock_->now(); }
-
   ServiceOptions options_;
   std::shared_ptr<support::Clock> clock_;
   MetricsRegistry metrics_;
-  ProgramCache cache_;
-
-  /// A registered model plus its precomputed structure fingerprint (the
-  /// fused grouping key, stamped onto jobs at submit).
-  struct RegisteredModel {
-    ModelSpec spec;
-    std::string structure_key;
-  };
-  mutable std::mutex models_mutex_;
-  std::map<std::string, RegisteredModel> models_;
+  ModelTable models_;
+  ShardRouter router_;
+  Counter& epochs_published_;
+  Counter& observations_unmatched_;
+  std::vector<std::unique_ptr<PredictionShard>> shards_;
+  std::unique_ptr<std::atomic<bool>[]> available_;
 
   mutable std::mutex epoch_mutex_;
   EpochPtr epoch_;
 
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;  ///< work available / state change
-  std::condition_variable idle_cv_;   ///< queue empty + workers idle
-  std::deque<Task> queue_;
-  std::size_t queued_jobs_ = 0;  ///< external Jobs in queue_ (not chunks)
-  bool paused_ = false;
-  bool stop_ = false;
-  std::size_t busy_ = 0;
-
-  std::vector<std::thread> threads_;
-
-  std::atomic<std::uint64_t> next_request_id_{1};
-
-  /// Completed predictions awaiting report_observation(), FIFO-bounded
-  /// by options_.observation_capacity.
-  struct CompletedPrediction {
-    std::string model_id;
-    stoch::StochasticValue value;
-  };
-  std::mutex observations_mutex_;
-  std::map<std::uint64_t, CompletedPrediction> completed_;
-  std::deque<std::uint64_t> completed_order_;
-
-  // Hot-path instrument handles (stable addresses inside metrics_).
-  Counter& requests_total_;
-  Counter& requests_ok_;
-  Counter& requests_error_;
-  Counter& requests_rejected_;
-  Counter& coalesced_;
-  Counter& requests_fused_;
-  Counter& mc_chunks_;
-  Counter& epochs_published_;
-  Counter& cache_hits_;
-  Counter& cache_misses_;
-  Counter& observations_recorded_;
-  Counter& observations_unmatched_;
-  Gauge& queue_depth_;
-  Gauge& workers_busy_;
-  LatencyHistogram& latency_;
-  LatencyHistogram& batch_sizes_;
-  LatencyHistogram& fused_occupancy_;
+  std::atomic<std::uint64_t> next_seq_{1};
 };
 
 }  // namespace sspred::serve

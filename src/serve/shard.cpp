@@ -1,0 +1,803 @@
+#include "serve/shard.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <sstream>
+
+#include "model/fingerprint.hpp"
+#include "support/error.hpp"
+
+namespace sspred::serve {
+
+namespace {
+
+/// Independent, deterministic RNG seed for Monte-Carlo chunk `index`:
+/// fixed (request seed, index) -> fixed stream, whatever worker runs it.
+[[nodiscard]] std::uint64_t chunk_seed(std::uint64_t seed,
+                                       std::size_t index) noexcept {
+  std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+  return support::splitmix64(state);
+}
+
+}  // namespace
+
+// --- ModelTable --------------------------------------------------------
+
+void ModelTable::insert(const std::string& id, ModelSpec spec) {
+  auto entry = std::make_shared<Entry>();
+  entry->structure_key = spec.structure_key();  // outside the lock
+  entry->key_hash = model::hash_bytes(entry->structure_key);
+  entry->spec = std::move(spec);
+  const std::unique_lock lock(mutex_);
+  models_.insert_or_assign(id, std::move(entry));
+}
+
+ModelTable::EntryPtr ModelTable::find(const std::string& id) const {
+  const std::shared_lock lock(mutex_);
+  const auto it = models_.find(id);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> ModelTable::ids() const {
+  const std::shared_lock lock(mutex_);
+  std::vector<std::string> ids;
+  ids.reserve(models_.size());
+  for (const auto& [id, _] : models_) ids.push_back(id);
+  return ids;
+}
+
+void ModelTable::throw_unknown(const std::string& id) const {
+  std::ostringstream msg;
+  msg << "unknown model id '" << id << "' (registered:";
+  {
+    const std::shared_lock lock(mutex_);
+    for (const auto& [known, _] : models_) msg << ' ' << known;
+  }
+  msg << ')';
+  throw support::Error(msg.str());
+}
+
+// --- PredictionShard ---------------------------------------------------
+
+model::ir::SlotEnvironment& PredictionShard::WorkerState::env_for(
+    const CompiledModelPtr& model) {
+  auto it = envs.find(model.get());
+  if (it == envs.end()) {
+    it = envs
+             .emplace(model.get(),
+                      std::make_pair(model, model->program().make_environment()))
+             .first;
+  }
+  return it->second.second;
+}
+
+PredictionShard::PredictionShard(std::size_t index,
+                                 const ServiceOptions& options,
+                                 std::shared_ptr<support::Clock> clock,
+                                 const ModelTable& models,
+                                 MetricsRegistry& global)
+    : index_(index),
+      options_(options),
+      clock_(std::move(clock)),
+      models_(models),
+      ring_(options.queue_capacity),
+      requests_total_{global.counter("requests_total"),
+                      local_.counter("requests_total")},
+      requests_ok_{global.counter("requests_ok"),
+                   local_.counter("requests_ok")},
+      requests_error_{global.counter("requests_error"),
+                      local_.counter("requests_error")},
+      requests_rejected_{global.counter("requests_rejected"),
+                         local_.counter("requests_rejected")},
+      rejected_queue_full_{global.counter("rejected_queue_full"),
+                           local_.counter("rejected_queue_full")},
+      rejected_stopped_{global.counter("rejected_stopped"),
+                        local_.counter("rejected_stopped")},
+      rejected_shard_unavailable_{
+          global.counter("rejected_shard_unavailable"),
+          local_.counter("rejected_shard_unavailable")},
+      coalesced_{global.counter("requests_coalesced"),
+                 local_.counter("requests_coalesced")},
+      requests_fused_{global.counter("requests_fused"),
+                      local_.counter("requests_fused")},
+      mc_chunks_{global.counter("mc_chunks_executed"),
+                 local_.counter("mc_chunks_executed")},
+      epochs_published_(local_.counter("epochs_published")),
+      cache_hits_{global.counter("cache_hits"), local_.counter("cache_hits")},
+      cache_misses_{global.counter("cache_misses"),
+                    local_.counter("cache_misses")},
+      observations_recorded_{global.counter("observations_recorded"),
+                             local_.counter("observations_recorded")},
+      observations_unmatched_{global.counter("observations_unmatched"),
+                              local_.counter("observations_unmatched")},
+      queue_depth_{global.gauge("queue_depth"), local_.gauge("queue_depth")},
+      workers_busy_{global.gauge("workers_busy"),
+                    local_.gauge("workers_busy")},
+      latency_{global.histogram("latency_seconds",
+                                options.latency_range_seconds, 512),
+               local_.histogram("latency_seconds",
+                                options.latency_range_seconds, 512)},
+      batch_sizes_{
+          global.histogram("batch_size",
+                           static_cast<double>(options.max_batch) + 1.0,
+                           std::max<std::size_t>(options.max_batch, 1)),
+          local_.histogram("batch_size",
+                           static_cast<double>(options.max_batch) + 1.0,
+                           std::max<std::size_t>(options.max_batch, 1))},
+      fused_occupancy_{
+          global.histogram("fused_batch_occupancy",
+                           static_cast<double>(options.max_batch) + 1.0,
+                           std::max<std::size_t>(options.max_batch, 1)),
+          local_.histogram("fused_batch_occupancy",
+                           static_cast<double>(options.max_batch) + 1.0,
+                           std::max<std::size_t>(options.max_batch, 1))} {
+  SSPRED_REQUIRE(options_.workers >= 1, "shard needs at least one worker");
+  SSPRED_REQUIRE(options_.mc_chunk_trials >= 2,
+                 "mc_chunk_trials must be at least 2");
+  paused_ = options_.start_paused;
+  threads_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+PredictionShard::~PredictionShard() {
+  ring_.close();  // subsequent submits shed as "service stopped"
+  {
+    const std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+
+  // Resolve whatever was still queued so no future is left broken.
+  stage_admitted();  // workers are gone; safe without the lock
+  std::int64_t drained = 0;
+  for (auto& job : staging_) {
+    ++drained;
+    reject(std::move(job), rejected_stopped_, "service stopped");
+  }
+  staging_.clear();
+  queue_depth_.add(-drained);
+  for (auto& chunk : chunks_) {
+    auto& shared = *chunk.shared;
+    const std::lock_guard lock(shared.m);
+    if (shared.promises.empty()) continue;
+    requests_rejected_.increment(shared.promises.size());
+    rejected_stopped_.increment(shared.promises.size());
+    PredictResult rejected;
+    rejected.status = PredictResult::Status::kRejected;
+    rejected.error = "service stopped";
+    for (auto& p : shared.promises) {
+      rejected.request_id = p.id;
+      p.promise.set_value(rejected);
+    }
+    shared.promises.clear();
+  }
+  idle_cv_.notify_all();
+}
+
+void PredictionShard::reject(Job&& job, DualCounter& why, std::string reason) {
+  requests_rejected_.increment();
+  why.increment();
+  PredictResult rejected;
+  rejected.status = PredictResult::Status::kRejected;
+  rejected.error = std::move(reason);
+  rejected.request_id = job.id;
+  job.promise.set_value(std::move(rejected));
+}
+
+void PredictionShard::submit(Job job) {
+  requests_total_.increment();
+  {
+    // The bindings epoch is pinned here, at shard admission: the job
+    // holds this one immutable snapshot for its whole life, so no
+    // request can ever observe two epochs however publishes interleave.
+    const std::lock_guard lock(epoch_mutex_);
+    job.epoch = epoch_;
+  }
+  switch (ring_.try_push(job)) {
+    case AdmissionQueue<Job>::Push::kOk: {
+      queue_depth_.add(1);
+      // Mutex-free fast path: only when some worker advertised idleness
+      // does the producer touch the shard lock (empty critical section —
+      // it fences the sleeper's check-then-wait window, see admission.hpp)
+      // and signal. Under load idle_ is zero and submission is a handful
+      // of atomics end to end.
+      if (idle_.load(std::memory_order_seq_cst) > 0) {
+        { const std::lock_guard lock(mutex_); }
+        cv_.notify_one();
+      }
+      return;
+    }
+    case AdmissionQueue<Job>::Push::kFull:
+      reject(std::move(job), rejected_queue_full_,
+             "queue full (capacity " +
+                 std::to_string(options_.queue_capacity) + ")");
+      return;
+    case AdmissionQueue<Job>::Push::kClosed:
+      reject(std::move(job), rejected_stopped_, "service stopped");
+      return;
+  }
+}
+
+void PredictionShard::reject_unavailable(Job job) {
+  requests_total_.increment();
+  reject(std::move(job), rejected_shard_unavailable_,
+         "shard " + std::to_string(index_) + " unavailable");
+}
+
+void PredictionShard::publish_epoch(EpochPtr epoch) {
+  {
+    const std::lock_guard lock(epoch_mutex_);
+    epoch_ = std::move(epoch);
+  }
+  epochs_published_.increment();
+}
+
+EpochPtr PredictionShard::current_epoch() const {
+  const std::lock_guard lock(epoch_mutex_);
+  return epoch_;
+}
+
+void PredictionShard::pause() {
+  const std::lock_guard lock(mutex_);
+  paused_ = true;
+}
+
+void PredictionShard::resume() {
+  {
+    const std::lock_guard lock(mutex_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+bool PredictionShard::has_work() const {
+  return !chunks_.empty() || !staging_.empty() || ring_.size() > 0;
+}
+
+void PredictionShard::drain() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [&] { return stop_ || (!has_work() && busy_ == 0); });
+}
+
+void PredictionShard::stage_admitted() {
+  Job job;
+  while (ring_.try_pop(job)) staging_.push_back(std::move(job));
+}
+
+bool PredictionShard::coalescable(const Job& a, const Job& b) const {
+  const auto& ra = a.request;
+  const auto& rb = b.request;
+  const std::uint64_t ea = a.epoch ? a.epoch->version() : 0;
+  const std::uint64_t eb = b.epoch ? b.epoch->version() : 0;
+  if (ra.model_id != rb.model_id || ra.mode != rb.mode || ea != eb) {
+    return false;
+  }
+  if (ra.loads != rb.loads || ra.resources != rb.resources ||
+      ra.bwavail != rb.bwavail || ra.bwavail_resource != rb.bwavail_resource) {
+    return false;
+  }
+  if (ra.mode == Mode::kMonteCarlo &&
+      (ra.trials != rb.trials || ra.seed != rb.seed)) {
+    return false;
+  }
+  return true;
+}
+
+bool PredictionShard::fusable(const Job& a, const Job& b) const {
+  const auto& ra = a.request;
+  const auto& rb = b.request;
+  if (ra.mode != rb.mode) return false;
+  const std::uint64_t ea = a.epoch ? a.epoch->version() : 0;
+  const std::uint64_t eb = b.epoch ? b.epoch->version() : 0;
+  if (ea != eb) return false;
+  if (ra.mode == Mode::kMonteCarlo) {
+    // Lanes of one sweep share the trial count (distinct seeds are fine —
+    // each lane drives its own RNG substream). Chunked requests
+    // (trials > mc_chunk_trials) keep the fan-out path, and sample_fused
+    // needs at least 2 trials, like sample_trials.
+    if (ra.trials != rb.trials) return false;
+    if (ra.trials < 2 || ra.trials > options_.mc_chunk_trials) return false;
+  }
+  if (ra.model_id == rb.model_id) return true;
+  // Submit-time registration stamps prove structural equality without
+  // touching the model table (unknown ids carry no stamp, never fuse).
+  return a.model && b.model &&
+         (a.model == b.model ||
+          a.model->structure_key == b.model->structure_key);
+}
+
+void PredictionShard::worker_loop() {
+  WorkerState state;
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    // Sleep protocol (the consumer half of the mutex-free submit path):
+    // advertise idleness FIRST, re-check the ring AFTER — seq_cst on
+    // idle_ and the ring's size counter gives a total order in which
+    // either this re-check sees the producer's push, or the producer's
+    // post-push idle_ read sees our advertisement and signals.
+    for (;;) {
+      if (stop_) return;
+      if (!paused_) {
+        if (!chunks_.empty() || !staging_.empty()) break;
+        stage_admitted();
+        if (!staging_.empty()) break;
+      }
+      idle_.fetch_add(1, std::memory_order_seq_cst);
+      if (!paused_ && !stop_ && ring_.size() > 0) {
+        idle_.fetch_sub(1, std::memory_order_seq_cst);
+        continue;  // a push landed between the drain and the advert
+      }
+      cv_.wait(lock);
+      idle_.fetch_sub(1, std::memory_order_seq_cst);
+    }
+
+    if (!chunks_.empty()) {
+      // Internal Monte-Carlo chunks jump the external queue: they
+      // complete requests that were already admitted.
+      const McChunk chunk = std::move(chunks_.front());
+      chunks_.pop_front();
+      ++busy_;
+      workers_busy_.add(1);
+      lock.unlock();
+      execute_chunk(chunk, state);
+    } else {
+      std::vector<FusedLane> lanes;
+      lanes.push_back(FusedLane{std::move(staging_.front()), {}});
+      staging_.pop_front();
+      std::int64_t taken = 1;
+      // Dequeue-time grouping. Each staged job first tries to collapse
+      // onto ANY open lane with identical bindings (one evaluation, result
+      // fanned out) and only then to open a new lane of the fused sweep —
+      // so mixed streams of identical and merely structure-equal requests
+      // fill lanes instead of starving the fused path. Fusion needs the
+      // program cache: the sweep shares one compiled program.
+      const bool fuse = options_.enable_fusion && options_.enable_cache;
+      if (options_.enable_coalescing || fuse) {
+        stage_admitted();  // scan late arrivals too, like the old queue
+        for (auto it = staging_.begin(); it != staging_.end();) {
+          Job& other = *it;
+          bool taken_one = false;
+          if (options_.enable_coalescing) {
+            for (auto& lane : lanes) {
+              if (lane.extra.size() + 1 < options_.max_batch &&
+                  coalescable(lane.job, other)) {
+                lane.extra.push_back(
+                    Pending{other.id, std::move(other.promise)});
+                taken_one = true;
+                break;
+              }
+            }
+          }
+          if (!taken_one && fuse && lanes.size() < options_.max_batch &&
+              fusable(lanes.front().job, other)) {
+            lanes.push_back(FusedLane{std::move(other), {}});
+            taken_one = true;
+          }
+          if (taken_one) {
+            it = staging_.erase(it);
+            ++taken;
+          } else {
+            ++it;
+          }
+        }
+      }
+      queue_depth_.add(-taken);
+      ++busy_;
+      workers_busy_.add(1);
+      lock.unlock();
+
+      if (lanes.size() > 1) {
+        execute_fused(std::move(lanes), state);
+      } else {
+        execute_job(std::move(lanes.front().job),
+                    std::move(lanes.front().extra), state);
+      }
+    }
+
+    lock.lock();
+    --busy_;
+    workers_busy_.add(-1);
+    if (busy_ == 0 && !has_work()) idle_cv_.notify_all();
+  }
+}
+
+CompiledModelPtr PredictionShard::resolve_model(const PredictRequest& request) {
+  // Execute-time resolution against the CURRENT registration — an id
+  // re-registered between submit and dequeue serves the new structure,
+  // and the Entry snapshot guarantees spec and key agree (the cache can
+  // never be asked for a stale key's program).
+  const ModelTable::EntryPtr entry = models_.find(request.model_id);
+  if (!entry) models_.throw_unknown(request.model_id);
+  if (options_.enable_cache) {
+    const auto lookup = cache_.get_or_compile(entry->spec, entry->structure_key);
+    (lookup.hit ? cache_hits_ : cache_misses_).increment();
+    return lookup.model;
+  }
+  cache_misses_.increment();
+  return std::make_shared<const CompiledModel>(entry->spec);
+}
+
+void PredictionShard::resolve_bindings(
+    const Job& job, const CompiledModel& model,
+    std::vector<stoch::StochasticValue>& loads,
+    stoch::StochasticValue& bwavail) const {
+  const auto& request = job.request;
+  SSPRED_REQUIRE(request.loads.empty() || request.resources.empty(),
+                 "request binds loads both explicitly and by resource name");
+  SSPRED_REQUIRE(!request.loads.empty() || !request.resources.empty(),
+                 "request binds no loads (set loads or resources)");
+  const std::size_t given =
+      request.loads.empty() ? request.resources.size() : request.loads.size();
+  SSPRED_REQUIRE(given == model.hosts(),
+                 "model '" + request.model_id + "' needs " +
+                     std::to_string(model.hosts()) + " load bindings, got " +
+                     std::to_string(given));
+  if (!request.loads.empty()) {
+    loads = request.loads;
+  } else {
+    SSPRED_REQUIRE(job.epoch != nullptr,
+                   "request binds loads by resource name but no bindings "
+                   "epoch has been published");
+    loads.reserve(request.resources.size());
+    for (const auto& resource : request.resources) {
+      loads.push_back(job.epoch->lookup(resource));
+    }
+  }
+  if (!request.bwavail_resource.empty()) {
+    SSPRED_REQUIRE(job.epoch != nullptr,
+                   "request binds bandwidth by resource name but no bindings "
+                   "epoch has been published");
+    bwavail = job.epoch->lookup(request.bwavail_resource);
+  } else {
+    bwavail = request.bwavail;
+  }
+}
+
+void PredictionShard::bind(model::ir::SlotEnvironment& env,
+                           const CompiledModel& model,
+                           std::span<const stoch::StochasticValue> loads,
+                           const stoch::StochasticValue& bwavail) const {
+  for (std::size_t p = 0; p < loads.size(); ++p) {
+    env.bind(model.load_slot(p), loads[p]);
+  }
+  if (model.uses_bandwidth()) env.bind(model.bwavail_slot(), bwavail);
+}
+
+void PredictionShard::finish_batch(std::vector<Pending>& promises,
+                                   PredictResult base, double enqueue_time,
+                                   const std::string& model_id) {
+  base.latency_seconds = now() - enqueue_time;
+  latency_.observe(base.latency_seconds);
+  const auto n = static_cast<std::uint64_t>(promises.size());
+  const bool ok = base.status == PredictResult::Status::kOk;
+  if (ok) {
+    requests_ok_.increment(n);
+  } else {
+    requests_error_.increment(n);
+  }
+  for (auto& p : promises) {
+    base.request_id = p.id;
+    if (ok) remember_prediction(p.id, model_id, base.value);
+    p.promise.set_value(base);
+  }
+  promises.clear();
+}
+
+void PredictionShard::remember_prediction(std::uint64_t request_id,
+                                          const std::string& model_id,
+                                          const stoch::StochasticValue& value) {
+  if (!options_.ledger || options_.observation_capacity == 0) return;
+  const std::lock_guard lock(observations_mutex_);
+  if (completed_.emplace(request_id, CompletedPrediction{model_id, value})
+          .second) {
+    completed_order_.push_back(request_id);
+  }
+  // Bounding the FIFO bounds the map too (ids reported meanwhile are
+  // already gone from the map and just fall off the deque).
+  while (completed_order_.size() > options_.observation_capacity) {
+    completed_.erase(completed_order_.front());
+    completed_order_.pop_front();
+  }
+}
+
+bool PredictionShard::report_observation(std::uint64_t request_id,
+                                         double observed_seconds) {
+  CompletedPrediction prediction;
+  {
+    const std::lock_guard lock(observations_mutex_);
+    const auto it = completed_.find(request_id);
+    if (it == completed_.end() || !options_.ledger) {
+      observations_unmatched_.increment();
+      return false;
+    }
+    prediction = std::move(it->second);
+    completed_.erase(it);
+    // completed_order_ keeps the stale id; eviction skips ids already
+    // erased, so the FIFO stays bounded without a linear scan here.
+  }
+  options_.ledger->record(prediction.model_id, prediction.value,
+                          observed_seconds);
+  observations_recorded_.increment();
+  return true;
+}
+
+void PredictionShard::execute_job(Job&& job, std::vector<Pending>&& extra,
+                                  WorkerState& state) {
+  PredictResult base;
+  base.batch_size = 1 + extra.size();
+  base.epoch_version = job.epoch ? job.epoch->version() : 0;
+  std::vector<Pending> promises;
+  promises.reserve(base.batch_size);
+  promises.push_back(Pending{job.id, std::move(job.promise)});
+  for (auto& p : extra) promises.push_back(std::move(p));
+  if (!extra.empty()) coalesced_.increment(extra.size());
+  batch_sizes_.observe(static_cast<double>(base.batch_size));
+
+  try {
+    const CompiledModelPtr model = resolve_model(job.request);
+    std::vector<stoch::StochasticValue> loads;
+    stoch::StochasticValue bwavail;
+    resolve_bindings(job, *model, loads, bwavail);
+
+    const auto& request = job.request;
+    if (request.mode == Mode::kMonteCarlo &&
+        request.trials > options_.mc_chunk_trials) {
+      // Fan the trials out as chunk tasks; the last chunk to finish
+      // combines the partials and resolves the whole batch. Chunking is
+      // NOT gated on the worker count: per-chunk seeds make the result a
+      // pure function of (seed, trials, chunk size), so one worker
+      // draining the chunks bit-matches any pool size.
+      auto shared = std::make_shared<McShared>();
+      shared->model = model;
+      shared->model_id = request.model_id;
+      shared->loads = std::move(loads);
+      shared->bwavail = bwavail;
+      shared->seed = request.seed;
+      shared->total_trials = request.trials;
+      shared->epoch_version = base.epoch_version;
+      shared->enqueue_time = job.enqueue_time;
+      shared->promises = std::move(promises);
+      const std::size_t chunk = options_.mc_chunk_trials;
+      const std::size_t chunks = (request.trials + chunk - 1) / chunk;
+      shared->partials.resize(chunks);
+      shared->remaining = chunks;
+      {
+        const std::lock_guard lock(mutex_);
+        for (std::size_t i = 0; i < chunks; ++i) {
+          const std::size_t begin = i * chunk;
+          chunks_.push_back(McChunk{
+              shared, i, std::min(chunk, request.trials - begin)});
+        }
+      }
+      cv_.notify_all();
+      return;
+    }
+
+    std::optional<model::ir::SlotEnvironment> local;
+    if (!options_.enable_cache) local.emplace(model->program().make_environment());
+    model::ir::SlotEnvironment& env =
+        options_.enable_cache ? state.env_for(model) : *local;
+    bind(env, *model, loads, bwavail);
+
+    switch (request.mode) {
+      case Mode::kStochastic: {
+        base.value = model->program().evaluate(env, state.ws);
+        base.point = base.value.mean();
+        break;
+      }
+      case Mode::kPoint: {
+        base.point = model->program().evaluate_point(env, state.ws);
+        base.value = stoch::StochasticValue(base.point);
+        break;
+      }
+      case Mode::kMonteCarlo: {
+        support::Rng rng(request.seed);
+        base.value = model->program().sample_trials(env, rng, request.trials,
+                                                    state.ws);
+        base.point = base.value.mean();
+        break;
+      }
+    }
+    base.status = PredictResult::Status::kOk;
+  } catch (const std::exception& e) {
+    base.status = PredictResult::Status::kError;
+    base.error = e.what();
+  }
+  finish_batch(promises, std::move(base), job.enqueue_time,
+               job.request.model_id);
+}
+
+void PredictionShard::execute_fused(std::vector<FusedLane>&& lanes,
+                                    WorkerState& state) {
+  const std::size_t requests = lanes.size();
+  const Mode mode = lanes.front().job.request.mode;
+
+  // Any condition that prevents serving the whole batch as one sweep —
+  // model churn between submit and dequeue, a binding error in any lane,
+  // an evaluation throw (e.g. sampled division by zero) — falls back to
+  // the per-lane solo path. Solo is the canonical semantics the fused
+  // sweep is bit-exact against, so the fallback preserves per-request
+  // results and error isolation; it only costs the batching win.
+  const auto fall_back_solo = [&] {
+    for (auto& lane : lanes) {
+      execute_job(std::move(lane.job), std::move(lane.extra), state);
+    }
+  };
+
+  CompiledModelPtr model;
+  try {
+    // One registry pass validates the whole sweep instead of a per-lane
+    // resolve: fusable() already proved structural equality from the
+    // submit-time stamps, so here it only remains to guard against a
+    // model id re-registered to a NEW structure between submit and now.
+    // Every lane's id must currently map to the leader's structure key;
+    // then the leader's program is resolved ONCE and shared.
+    const ModelTable::EntryPtr leader =
+        models_.find(lanes.front().job.request.model_id);
+    bool structure_stable = leader != nullptr;
+    for (std::size_t k = 1; structure_stable && k < requests; ++k) {
+      const auto& id = lanes[k].job.request.model_id;
+      if (id == lanes.front().job.request.model_id) continue;
+      const ModelTable::EntryPtr entry = models_.find(id);
+      structure_stable =
+          entry != nullptr && entry->structure_key == leader->structure_key;
+    }
+    if (!structure_stable) {
+      fall_back_solo();
+      return;
+    }
+    // The stamped key skips re-serializing the spec — resolving the
+    // program for a warm sweep is one map lookup, paid once per sweep
+    // rather than once per lane. (execute_fused only runs with the cache
+    // enabled; fusion needs it.)
+    const auto lookup =
+        cache_.get_or_compile(leader->spec, leader->structure_key);
+    (lookup.hit ? cache_hits_ : cache_misses_).increment();
+    model = lookup.model;
+
+    state.lane_env.reset(model->program(), requests);
+    for (std::size_t k = 0; k < requests; ++k) {
+      state.lane_loads.clear();
+      stoch::StochasticValue bwavail;
+      resolve_bindings(lanes[k].job, *model, state.lane_loads, bwavail);
+      for (std::size_t p = 0; p < state.lane_loads.size(); ++p) {
+        state.lane_env.bind(k, model->load_slot(p), state.lane_loads[p]);
+      }
+      if (model->uses_bandwidth()) {
+        state.lane_env.bind(k, model->bwavail_slot(), bwavail);
+      }
+    }
+
+    switch (mode) {
+      case Mode::kStochastic: {
+        state.fused_values.resize(requests);
+        model->program().evaluate_fused(
+            state.lane_env, state.ws,
+            {state.fused_values.data(), requests});
+        break;
+      }
+      case Mode::kPoint: {
+        state.fused_points.resize(requests);
+        model->program().evaluate_point_fused(
+            state.lane_env, state.ws,
+            {state.fused_points.data(), requests});
+        break;
+      }
+      case Mode::kMonteCarlo: {
+        state.fused_values.resize(requests);
+        state.rngs.clear();
+        for (const auto& lane : lanes) {
+          state.rngs.emplace_back(lane.job.request.seed);
+        }
+        model->program().sample_fused(
+            state.lane_env, {state.rngs.data(), requests},
+            lanes.front().job.request.trials, state.ws,
+            {state.fused_values.data(), requests});
+        break;
+      }
+    }
+  } catch (const std::exception&) {
+    fall_back_solo();
+    return;
+  }
+
+  fused_occupancy_.observe(static_cast<double>(requests));
+  for (std::size_t k = 0; k < requests; ++k) {
+    auto& lane = lanes[k];
+    PredictResult base;
+    base.status = PredictResult::Status::kOk;
+    base.epoch_version = lane.job.epoch ? lane.job.epoch->version() : 0;
+    base.batch_size = 1 + lane.extra.size();
+    if (mode == Mode::kPoint) {
+      base.point = state.fused_points[k];
+      base.value = stoch::StochasticValue(base.point);
+    } else {
+      base.value = state.fused_values[k];
+      base.point = base.value.mean();
+    }
+    if (!lane.extra.empty()) coalesced_.increment(lane.extra.size());
+    batch_sizes_.observe(static_cast<double>(base.batch_size));
+    requests_fused_.increment(base.batch_size);
+    lane.extra.push_back(Pending{lane.job.id, std::move(lane.job.promise)});
+    finish_batch(lane.extra, std::move(base), lane.job.enqueue_time,
+                 lane.job.request.model_id);
+  }
+}
+
+void PredictionShard::execute_chunk(const McChunk& chunk, WorkerState& state) {
+  auto& shared = *chunk.shared;
+  mc_chunks_.increment();
+
+  PredictResult failure;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  try {
+    std::optional<model::ir::SlotEnvironment> local;
+    if (!options_.enable_cache) {
+      local.emplace(shared.model->program().make_environment());
+    }
+    model::ir::SlotEnvironment& env =
+        options_.enable_cache ? state.env_for(shared.model) : *local;
+    bind(env, *shared.model, shared.loads, shared.bwavail);
+    support::Rng rng(chunk_seed(shared.seed, chunk.index));
+    // Whole-block execution on the worker's pooled SoA arenas: after the
+    // first chunk of a model's shape, the Monte-Carlo path allocates
+    // nothing. Per-chunk seeds plus index-ordered combine keep the result
+    // deterministic for a fixed request seed at any worker count.
+    state.ws.trial_results.resize(chunk.trials);
+    shared.model->program().sample_into(env, rng, state.ws.trial_results,
+                                        state.ws);
+    for (const double x : state.ws.trial_results) {
+      sum += x;
+      sum_sq += x * x;
+    }
+  } catch (const std::exception& e) {
+    failure.status = PredictResult::Status::kError;
+    failure.error = e.what();
+  }
+
+  bool last = false;
+  {
+    const std::lock_guard lock(shared.m);
+    shared.partials[chunk.index] = {sum, sum_sq};
+    last = (--shared.remaining == 0);
+    if (failure.status == PredictResult::Status::kError &&
+        !shared.promises.empty()) {
+      // First failing chunk resolves the batch; stragglers see promises
+      // already cleared and just finish their arithmetic.
+      failure.epoch_version = shared.epoch_version;
+      failure.batch_size = shared.promises.size();
+      finish_batch(shared.promises, std::move(failure), shared.enqueue_time,
+                   shared.model_id);
+      return;
+    }
+  }
+  if (!last) return;
+
+  const std::lock_guard lock(shared.m);
+  if (shared.promises.empty()) return;  // a failing chunk already resolved it
+  double total = 0.0;
+  double total_sq = 0.0;
+  for (const auto& [s, q] : shared.partials) {
+    total += s;
+    total_sq += q;
+  }
+  const auto n = static_cast<double>(shared.total_trials);
+  const double mean = total / n;
+  const double var =
+      std::max(0.0, (total_sq - n * mean * mean) / (n - 1.0));
+  PredictResult base;
+  base.status = PredictResult::Status::kOk;
+  base.value = stoch::StochasticValue::from_mean_sd(mean, std::sqrt(var));
+  base.point = mean;
+  base.epoch_version = shared.epoch_version;
+  base.batch_size = shared.promises.size();
+  finish_batch(shared.promises, std::move(base), shared.enqueue_time,
+               shared.model_id);
+}
+
+}  // namespace sspred::serve

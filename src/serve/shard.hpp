@@ -1,0 +1,376 @@
+// PredictionShard — one self-contained execution engine of the serving
+// stack, plus the model table every shard reads.
+//
+// The layered decomposition (DESIGN.md §13): the facade
+// (service.hpp) owns a ShardRouter and S PredictionShards; each shard
+// owns the full per-request machinery the old monolith had — a
+// lock-free bounded AdmissionQueue, a worker pool, a structure-keyed
+// ProgramCache, dequeue-time coalescing/fusion, Monte-Carlo chunk
+// fan-out, its own bindings-epoch pin and completed-prediction FIFO —
+// over a *structure-affine* slice of the request stream: consistent-hash
+// routing sends every request for one model structure to one shard, so a
+// shard's fusion scan only ever sees requests that can actually fuse,
+// and its program cache holds exactly the structures it serves.
+//
+// Determinism: a shard processes its slice exactly as the unsharded
+// service processed the whole stream (same scan, same kernels, same
+// chunk seeding), and routing is a pure function of the structure key —
+// so for a fixed request set, per-request results are bit-exact at any
+// shard count.
+//
+// Metrics are dual-written: every instrument bumps both the service-wide
+// registry (rolled-up totals, the names tests and dashboards already
+// know) and the shard's own registry (attached to the global one as
+// "shard<k>/..." when there is more than one shard).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "calib/ledger.hpp"
+#include "serve/admission.hpp"
+#include "serve/epoch.hpp"
+#include "serve/metrics.hpp"
+#include "serve/program_cache.hpp"
+#include "serve/request.hpp"
+#include "support/clock.hpp"
+#include "support/rng.hpp"
+
+namespace sspred::serve {
+
+/// Serving-stack configuration. Worker/queue sizes are PER SHARD: a
+/// service with shards=4, workers=2 runs 8 workers and admits up to
+/// 4 * queue_capacity requests. Defined here (the lowest layer that
+/// consumes it); service.hpp re-exports it to API users.
+struct ServiceOptions {
+  std::size_t shards = 1;  ///< prediction shards (structure-affine slices)
+  std::size_t workers = 4;  ///< worker threads per shard
+  /// Queued external requests beyond this (per shard) are rejected.
+  std::size_t queue_capacity = 1024;
+  /// Virtual nodes per shard on the routing ring (see router.hpp).
+  std::size_t router_vnodes = 64;
+  /// Share compiled programs across requests/ids (the program cache).
+  /// Off: every request compiles its model from scratch (bench baseline).
+  bool enable_cache = true;
+  /// Coalesce identical queued (model, epoch, bindings) requests into one
+  /// evaluation at dequeue time.
+  bool enable_coalescing = true;
+  /// Fuse queued structure-equal requests with *distinct* bindings into the
+  /// lanes of one request-major kernel sweep at dequeue time (bit-exact per
+  /// request; see ir::Program::sample_fused). Needs the program cache
+  /// (fusion shares one compiled program across lanes), so enable_cache
+  /// off disables it too.
+  bool enable_fusion = true;
+  std::size_t max_batch = 64;  ///< coalesced/fused requests per evaluation
+  /// Monte-Carlo requests with more trials than this are split into
+  /// chunks executed across the shard's pool (when workers > 1).
+  std::size_t mc_chunk_trials = 2048;
+  /// Time source for latency metrics; null selects support::real_clock().
+  std::shared_ptr<support::Clock> clock;
+  /// Accuracy ledger fed by report_observation(); null disables the
+  /// predict→observe feedback loop (see calib/ledger.hpp).
+  std::shared_ptr<calib::AccuracyLedger> ledger;
+  /// Completed predictions kept per shard (FIFO) awaiting their
+  /// observation; a report arriving after eviction counts as unmatched.
+  std::size_t observation_capacity = 4096;
+  /// Top of the latency histogram range, seconds.
+  double latency_range_seconds = 1.0;
+  /// Construct with workers blocked; resume() starts processing. Lets
+  /// tests (and benchmarks) stage a queue deterministically.
+  bool start_paused = false;
+};
+
+/// Registered models, shared (read-mostly) by the facade and every
+/// shard. Entries are immutable snapshots behind shared_ptr: a request
+/// resolves its model to one Entry and can never observe a spec and a
+/// structure key from two different registrations — the property the
+/// program cache's stale-key guard rests on. The structure key and its
+/// 64-bit routing hash are stamped once at registration, so neither the
+/// submit path nor the cache ever re-serializes a spec.
+class ModelTable {
+ public:
+  struct Entry {
+    ModelSpec spec;
+    std::string structure_key;
+    std::uint64_t key_hash = 0;
+  };
+  using EntryPtr = std::shared_ptr<const Entry>;
+
+  /// Registers (or replaces) an id. Ids are aliases: two ids with
+  /// structurally identical specs share one cached program.
+  void insert(const std::string& id, ModelSpec spec);
+
+  /// Current registration of `id`; null when unknown.
+  [[nodiscard]] EntryPtr find(const std::string& id) const;
+
+  [[nodiscard]] std::vector<std::string> ids() const;
+
+  /// Throws the structured unknown-model error for `id`.
+  [[noreturn]] void throw_unknown(const std::string& id) const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, EntryPtr> models_;
+};
+
+class PredictionShard {
+ public:
+  /// One external request owned by the stack. The facade stamps id,
+  /// enqueue_time and the submit-time model entry (null: unknown id —
+  /// never fuses; the solo path reports the structured error); the shard
+  /// pins the bindings epoch at admission.
+  struct Job {
+    PredictRequest request;
+    std::promise<PredictResult> promise;
+    EpochPtr epoch;
+    ModelTable::EntryPtr model;  ///< submit-time registration snapshot
+    std::uint64_t id = 0;
+    double enqueue_time = 0.0;
+  };
+
+  /// `global` is the service-wide registry every instrument dual-writes;
+  /// `models` and both referenced registries must outlive the shard.
+  PredictionShard(std::size_t index, const ServiceOptions& options,
+                  std::shared_ptr<support::Clock> clock,
+                  const ModelTable& models, MetricsRegistry& global);
+  ~PredictionShard();
+
+  PredictionShard(const PredictionShard&) = delete;
+  PredictionShard& operator=(const PredictionShard&) = delete;
+
+  /// Admits `job` (pinning the shard's current epoch) or sheds it with a
+  /// per-reason rejection count; the job's promise is always resolved.
+  /// Lock-free on the admit path (see admission.hpp).
+  void submit(Job job);
+
+  /// Routing-layer shed: accounts the job against this shard
+  /// (rejected_shard_unavailable) and resolves its promise.
+  void reject_unavailable(Job job);
+
+  /// Installs `epoch` for subsequently admitted requests; requests
+  /// already admitted keep the epoch they were pinned with.
+  void publish_epoch(EpochPtr epoch);
+  [[nodiscard]] EpochPtr current_epoch() const;
+
+  void pause();
+  void resume();
+  /// Blocks until the shard's queues are empty and every worker is idle.
+  void drain();
+
+  /// Feeds the configured ledger with the observation for `request_id`
+  /// (an id routed to this shard); see service.hpp.
+  bool report_observation(std::uint64_t request_id, double observed_seconds);
+
+  [[nodiscard]] ProgramCache& cache() noexcept { return cache_; }
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return local_; }
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+
+ private:
+  // Dual instruments: one bump updates the rolled-up service-wide
+  // instrument and the shard-local one. Both sides are lock-free.
+  struct DualCounter {
+    Counter& global;
+    Counter& local;
+    void increment(std::uint64_t by = 1) noexcept {
+      global.increment(by);
+      local.increment(by);
+    }
+  };
+  struct DualGauge {
+    Gauge& global;
+    Gauge& local;
+    // Deltas, not set(): S shards share the global gauge.
+    void add(std::int64_t by) noexcept {
+      global.add(by);
+      local.add(by);
+    }
+  };
+  struct DualHistogram {
+    LatencyHistogram& global;
+    LatencyHistogram& local;
+    void observe(double v) noexcept {
+      global.observe(v);
+      local.observe(v);
+    }
+  };
+
+  /// A promise awaiting resolution, tagged with its request id.
+  struct Pending {
+    std::uint64_t id = 0;
+    std::promise<PredictResult> promise;
+  };
+
+  /// One lane of a fused request-major evaluation: a distinct-bindings
+  /// request plus the promises of identical requests collapsed onto it
+  /// (those fan the lane's single result out).
+  struct FusedLane {
+    Job job;
+    std::vector<Pending> extra;
+  };
+
+  /// Shared state of one fanned-out Monte-Carlo evaluation.
+  struct McShared {
+    CompiledModelPtr model;
+    std::string model_id;
+    std::vector<stoch::StochasticValue> loads;  ///< resolved bindings
+    stoch::StochasticValue bwavail;
+    std::uint64_t seed = 0;
+    std::size_t total_trials = 0;
+    std::uint64_t epoch_version = 0;
+    double enqueue_time = 0.0;
+    std::vector<Pending> promises;  ///< whole batch
+
+    std::mutex m;
+    /// Per-chunk (sum, sum of squares); combined in index order at the
+    /// end so the result is independent of worker scheduling.
+    std::vector<std::pair<double, double>> partials;
+    std::size_t remaining = 0;
+  };
+
+  /// One queued Monte-Carlo chunk (internal; not admission-controlled).
+  struct McChunk {
+    std::shared_ptr<McShared> shared;
+    std::size_t index = 0;
+    std::size_t trials = 0;
+  };
+
+  /// Per-worker reusable evaluation state (slot environments keyed by
+  /// compiled model, one workspace) — keeps the hot path allocation-free.
+  struct WorkerState {
+    std::map<const CompiledModel*,
+             std::pair<CompiledModelPtr, model::ir::SlotEnvironment>>
+        envs;
+    model::ir::EvalWorkspace ws;
+    // Fused-path pools, reused across batches (allocation-free once warm).
+    model::ir::LaneEnvironment lane_env;
+    std::vector<support::Rng> rngs;
+    std::vector<stoch::StochasticValue> fused_values;
+    std::vector<double> fused_points;
+    std::vector<stoch::StochasticValue> lane_loads;
+
+    [[nodiscard]] model::ir::SlotEnvironment& env_for(
+        const CompiledModelPtr& model);
+  };
+
+  void worker_loop();
+  void execute_job(Job&& job, std::vector<Pending>&& extra,
+                   WorkerState& state);
+  /// Runs `lanes` (>= 2, pairwise fusable) as one fused sweep; falls back
+  /// to per-lane execute_job — the canonical solo path — when the batch
+  /// cannot be served as one sweep (model churn, binding errors, an
+  /// evaluation throw in any lane).
+  void execute_fused(std::vector<FusedLane>&& lanes, WorkerState& state);
+  void execute_chunk(const McChunk& chunk, WorkerState& state);
+  /// Resolves the request's model against the CURRENT registration
+  /// (cache or fresh compile per options); submit-time stamps only group.
+  [[nodiscard]] CompiledModelPtr resolve_model(const PredictRequest& request);
+  /// Resolves load/bandwidth bindings against the job's epoch; throws
+  /// support::Error with a structured message on any mismatch.
+  void resolve_bindings(const Job& job, const CompiledModel& model,
+                        std::vector<stoch::StochasticValue>& loads,
+                        stoch::StochasticValue& bwavail) const;
+  void bind(model::ir::SlotEnvironment& env, const CompiledModel& model,
+            std::span<const stoch::StochasticValue> loads,
+            const stoch::StochasticValue& bwavail) const;
+  /// Fulfills the batch's promises with `base` (per-promise request id);
+  /// successful results are remembered for report_observation().
+  void finish_batch(std::vector<Pending>& promises, PredictResult base,
+                    double enqueue_time, const std::string& model_id);
+  /// Remembers a completed prediction until its observation arrives
+  /// (bounded FIFO; no-op without a ledger).
+  void remember_prediction(std::uint64_t request_id,
+                           const std::string& model_id,
+                           const stoch::StochasticValue& value);
+  [[nodiscard]] bool coalescable(const Job& a, const Job& b) const;
+  /// Whether two non-identical jobs can share one fused sweep: same mode
+  /// and epoch version, same compiled structure (same model id or equal
+  /// submit-time structure stamps), and for Monte-Carlo the same
+  /// unchunked trial count (chunked requests keep the fan-out path).
+  [[nodiscard]] bool fusable(const Job& a, const Job& b) const;
+  /// Rejects `job` with `reason` text, bumping `why` (and the rolled-up
+  /// rejection counters).
+  void reject(Job&& job, DualCounter& why, std::string reason);
+  /// Drains the admission ring into staging_ (dequeue-time view refresh).
+  void stage_admitted();
+  [[nodiscard]] bool has_work() const;
+  [[nodiscard]] double now() const noexcept { return clock_->now(); }
+
+  std::size_t index_;
+  ServiceOptions options_;
+  std::shared_ptr<support::Clock> clock_;
+  const ModelTable& models_;
+  MetricsRegistry local_;  ///< shard-scoped registry (metrics())
+  ProgramCache cache_;
+
+  // --- Admission layer -------------------------------------------------
+  AdmissionQueue<Job> ring_;
+  /// Workers that advertised idleness and (re)checked for work; a
+  /// producer only touches mutex_/cv_ when this is nonzero, so the
+  /// loaded admit path never serializes on the shard lock. seq_cst
+  /// against the ring's size counter (see admission.hpp).
+  std::atomic<std::int64_t> idle_{0};
+
+  // --- Worker-side state (guarded by mutex_) ---------------------------
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;       ///< work available / state change
+  std::condition_variable idle_cv_;  ///< queues empty + workers idle
+  /// Admitted jobs staged for the dequeue-time coalesce/fuse scan (the
+  /// ring itself is not scannable; workers drain it here first).
+  std::deque<Job> staging_;
+  std::deque<McChunk> chunks_;  ///< internal MC chunks; jump the queue
+  bool paused_ = false;
+  bool stop_ = false;
+  std::size_t busy_ = 0;
+
+  mutable std::mutex epoch_mutex_;  ///< sharded: one per shard
+  EpochPtr epoch_;
+
+  /// Completed predictions awaiting report_observation(), FIFO-bounded
+  /// by options_.observation_capacity.
+  struct CompletedPrediction {
+    std::string model_id;
+    stoch::StochasticValue value;
+  };
+  std::mutex observations_mutex_;
+  std::map<std::uint64_t, CompletedPrediction> completed_;
+  std::deque<std::uint64_t> completed_order_;
+
+  // Dual hot-path instruments (stable addresses inside both registries).
+  DualCounter requests_total_;
+  DualCounter requests_ok_;
+  DualCounter requests_error_;
+  DualCounter requests_rejected_;
+  DualCounter rejected_queue_full_;
+  DualCounter rejected_stopped_;
+  DualCounter rejected_shard_unavailable_;
+  DualCounter coalesced_;
+  DualCounter requests_fused_;
+  DualCounter mc_chunks_;
+  /// Local only: the facade counts one service-wide publish, not one
+  /// per shard it fanned out to.
+  Counter& epochs_published_;
+  DualCounter cache_hits_;
+  DualCounter cache_misses_;
+  DualCounter observations_recorded_;
+  DualCounter observations_unmatched_;
+  DualGauge queue_depth_;
+  DualGauge workers_busy_;
+  DualHistogram latency_;
+  DualHistogram batch_sizes_;
+  DualHistogram fused_occupancy_;
+
+  std::vector<std::thread> threads_;  ///< last member: joins see all state
+};
+
+}  // namespace sspred::serve

@@ -556,6 +556,16 @@ TEST(ServeService, BoundedQueueShedsOverload) {
   }
   EXPECT_EQ(rejected, 6u);
   EXPECT_EQ(service.metrics().counter("requests_rejected").value(), 6u);
+  // The shed path is attributed to its SPECIFIC reason, not just the
+  // aggregate: these were capacity rejections, nothing else.
+  EXPECT_EQ(service.metrics().counter("rejected_queue_full").value(), 6u);
+  EXPECT_EQ(service.metrics().counter("rejected_stopped").value(), 0u);
+  EXPECT_EQ(service.metrics().counter("rejected_shard_unavailable").value(),
+            0u);
+  EXPECT_NE(service.metrics().render_json().find(
+                "\"name\": \"rejected_queue_full\", \"kind\": \"counter\", "
+                "\"value\": 6"),
+            std::string::npos);
   service.resume();
   for (int i = 0; i < 4; ++i) {
     EXPECT_TRUE(futures[size_t(i)].get().ok());

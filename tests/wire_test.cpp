@@ -1,0 +1,273 @@
+// Tests for the frontend wire protocol (src/serve/wire.hpp): round-trip
+// fidelity, strict rejection of malformed frames, incremental frame
+// reassembly from arbitrary chunkings, and an end-to-end loopback
+// socket-pair session against a live sharded PredictionService (the
+// codec is transport-agnostic; the socket test proves it composes with a
+// real byte stream).
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/platform.hpp"
+#include "serve/service.hpp"
+#include "serve/wire.hpp"
+#include "support/error.hpp"
+
+namespace sspred::serve {
+namespace {
+
+PredictRequest sample_request() {
+  PredictRequest request;
+  request.model_id = "sor/main";
+  request.mode = Mode::kMonteCarlo;
+  request.loads = {stoch::StochasticValue(0.8, 0.1),
+                   stoch::StochasticValue(0.65, 0.05)};
+  request.bwavail = stoch::StochasticValue(0.9, 0.02);
+  request.bwavail_resource = "net/segment0";
+  request.trials = 4096;
+  request.seed = 1234567890123ULL;
+  return request;
+}
+
+TEST(Wire, RequestRoundTripsEveryField) {
+  const PredictRequest request = sample_request();
+  const auto bytes = encode_request(request, 0xdeadbeefcafef00dULL);
+  // The frame is length-prefixed; decode takes the payload.
+  ASSERT_GE(bytes.size(), 4u);
+  const auto decoded = decode_request(bytes.data() + 4, bytes.size() - 4);
+  EXPECT_EQ(decoded.client_tag, 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(decoded.request.model_id, request.model_id);
+  EXPECT_EQ(decoded.request.mode, request.mode);
+  EXPECT_EQ(decoded.request.loads, request.loads);
+  EXPECT_EQ(decoded.request.resources, request.resources);
+  EXPECT_EQ(decoded.request.bwavail, request.bwavail);
+  EXPECT_EQ(decoded.request.bwavail_resource, request.bwavail_resource);
+  EXPECT_EQ(decoded.request.trials, request.trials);
+  EXPECT_EQ(decoded.request.seed, request.seed);
+}
+
+TEST(Wire, ResourceRequestRoundTrips) {
+  PredictRequest request;
+  request.model_id = "jacobi";
+  request.mode = Mode::kStochastic;
+  request.resources = {"cpu/a", "cpu/b", "cpu/c"};
+  const auto bytes = encode_request(request, 7);
+  const auto decoded = decode_request(bytes.data() + 4, bytes.size() - 4);
+  EXPECT_EQ(decoded.request.resources, request.resources);
+  EXPECT_TRUE(decoded.request.loads.empty());
+}
+
+TEST(Wire, ResponseRoundTripsEveryField) {
+  PredictResult result;
+  result.status = PredictResult::Status::kError;
+  result.error = "resource 'cpu/z' not in epoch 12";
+  result.value = stoch::StochasticValue(3.25, 0.5);
+  result.point = 3.25;
+  result.request_id = (42u << 8) | 3u;
+  result.epoch_version = 12;
+  result.batch_size = 6;
+  result.latency_seconds = 0.125;
+  const auto bytes = encode_response(result, 99);
+  const auto decoded = decode_response(bytes.data() + 4, bytes.size() - 4);
+  EXPECT_EQ(decoded.client_tag, 99u);
+  EXPECT_EQ(decoded.result.status, result.status);
+  EXPECT_EQ(decoded.result.error, result.error);
+  EXPECT_EQ(decoded.result.value, result.value);
+  EXPECT_EQ(decoded.result.point, result.point);
+  EXPECT_EQ(decoded.result.request_id, result.request_id);
+  EXPECT_EQ(decoded.result.epoch_version, result.epoch_version);
+  EXPECT_EQ(decoded.result.batch_size, result.batch_size);
+  EXPECT_EQ(decoded.result.latency_seconds, result.latency_seconds);
+}
+
+TEST(Wire, MalformedFramesThrowStructuredErrors) {
+  const auto good = encode_request(sample_request(), 1);
+  const std::uint8_t* payload = good.data() + 4;
+  const std::size_t size = good.size() - 4;
+
+  // Bad magic.
+  {
+    auto bad = std::vector<std::uint8_t>(payload, payload + size);
+    bad[0] ^= 0xff;
+    EXPECT_THROW((void)decode_request(bad.data(), bad.size()),
+                 support::Error);
+  }
+  // Unknown version.
+  {
+    auto bad = std::vector<std::uint8_t>(payload, payload + size);
+    bad[2] = 42;
+    EXPECT_THROW((void)decode_request(bad.data(), bad.size()),
+                 support::Error);
+  }
+  // Response parsed as request (type mismatch).
+  {
+    const auto response = encode_response(PredictResult{}, 1);
+    EXPECT_THROW(
+        (void)decode_request(response.data() + 4, response.size() - 4),
+        support::Error);
+  }
+  // Truncation at every prefix must throw, never read out of bounds.
+  for (std::size_t cut = 0; cut < size; ++cut) {
+    EXPECT_THROW((void)decode_request(payload, cut), support::Error);
+  }
+  // Trailing garbage.
+  {
+    auto bad = std::vector<std::uint8_t>(payload, payload + size);
+    bad.push_back(0);
+    EXPECT_THROW((void)decode_request(bad.data(), bad.size()),
+                 support::Error);
+  }
+  // Unknown mode byte.
+  {
+    auto bad = std::vector<std::uint8_t>(payload, payload + size);
+    // Payload header (12 bytes) + model_id (4 + len) puts the mode next.
+    const std::size_t mode_at = 12 + 4 + sample_request().model_id.size();
+    bad[mode_at] = 0x7f;
+    EXPECT_THROW((void)decode_request(bad.data(), bad.size()),
+                 support::Error);
+  }
+}
+
+TEST(Wire, FrameBufferReassemblesArbitraryChunkings) {
+  const auto a = encode_request(sample_request(), 1);
+  const auto b = encode_response(PredictResult{}, 2);
+  std::vector<std::uint8_t> stream;
+  stream.insert(stream.end(), a.begin(), a.end());
+  stream.insert(stream.end(), b.begin(), b.end());
+
+  // Feed one byte at a time; frames must pop out whole and in order.
+  FrameBuffer buffer;
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (const std::uint8_t byte : stream) {
+    buffer.feed(&byte, 1);
+    while (auto frame = buffer.take_frame()) {
+      frames.push_back(std::move(*frame));
+    }
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0],
+            std::vector<std::uint8_t>(a.begin() + 4, a.end()));
+  EXPECT_EQ(frames[1],
+            std::vector<std::uint8_t>(b.begin() + 4, b.end()));
+  EXPECT_EQ(buffer.pending_bytes(), 0u);
+
+  // Both frames in a single feed work too.
+  FrameBuffer bulk;
+  bulk.feed(stream.data(), stream.size());
+  EXPECT_TRUE(bulk.take_frame().has_value());
+  EXPECT_TRUE(bulk.take_frame().has_value());
+  EXPECT_FALSE(bulk.take_frame().has_value());
+}
+
+TEST(Wire, FrameBufferRejectsOversizedLengthPrefix) {
+  FrameBuffer buffer(64);
+  const std::uint8_t huge[4] = {0xff, 0xff, 0xff, 0x7f};
+  buffer.feed(huge, sizeof huge);
+  EXPECT_THROW((void)buffer.take_frame(), support::Error);
+}
+
+// End to end over a real byte stream: a server thread owns a sharded
+// PredictionService and speaks the wire protocol over one end of a
+// loopback socket pair; the client pipelines tagged requests over the
+// other end and matches responses by tag.
+TEST(Wire, LoopbackSocketSessionServesShardedPredictions) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+  constexpr int kRequests = 24;
+  std::thread server([server_fd = fds[0]] {
+    ServiceOptions options;
+    options.shards = 2;
+    options.workers = 2;
+    PredictionService service(options);
+    ModelSpec spec;
+    spec.app = ModelSpec::App::kSor;
+    spec.platform = cluster::dedicated_platform(2);
+    spec.config.n = 150;
+    spec.config.iterations = 5;
+    service.register_model("sor", spec);
+    spec.config.n = 250;
+    service.register_model("sor-big", spec);
+
+    FrameBuffer frames;
+    std::uint8_t chunk[256];
+    int served = 0;
+    while (served < kRequests) {
+      const ssize_t n = read(server_fd, chunk, sizeof chunk);
+      ASSERT_GT(n, 0);
+      frames.feed(chunk, static_cast<std::size_t>(n));
+      while (auto frame = frames.take_frame()) {
+        const auto decoded = decode_request(frame->data(), frame->size());
+        const auto result =
+            service.submit(decoded.request).get();  // closed loop per frame
+        const auto reply = encode_response(result, decoded.client_tag);
+        std::size_t off = 0;
+        while (off < reply.size()) {
+          const ssize_t w =
+              write(server_fd, reply.data() + off, reply.size() - off);
+          ASSERT_GT(w, 0);
+          off += static_cast<std::size_t>(w);
+        }
+        ++served;
+      }
+    }
+    close(server_fd);
+  });
+
+  // Client: pipeline all requests, then collect all responses.
+  const int client_fd = fds[1];
+  std::map<std::uint64_t, std::string> sent;  // tag -> model id
+  for (int i = 0; i < kRequests; ++i) {
+    PredictRequest request;
+    request.model_id = i % 2 == 0 ? "sor" : "sor-big";
+    request.loads = {stoch::StochasticValue(0.7, 0.1),
+                     stoch::StochasticValue(0.75, 0.1)};
+    const auto tag = static_cast<std::uint64_t>(1000 + i);
+    sent.emplace(tag, request.model_id);
+    const auto bytes = encode_request(request, tag);
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t w =
+          write(client_fd, bytes.data() + off, bytes.size() - off);
+      ASSERT_GT(w, 0);
+      off += static_cast<std::size_t>(w);
+    }
+  }
+
+  FrameBuffer frames;
+  std::uint8_t chunk[256];
+  std::map<std::uint64_t, PredictResult> received;
+  while (received.size() < sent.size()) {
+    const ssize_t n = read(client_fd, chunk, sizeof chunk);
+    ASSERT_GT(n, 0);
+    frames.feed(chunk, static_cast<std::size_t>(n));
+    while (auto frame = frames.take_frame()) {
+      const auto decoded = decode_response(frame->data(), frame->size());
+      received.emplace(decoded.client_tag, decoded.result);
+    }
+  }
+  server.join();
+  close(client_fd);
+
+  ASSERT_EQ(received.size(), sent.size());
+  // Both families resolve; same-family predictions agree (same loads),
+  // different structures differ.
+  double sor_value = 0.0, big_value = 0.0;
+  for (const auto& [tag, result] : received) {
+    ASSERT_TRUE(sent.contains(tag));
+    ASSERT_TRUE(result.ok()) << result.error;
+    EXPECT_GT(result.point, 0.0);
+    (sent.at(tag) == "sor" ? sor_value : big_value) = result.point;
+  }
+  EXPECT_NE(sor_value, big_value);
+}
+
+}  // namespace
+}  // namespace sspred::serve
