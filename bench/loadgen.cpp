@@ -31,6 +31,17 @@
 // --smoke runs the CI configuration: 2 shards, 2 clients, loopback
 // socket transport, correctness-checked (every request answered, zero
 // rejections), no timing assertions.
+//
+// --nodes N switches to CLUSTER mode (src/dserve/): N ServingNode
+// replicas behind a ClusterFrontend, with --replicas R-way placement and
+// a --faults plan injected mid-stream. The run demonstrates the dserve
+// acceptance bar — healthy cluster bit-exact vs a single-node service,
+// zero accepted requests lost across a node crash, epoch convergence
+// after the partition heals — always asserted; the throughput rows are
+// report-only (like the sharded gate, timing claims are meaningless on
+// starved cores, but correctness never is). Results land in
+// BENCH_cluster_serve.json. `--smoke --nodes 3` is the CI cluster check:
+// 3 nodes, one injected crash + restart.
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -43,12 +54,17 @@
 #include <cstdlib>
 #include <future>
 #include <latch>
+#include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "cluster/platform.hpp"
+#include "dserve/fault.hpp"
+#include "dserve/frontend.hpp"
+#include "serve/epoch.hpp"
 #include "serve/service.hpp"
 #include "serve/wire.hpp"
 
@@ -465,6 +481,303 @@ void write_json(const char* path, double rps_one, double rps_sharded,
   std::fclose(f);
 }
 
+// --- Cluster mode (src/dserve/) ---------------------------------------
+
+struct ClusterGenConfig {
+  GenConfig base;
+  std::size_t nodes = 3;
+  std::size_t replicas = 2;
+  std::string fault_spec;  ///< empty: derive crash+restart of a primary
+};
+
+dserve::ClusterOptions cluster_options(const ClusterGenConfig& cfg) {
+  dserve::ClusterOptions options;
+  options.nodes = cfg.nodes;
+  options.replicas = cfg.replicas;
+  options.node_options.shards = cfg.base.shards;
+  options.node_options.workers =
+      std::max<std::size_t>(1, cfg.base.workers_total / cfg.base.shards);
+  options.node_options.queue_capacity = cfg.base.queue_capacity;
+  options.node_options.max_batch = cfg.base.max_batch;
+  // Demonstrate intra-node work stealing under skewed family load.
+  options.node_options.steal_threshold = 2;
+  return options;
+}
+
+void register_cluster_models(dserve::ClusterFrontend& cluster,
+                             const GenConfig& cfg) {
+  for (std::size_t f = 0; f < cfg.families; ++f) {
+    cluster.register_model(family_id(f), family_spec(cfg, f));
+  }
+}
+
+/// Fixed single-threaded request stream: the determinism harness. The
+/// frontend's step counter IS the request index + 1, which is what lets
+/// a step-keyed fault plan reproduce the same failure history per run.
+std::vector<serve::PredictResult> stream_cluster(
+    dserve::ClusterFrontend& cluster, const GenConfig& cfg,
+    std::size_t total) {
+  std::vector<serve::PredictResult> results;
+  results.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    results.push_back(
+        cluster.predict(make_request(cfg, i % cfg.clients, i / cfg.clients))
+            .result);
+  }
+  return results;
+}
+
+/// Concurrent closed-loop clients against the cluster frontend
+/// (throughput row; report-only).
+RunStats run_cluster_once(const ClusterGenConfig& cfg) {
+  dserve::ClusterFrontend cluster(cluster_options(cfg));
+  register_cluster_models(cluster, cfg.base);
+  for (std::size_t f = 0; f < cfg.base.families; ++f) {
+    const auto warm = cluster.predict(make_request(cfg.base, f, 0));
+    if (!warm.result.ok()) {
+      std::fprintf(stderr, "loadgen: cluster warmup failed: %s\n",
+                   warm.result.error.c_str());
+      std::exit(1);
+    }
+  }
+  std::vector<RunStats> per_client(cfg.base.clients);
+  std::latch start(static_cast<std::ptrdiff_t>(cfg.base.clients) + 1);
+  std::vector<std::thread> clients;
+  clients.reserve(cfg.base.clients);
+  for (std::size_t c = 0; c < cfg.base.clients; ++c) {
+    clients.emplace_back([&, c] {
+      start.arrive_and_wait();
+      for (std::size_t seq = 0; seq < cfg.base.requests; ++seq) {
+        const auto t0 = Clock::now();
+        const auto served =
+            cluster.predict(make_request(cfg.base, c, seq)).result;
+        const std::chrono::duration<double> dt = Clock::now() - t0;
+        auto& out = per_client[c];
+        if (served.ok()) {
+          ++out.ok;
+          out.latencies.push_back(dt.count());
+        } else if (served.status == serve::PredictResult::Status::kRejected) {
+          ++out.rejected;
+        } else {
+          ++out.errors;
+        }
+      }
+    });
+  }
+  start.arrive_and_wait();
+  const auto t0 = Clock::now();
+  for (auto& t : clients) t.join();
+  const std::chrono::duration<double> wall = Clock::now() - t0;
+
+  RunStats total;
+  total.seconds = wall.count();
+  for (auto& s : per_client) {
+    total.ok += s.ok;
+    total.rejected += s.rejected;
+    total.errors += s.errors;
+    total.latencies.insert(total.latencies.end(), s.latencies.begin(),
+                           s.latencies.end());
+  }
+  std::sort(total.latencies.begin(), total.latencies.end());
+  return total;
+}
+
+/// Counters the fault run reports into BENCH_cluster_serve.json.
+struct ClusterSummary {
+  std::uint64_t failovers = 0;
+  std::uint64_t requests_retried = 0;
+  std::uint64_t rebalances = 0;
+  std::uint64_t requests_stolen = 0;
+  std::uint64_t faults_injected = 0;
+  std::string fault_plan;
+  bool bit_exact = false;
+  std::uint64_t lost_requests = 0;
+  bool epoch_converged = false;
+};
+
+void write_cluster_json(const char* path, const ClusterGenConfig& cfg,
+                        const ClusterSummary& summary, bool pass,
+                        const std::vector<JsonRow>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) { std::perror("loadgen: fopen"); std::exit(1); }
+  std::fprintf(f, "{\n  \"context\": {\n");
+  std::fprintf(f, "    \"build_type\": \"%s\",\n", bench::build_type());
+  std::fprintf(f, "    \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "    \"nodes\": %zu,\n", cfg.nodes);
+  std::fprintf(f, "    \"replicas\": %zu,\n", cfg.replicas);
+  std::fprintf(f, "    \"fault_plan\": \"%s\",\n",
+               summary.fault_plan.c_str());
+  std::fprintf(f, "    \"cluster_bit_exact\": %s,\n",
+               summary.bit_exact ? "true" : "false");
+  std::fprintf(f, "    \"cluster_lost_requests\": %llu,\n",
+               (unsigned long long)summary.lost_requests);
+  std::fprintf(f, "    \"cluster_epoch_converged\": %s,\n",
+               summary.epoch_converged ? "true" : "false");
+  std::fprintf(f, "    \"failovers\": %llu,\n",
+               (unsigned long long)summary.failovers);
+  std::fprintf(f, "    \"requests_retried\": %llu,\n",
+               (unsigned long long)summary.requests_retried);
+  std::fprintf(f, "    \"rebalances\": %llu,\n",
+               (unsigned long long)summary.rebalances);
+  std::fprintf(f, "    \"requests_stolen\": %llu,\n",
+               (unsigned long long)summary.requests_stolen);
+  std::fprintf(f, "    \"faults_injected\": %llu,\n",
+               (unsigned long long)summary.faults_injected);
+  std::fprintf(f, "    \"cluster_gate_met\": %s,\n", pass ? "true" : "false");
+  std::fprintf(f, "    \"throughput_asserted\": false\n");
+  std::fprintf(f, "  },\n  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& [name, row_cfg, stats] = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"clients\": %zu, "
+                 "\"requests\": %llu, \"rps\": %.1f, \"p50_ms\": %.3f, "
+                 "\"p95_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+                 name.c_str(), row_cfg.clients,
+                 (unsigned long long)stats.ok, stats.rps(),
+                 stats.percentile(0.50) * 1e3, stats.percentile(0.95) * 1e3,
+                 stats.percentile(0.99) * 1e3,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+/// Cluster mode driver: correctness gates (always asserted), then the
+/// report-only throughput row, then BENCH_cluster_serve.json.
+int run_cluster(const ClusterGenConfig& cfg, const char* json_path) {
+  bench::banner("multi-node serving tier",
+                "replicated nodes, failover, rebalancing, fault injection");
+  const GenConfig& base = cfg.base;
+  const std::size_t total = base.clients * base.requests;
+
+  std::map<std::string, stoch::StochasticValue> bindings;
+  for (std::size_t h = 0; h < base.hosts; ++h) {
+    bindings.emplace("cpu/host" + std::to_string(h),
+                     stoch::StochasticValue(0.5 + 0.02 * double(h), 0.1));
+  }
+  const auto epoch =
+      std::make_shared<const serve::BindingsEpoch>(1, bindings);
+
+  // --- Gate 1: healthy cluster bit-exact vs single-node service --------
+  dserve::ClusterFrontend healthy(cluster_options(cfg));
+  register_cluster_models(healthy, base);
+  healthy.publish_epoch(epoch);
+  serve::PredictionService single(cluster_options(cfg).node_options);
+  for (std::size_t f = 0; f < base.families; ++f) {
+    single.register_model(family_id(f), family_spec(base, f));
+  }
+  single.publish_epoch(epoch);
+  const auto healthy_results = stream_cluster(healthy, base, total);
+  ClusterSummary summary;
+  summary.bit_exact = true;
+  for (std::size_t i = 0; i < total; ++i) {
+    const auto expected =
+        single
+            .submit(make_request(base, i % base.clients, i / base.clients))
+            .get();
+    const auto& got = healthy_results[i];
+    if (!expected.ok() || !got.ok() || got.value != expected.value ||
+        got.point != expected.point) {
+      std::fprintf(stderr,
+                   "loadgen: cluster bit-exactness broke at request %zu: "
+                   "%s vs %s\n",
+                   i, got.ok() ? "ok" : got.error.c_str(),
+                   expected.ok() ? "ok" : expected.error.c_str());
+      summary.bit_exact = false;
+      break;
+    }
+  }
+
+  // --- Gate 2: fault run — zero lost accepted requests -----------------
+  // Default plan: crash a primary a third of the way in, restart it at
+  // two thirds. Placement is deterministic, so the healthy cluster's
+  // ring picks the victim for the fault run too.
+  std::string spec = cfg.fault_spec;
+  if (spec.empty()) {
+    const std::size_t victim = healthy.replica_set(family_id(0)).front();
+    spec = "crash@" + std::to_string(std::max<std::size_t>(2, total / 3)) +
+           ":" + std::to_string(victim) + ",restart@" +
+           std::to_string(std::max<std::size_t>(3, 2 * total / 3)) + ":" +
+           std::to_string(victim);
+  }
+  summary.fault_plan = spec;
+  dserve::ClusterFrontend faulted(cluster_options(cfg),
+                                  dserve::FaultPlan::parse(spec));
+  register_cluster_models(faulted, base);
+  faulted.publish_epoch(epoch);
+  const auto faulted_results = stream_cluster(faulted, base, total);
+  for (std::size_t i = 0; i < total; ++i) {
+    const auto& got = faulted_results[i];
+    if (!got.ok()) {
+      ++summary.lost_requests;
+    } else if (got.value != healthy_results[i].value) {
+      summary.bit_exact = false;
+    }
+  }
+
+  // --- Gate 3: epoch convergence after the heal ------------------------
+  (void)faulted.heartbeat_tick();  // detects the restart's version skew
+  summary.epoch_converged = true;
+  for (std::size_t n = 0; n < faulted.nodes(); ++n) {
+    if (faulted.node(n).epoch_version() != epoch->version()) {
+      summary.epoch_converged = false;
+    }
+  }
+  summary.failovers =
+      faulted.metrics().counter("failovers_total").value();
+  summary.requests_retried =
+      faulted.metrics().counter("requests_retried").value();
+  summary.rebalances =
+      faulted.metrics().counter("rebalances_total").value();
+  summary.faults_injected =
+      faulted.metrics().counter("faults_injected").value();
+  summary.requests_stolen = faulted.requests_stolen();
+
+  // --- Throughput rows (report-only) -----------------------------------
+  std::vector<JsonRow> rows;
+  const RunStats concurrent = run_cluster_once(cfg);
+  rows.push_back({"cluster_closed_loop/" + std::to_string(cfg.nodes) +
+                      "node",
+                  base, concurrent});
+
+  const bool pass = summary.bit_exact && summary.lost_requests == 0 &&
+                    summary.epoch_converged;
+  write_cluster_json(json_path, cfg, summary, pass, rows);
+
+  std::printf(
+      "\n  healthy %zu-node cluster vs single node: %s over %zu requests\n"
+      "  fault run [%s]: %llu lost, %llu failovers, %llu retried\n"
+      "  heal: rebalances=%llu epoch_converged=%s  steals=%llu\n",
+      cfg.nodes, summary.bit_exact ? "bit-exact" : "MISMATCH", total,
+      summary.fault_plan.c_str(),
+      (unsigned long long)summary.lost_requests,
+      (unsigned long long)summary.failovers,
+      (unsigned long long)summary.requests_retried,
+      (unsigned long long)summary.rebalances,
+      summary.epoch_converged ? "true" : "false",
+      (unsigned long long)summary.requests_stolen);
+  std::printf(
+      "  concurrent throughput (report-only): %.0f req/s, p99 %.2fms\n",
+      concurrent.rps(), concurrent.percentile(0.99) * 1e3);
+  std::printf("=> %s (results in %s)\n", pass ? "PASS" : "FAIL", json_path);
+  return pass ? 0 : 1;
+}
+
+int run_cluster_smoke(ClusterGenConfig cfg) {
+  // CI configuration: 3 nodes, small models, one crash + restart.
+  cfg.nodes = cfg.nodes == 0 ? 3 : cfg.nodes;
+  cfg.base.shards = 2;
+  cfg.base.workers_total = 4;
+  cfg.base.clients = 4;
+  cfg.base.requests = 12;
+  cfg.base.families = 3;
+  cfg.base.hosts = 4;
+  cfg.base.model_n = 150;
+  cfg.base.iterations = 5;
+  return run_cluster(cfg, "BENCH_cluster_serve.json");
+}
+
 int run_smoke() {
   GenConfig cfg;
   cfg.shards = 2;
@@ -494,6 +807,9 @@ int main(int argc, char** argv) {
   double floor = 1.8;
   std::size_t reps = 3;
   bool smoke = false;
+  std::size_t nodes = 0;
+  std::size_t replicas = 2;
+  std::string faults;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -516,13 +832,33 @@ int main(int argc, char** argv) {
     else if (arg == "--reps") reps = std::stoul(next());
     else if (arg == "--floor") floor = std::stod(next());
     else if (arg == "--json") json_path = next();
+    else if (arg == "--nodes") nodes = std::stoul(next());
+    else if (arg == "--replicas") replicas = std::stoul(next());
+    else if (arg == "--faults") faults = next();
     else {
       std::fprintf(stderr,
                    "usage: loadgen [--smoke] [--clients N] [--requests N] "
                    "[--shards S] [--workers W] [--families F] [--model-n N] "
-                   "[--reps R] [--floor X] [--json PATH]\n");
+                   "[--reps R] [--floor X] [--json PATH] "
+                   "[--nodes N [--replicas R] [--faults PLAN]]\n");
       return 2;
     }
+  }
+  if (nodes > 0) {
+    ClusterGenConfig cluster_cfg;
+    cluster_cfg.base = base;
+    cluster_cfg.nodes = nodes;
+    cluster_cfg.replicas = replicas;
+    cluster_cfg.fault_spec = faults;
+    if (smoke) return run_cluster_smoke(cluster_cfg);
+    if (std::string(json_path) == "BENCH_sharded_serve.json") {
+      json_path = "BENCH_cluster_serve.json";
+    }
+    // The cluster stream drives the full wire path per node; keep the
+    // default single-threaded gate stream to a tractable size.
+    cluster_cfg.base.clients = std::min<std::size_t>(base.clients, 16);
+    cluster_cfg.base.requests = std::min<std::size_t>(base.requests, 25);
+    return run_cluster(cluster_cfg, json_path);
   }
   if (smoke) return run_smoke();
 

@@ -17,6 +17,9 @@
 //   sspred_cli calibrate --platform platform2 --n 1000 --iters 15
 //                      [--trials T] [--seed N] [--source nws|sample|mix]
 //                      [--window W] [--drift-lambda L]
+//   sspred_cli cluster --platform platform2 --n 1000 --iters 15
+//                      [--nodes 3] [--replicas 2] [--requests R]
+//                      [--faults crash@100:1,restart@300:1] [--seed N]
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -33,6 +36,8 @@
 #include "calib/drift.hpp"
 #include "calib/ledger.hpp"
 #include "calib/recalibrate.hpp"
+#include "dserve/fault.hpp"
+#include "dserve/frontend.hpp"
 #include "machine/load_trace.hpp"
 #include "nws/service.hpp"
 #include "predict/experiment.hpp"
@@ -69,7 +74,11 @@ using namespace sspred;
       "           [--source nws|sample|mix] [--window W]\n"
       "           [--drift-lambda L]\n"
       "           replay a load trace through predict->simulate->report\n"
-      "           and print a calibration report\n";
+      "           and print a calibration report\n"
+      "  cluster  --platform P --n N --iters K [--nodes N] [--replicas R]\n"
+      "           [--requests R] [--faults PLAN] [--seed N]\n"
+      "           run the multi-node serving tier with optional fault\n"
+      "           injection (PLAN e.g. crash@100:1,restart@300:1)\n";
   std::exit(2);
 }
 
@@ -394,6 +403,117 @@ int cmd_serve(const std::map<std::string, std::string>& opts) {
   return errors == 0 ? 0 : 1;
 }
 
+// Cluster driver: the multi-node serving tier (src/dserve/) over the
+// same NWS-fed epoch stream as `serve`. Requests consistent-hash onto an
+// R-way replica set of ServingNodes; an optional --faults plan (see
+// dserve/fault.hpp for the grammar) crashes, slows, or partitions nodes
+// mid-stream while the frontend fails over and, on heartbeat, pushes
+// stale nodes back to the published epoch.
+int cmd_cluster(const std::map<std::string, std::string>& opts) {
+  const auto spec = platform_by_name(get(opts, "platform", "platform2"));
+  serve::ModelSpec model_spec;
+  model_spec.app = serve::ModelSpec::App::kSor;
+  model_spec.platform = spec;
+  model_spec.config.n = std::strtoul(get(opts, "n", "1000").c_str(), nullptr, 10);
+  model_spec.config.iterations =
+      std::strtoul(get(opts, "iters", "15").c_str(), nullptr, 10);
+  const auto requests =
+      std::strtoul(get(opts, "requests", "200").c_str(), nullptr, 10);
+  const auto seed = std::strtoull(get(opts, "seed", "1").c_str(), nullptr, 10);
+
+  dserve::ClusterOptions cluster_options;
+  cluster_options.nodes =
+      std::strtoul(get(opts, "nodes", "3").c_str(), nullptr, 10);
+  cluster_options.replicas =
+      std::strtoul(get(opts, "replicas", "2").c_str(), nullptr, 10);
+  dserve::FaultPlan plan;
+  if (const auto it = opts.find("faults"); it != opts.end()) {
+    plan = dserve::FaultPlan::parse(it->second);
+  }
+
+  constexpr std::size_t kWarmup = 32;
+  const std::size_t steps = requests + kWarmup;
+  nws::Service nws_service;
+  std::vector<std::string> resources;
+  std::vector<machine::LoadTrace> traces;
+  for (std::size_t h = 0; h < spec.hosts.size(); ++h) {
+    resources.push_back("cpu/" + std::to_string(h) + "/" +
+                        spec.hosts[h].machine.name);
+    traces.push_back(machine::LoadTrace::generate(spec.hosts[h].load, steps,
+                                                  1.0, seed + h));
+    for (std::size_t t = 0; t < kWarmup; ++t) {
+      nws_service.observe(resources[h], traces[h].samples()[t]);
+    }
+  }
+  serve::NwsBridge bridge(nws_service, resources);
+
+  dserve::ClusterFrontend cluster(cluster_options, std::move(plan));
+  cluster.register_model("sor", model_spec);
+  cluster.publish_epoch(bridge.publish());
+  std::printf("replica set for 'sor' (primary first):");
+  for (const auto n : cluster.replica_set("sor")) std::printf(" %zu", n);
+  std::printf("  — point --faults at the primary to see failover\n");
+
+  support::RealClock wall;
+  const double t0 = wall.now();
+  std::size_t ok = 0;
+  std::size_t errors = 0;
+  std::size_t rejected = 0;
+  std::size_t failed_over = 0;
+  stoch::StochasticValue last(0.0);
+  for (std::size_t i = 0; i < requests; ++i) {
+    for (std::size_t h = 0; h < spec.hosts.size(); ++h) {
+      nws_service.observe(resources[h], traces[h].samples()[kWarmup + i]);
+    }
+    cluster.publish_epoch(bridge.publish());
+    // Heartbeats run on their own cadence in a real deployment; here a
+    // tick every 32 requests keeps membership and epochs converging
+    // while the stream is the only clock.
+    if (i % 32 == 31) (void)cluster.heartbeat_tick();
+    serve::PredictRequest request;
+    request.model_id = "sor";
+    request.resources = resources;
+    const auto served = cluster.predict(std::move(request));
+    if (served.attempts > 1) ++failed_over;
+    switch (served.result.status) {
+      case serve::PredictResult::Status::kOk:
+        ++ok;
+        last = served.result.value;
+        break;
+      case serve::PredictResult::Status::kError:
+        if (errors++ == 0) std::printf("first error: %s\n",
+                                       served.result.error.c_str());
+        break;
+      case serve::PredictResult::Status::kRejected:
+        ++rejected;
+        break;
+    }
+  }
+  const std::size_t rebalanced = cluster.heartbeat_tick();
+  const double elapsed = wall.now() - t0;
+
+  std::printf("cluster served %zu requests in %.3f s (%.0f req/s): "
+              "%zu ok, %zu error, %zu shed, %zu failed over\n",
+              requests, elapsed, double(requests) / elapsed, ok, errors,
+              rejected, failed_over);
+  if (ok > 0) std::printf("last prediction: %s s\n", last.to_string(2).c_str());
+  std::printf("final heartbeat rebalanced %zu node(s)\n", rebalanced);
+  std::printf("\nnode  state    ewma   epoch  served\n");
+  for (std::size_t n = 0; n < cluster.nodes(); ++n) {
+    const auto health = cluster.membership().health(n);
+    const char* state = health.state == dserve::NodeState::kUp ? "up"
+                        : health.state == dserve::NodeState::kSuspect
+                            ? "suspect"
+                            : "down";
+    std::printf("%4zu  %-7s  %.3f  %5llu  %6llu\n", n, state,
+                health.success_ewma,
+                (unsigned long long)cluster.node(n).epoch_version(),
+                (unsigned long long)health.successes);
+  }
+  std::printf("\n%s", cluster.metrics().render().c_str());
+  return errors == 0 && ok + rejected == requests ? 0 : 1;
+}
+
 // Calibration driver: predict->simulate->report. The experiment harness
 // replays per-host load traces through the simulator (predict::run_series);
 // each trial's prediction is re-served through a ledger-equipped
@@ -531,6 +651,7 @@ int main(int argc, char** argv) {
     if (command == "plan") return cmd_plan(opts);
     if (command == "serve") return cmd_serve(opts);
     if (command == "calibrate") return cmd_calibrate(opts);
+    if (command == "cluster") return cmd_cluster(opts);
     usage("unknown command: " + command);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

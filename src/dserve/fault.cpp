@@ -1,0 +1,140 @@
+#include "dserve/fault.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "support/error.hpp"
+
+namespace sspred::dserve {
+
+namespace {
+
+FaultEvent::Kind parse_kind(const std::string& token,
+                            const std::string& word) {
+  using Kind = FaultEvent::Kind;
+  if (word == "crash") return Kind::kCrash;
+  if (word == "restart") return Kind::kRestart;
+  if (word == "slow") return Kind::kSlow;
+  if (word == "drop") return Kind::kDrop;
+  if (word == "delay") return Kind::kDelay;
+  throw support::Error("fault plan: unknown fault kind '" + word +
+                       "' in '" + token +
+                       "' (want crash|restart|slow|drop|delay)");
+}
+
+[[nodiscard]] bool needs_param(FaultEvent::Kind kind) noexcept {
+  return kind == FaultEvent::Kind::kSlow ||
+         kind == FaultEvent::Kind::kDrop ||
+         kind == FaultEvent::Kind::kDelay;
+}
+
+FaultEvent parse_event(const std::string& token) {
+  // kind@step:node[:param]
+  const auto at = token.find('@');
+  if (at == std::string::npos) {
+    throw support::Error("fault plan: expected kind@step:node[:param], got '" +
+                         token + "'");
+  }
+  FaultEvent event;
+  event.kind = parse_kind(token, token.substr(0, at));
+  std::size_t pos = at + 1;
+  try {
+    std::size_t used = 0;
+    event.step = std::stoull(token.substr(pos), &used);
+    pos += used;
+    if (pos >= token.size() || token[pos] != ':') {
+      throw support::Error("fault plan: missing node in '" + token + "'");
+    }
+    event.node = std::stoull(token.substr(pos + 1), &used);
+    pos += 1 + used;
+    if (pos < token.size()) {
+      if (token[pos] != ':') {
+        throw support::Error("fault plan: trailing garbage in '" + token +
+                             "'");
+      }
+      event.param = std::stod(token.substr(pos + 1), &used);
+      if (pos + 1 + used != token.size()) {
+        throw support::Error("fault plan: trailing garbage in '" + token +
+                             "'");
+      }
+    } else if (needs_param(event.kind)) {
+      throw support::Error("fault plan: '" + token +
+                           "' needs a parameter (slow/delay: seconds, "
+                           "drop: frame count)");
+    }
+  } catch (const std::invalid_argument&) {
+    throw support::Error("fault plan: malformed number in '" + token + "'");
+  } catch (const std::out_of_range&) {
+    throw support::Error("fault plan: number out of range in '" + token +
+                         "'");
+  }
+  if (needs_param(event.kind) && event.param < 0.0) {
+    throw support::Error("fault plan: negative parameter in '" + token + "'");
+  }
+  return event;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string token = spec.substr(begin, end - begin);
+    if (!token.empty()) plan.add(parse_event(token));
+    begin = end + 1;
+  }
+  return plan;
+}
+
+void FaultPlan::add(FaultEvent event) {
+  // Keep schedule order stable: insert before the first strictly-later
+  // event, after equal-step ones (FIFO among ties).
+  const auto it = std::upper_bound(
+      events_.begin() + static_cast<std::ptrdiff_t>(next_), events_.end(),
+      event.step,
+      [](std::uint64_t step, const FaultEvent& e) { return step < e.step; });
+  events_.insert(it, event);
+}
+
+std::vector<FaultEvent> FaultPlan::take_due(std::uint64_t step) {
+  std::vector<FaultEvent> due;
+  while (next_ < events_.size() && events_[next_].step <= step) {
+    due.push_back(events_[next_]);
+    ++next_;
+  }
+  return due;
+}
+
+std::optional<std::vector<std::uint8_t>> FaultyLink::call(
+    const std::vector<std::uint8_t>& frame) {
+  // Consume one drop token if armed (CAS loop: concurrent callers must
+  // not both spend the same token).
+  std::int64_t tokens = drop_remaining_.load(std::memory_order_relaxed);
+  while (tokens > 0 &&
+         !drop_remaining_.compare_exchange_weak(tokens, tokens - 1,
+                                                std::memory_order_relaxed)) {
+  }
+  if (tokens > 0) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  const std::int64_t delay = delay_ns_.load(std::memory_order_relaxed);
+  if (delay > 0) {
+    delayed_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
+  }
+  return inner_.call(frame);
+}
+
+void FaultyLink::set_delay(double seconds) noexcept {
+  delay_ns_.store(seconds <= 0.0
+                      ? 0
+                      : static_cast<std::int64_t>(seconds * 1e9),
+                  std::memory_order_relaxed);
+}
+
+}  // namespace sspred::dserve

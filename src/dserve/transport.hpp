@@ -1,0 +1,33 @@
+// The cluster's byte-moving seam.
+//
+// Everything the ClusterFrontend says to a ServingNode — predictions,
+// heartbeats, epoch fan-outs — is one length-prefixed wire frame
+// (serve/wire.hpp) pushed through a Transport. The interface is
+// deliberately tiny: one synchronous call, frame in, frame out,
+// `nullopt` for "the bytes did not make it" (node crashed, link dropped
+// the frame). That single failure signal is all the failover and health
+// machinery keys off, so a real network transport slots in by mapping
+// its timeouts and resets onto the same nullopt.
+//
+// Implementations must be safe to call from multiple client threads
+// concurrently.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace sspred::dserve {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Delivers one complete frame (4-byte length prefix included) and
+  /// returns the peer's reply frame, or nullopt when the frame or its
+  /// reply was lost — the caller decides whether to fail over.
+  [[nodiscard]] virtual std::optional<std::vector<std::uint8_t>> call(
+      const std::vector<std::uint8_t>& frame) = 0;
+};
+
+}  // namespace sspred::dserve

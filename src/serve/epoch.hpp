@@ -45,6 +45,13 @@ class BindingsEpoch {
 
   [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
 
+  /// The full snapshot, for fan-out layers that re-encode the epoch
+  /// (the cluster frontend ships it to nodes over the wire codec).
+  [[nodiscard]] const std::map<std::string, stoch::StochasticValue>& values()
+      const noexcept {
+    return values_;
+  }
+
  private:
   std::uint64_t version_;
   std::map<std::string, stoch::StochasticValue> values_;

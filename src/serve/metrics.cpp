@@ -86,6 +86,12 @@ void MetricsRegistry::add_child(const std::string& label,
   children_.emplace_back(label, child);
 }
 
+void MetricsRegistry::remove_child(const std::string& label) {
+  const std::lock_guard lock(mutex_);
+  std::erase_if(children_,
+                [&](const auto& entry) { return entry.first == label; });
+}
+
 void MetricsRegistry::clear_children() {
   const std::lock_guard lock(mutex_);
   children_.clear();
@@ -121,7 +127,7 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
   // (recursing outside mutex_: the child takes its own lock).
   for (const auto& [label, child] : children) {
     for (MetricSample s : child->snapshot()) {
-      s.name = label + "/" + s.name;
+      if (!label.empty()) s.name = label + "/" + s.name;
       out.push_back(std::move(s));
     }
   }

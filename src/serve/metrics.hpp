@@ -104,9 +104,15 @@ class MetricsRegistry {
   /// Attaches `child` so snapshots (and both renderings) include its
   /// instruments as "label/name" rows after this registry's own — how
   /// the sharded service reports per-shard p50/p95/p99 next to the
-  /// rolled-up totals. `child` is not owned and must stay alive until
-  /// detached (clear_children()) or the registry dies.
+  /// rolled-up totals, and how the cluster frontend nests a node's
+  /// registry (whose own children yield "node0/shard1/..." rows:
+  /// prefixes compose per attachment level). An EMPTY label merges the
+  /// child's rows unprefixed — a stable parent registry can front a
+  /// replaceable one. `child` is not owned and must stay alive until
+  /// detached (remove_child()/clear_children()) or the registry dies.
   void add_child(const std::string& label, const MetricsRegistry* child);
+  /// Detaches every child attached under `label`.
+  void remove_child(const std::string& label);
   void clear_children();
 
   /// All instruments, name-sorted (histograms summarized as p50/p95/p99),

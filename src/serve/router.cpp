@@ -48,4 +48,37 @@ std::size_t ShardRouter::route_hash(std::uint64_t key_hash) const {
   return it->shard;
 }
 
+std::vector<std::size_t> ShardRouter::replica_set(
+    std::string_view structure_key, std::size_t replicas) const {
+  return replica_set_hash(model::hash_bytes(structure_key), replicas);
+}
+
+std::vector<std::size_t> ShardRouter::replica_set_hash(
+    std::uint64_t key_hash, std::size_t replicas) const {
+  const std::size_t want = std::min(std::max<std::size_t>(replicas, 1),
+                                    shards_);
+  std::vector<std::size_t> set;
+  set.reserve(want);
+  if (shards_ == 1) {
+    set.push_back(0);
+    return set;
+  }
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), key_hash,
+      [](const Point& p, std::uint64_t h) { return p.position < h; });
+  // Walk clockwise (wrapping) collecting distinct shards; one full lap
+  // visits every shard's vnodes, so the loop always terminates with
+  // `want` members.
+  for (std::size_t steps = 0; steps < ring_.size() && set.size() < want;
+       ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    const std::size_t shard = it->shard;
+    if (std::find(set.begin(), set.end(), shard) == set.end()) {
+      set.push_back(shard);
+    }
+    ++it;
+  }
+  return set;
+}
+
 }  // namespace sspred::serve

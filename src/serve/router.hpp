@@ -39,6 +39,16 @@ class ShardRouter {
   /// hot path never re-hashes the key string).
   [[nodiscard]] std::size_t route_hash(std::uint64_t key_hash) const;
 
+  /// R-way replica set for a key: the first `replicas` DISTINCT shards
+  /// clockwise from the key's hash (the primary — route()'s answer —
+  /// first, then its failover successors in ring order). Capped at the
+  /// shard count; the order is deterministic, so every frontend derives
+  /// the same failover sequence for a key.
+  [[nodiscard]] std::vector<std::size_t> replica_set(
+      std::string_view structure_key, std::size_t replicas) const;
+  [[nodiscard]] std::vector<std::size_t> replica_set_hash(
+      std::uint64_t key_hash, std::size_t replicas) const;
+
   [[nodiscard]] std::size_t shards() const noexcept { return shards_; }
 
  private:

@@ -137,6 +137,7 @@ class PredictionService {
   ShardRouter router_;
   Counter& epochs_published_;
   Counter& observations_unmatched_;
+  Counter& requests_stolen_;
   std::vector<std::unique_ptr<PredictionShard>> shards_;
   std::unique_ptr<std::atomic<bool>[]> available_;
 

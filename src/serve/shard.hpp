@@ -73,6 +73,14 @@ struct ServiceOptions {
   /// off disables it too.
   bool enable_fusion = true;
   std::size_t max_batch = 64;  ///< coalesced/fused requests per evaluation
+  /// Work stealing between co-located shards: when the routed shard's
+  /// admission backlog exceeds the least-loaded available shard's by at
+  /// least this many requests, the request is submitted to that shard
+  /// instead (counted as requests_stolen). Trades structure affinity
+  /// (fusion/cache locality on the thief) for queue balance under skewed
+  /// family load; per-request results stay bit-exact on any shard.
+  /// 0 disables stealing — affinity is strict.
+  std::size_t steal_threshold = 0;
   /// Monte-Carlo requests with more trials than this are split into
   /// chunks executed across the shard's pool (when workers > 1).
   std::size_t mc_chunk_trials = 2048;
@@ -175,6 +183,12 @@ class PredictionShard {
   [[nodiscard]] ProgramCache& cache() noexcept { return cache_; }
   [[nodiscard]] MetricsRegistry& metrics() noexcept { return local_; }
   [[nodiscard]] std::size_t index() const noexcept { return index_; }
+
+  /// Admitted requests not yet staged for execution — the lock-free
+  /// imbalance signal the facade's work stealing compares across
+  /// co-located shards (transiently overshoots by in-flight pushes,
+  /// see AdmissionQueue::size()).
+  [[nodiscard]] std::size_t queue_depth() const { return ring_.size(); }
 
  private:
   // Dual instruments: one bump updates the rolled-up service-wide

@@ -127,6 +127,23 @@ class Reader {
     return {mean, half};
   }
 
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return size_ - pos_;
+  }
+
+  /// Guards a declared element count against the bytes actually present
+  /// BEFORE any reserve()/loop: each element needs at least
+  /// `min_bytes_each`, so a forged count can never balloon an allocation
+  /// past the frame it arrived in.
+  void need_count(std::uint32_t count, std::size_t min_bytes_each,
+                  const char* what) const {
+    if (static_cast<std::uint64_t>(count) * min_bytes_each > remaining()) {
+      throw support::Error(std::string("wire: declared ") + what +
+                           " count " + std::to_string(count) +
+                           " exceeds frame size");
+    }
+  }
+
   void expect_done(const char* what) const {
     if (pos_ != size_) {
       throw support::Error(std::string("wire: trailing bytes after ") + what);
@@ -146,7 +163,7 @@ class Reader {
   std::size_t pos_ = 0;
 };
 
-std::uint64_t decode_header(Reader& r, WireType expected) {
+std::uint8_t decode_preamble(Reader& r) {
   const std::uint16_t magic = r.u16();
   if (magic != kWireMagic) {
     throw support::Error("wire: bad magic 0x" + std::to_string(magic));
@@ -157,7 +174,11 @@ std::uint64_t decode_header(Reader& r, WireType expected) {
                          std::to_string(version) + " (speaking " +
                          std::to_string(kWireVersion) + ")");
   }
-  const std::uint8_t type = r.u8();
+  return r.u8();  // message type
+}
+
+std::uint64_t decode_header(Reader& r, WireType expected) {
+  const std::uint8_t type = decode_preamble(r);
   if (type != static_cast<std::uint8_t>(expected)) {
     throw support::Error("wire: unexpected message type " +
                          std::to_string(type));
@@ -166,6 +187,17 @@ std::uint64_t decode_header(Reader& r, WireType expected) {
 }
 
 }  // namespace
+
+WireType frame_type(const std::uint8_t* data, std::size_t size) {
+  Reader r(data, size);
+  const std::uint8_t type = decode_preamble(r);
+  if (type < static_cast<std::uint8_t>(WireType::kRequest) ||
+      type > static_cast<std::uint8_t>(WireType::kEpochAck)) {
+    throw support::Error("wire: unknown message type " +
+                         std::to_string(type));
+  }
+  return static_cast<WireType>(type);
+}
 
 std::vector<std::uint8_t> encode_request(const PredictRequest& request,
                                          std::uint64_t client_tag) {
@@ -214,11 +246,13 @@ DecodedRequest decode_request(const std::uint8_t* data, std::size_t size) {
   }
   out.request.mode = static_cast<Mode>(mode);
   const std::uint32_t loads = r.u32();
+  r.need_count(loads, 16, "load");  // 2 doubles per value
   out.request.loads.reserve(loads);
   for (std::uint32_t i = 0; i < loads; ++i) {
     out.request.loads.push_back(r.value());
   }
   const std::uint32_t resources = r.u32();
+  r.need_count(resources, 4, "resource");  // length prefix per string
   out.request.resources.reserve(resources);
   for (std::uint32_t i = 0; i < resources; ++i) {
     out.request.resources.push_back(r.str());
@@ -250,6 +284,84 @@ DecodedResponse decode_response(const std::uint8_t* data, std::size_t size) {
   out.result.latency_seconds = r.f64();
   r.expect_done("response");
   return out;
+}
+
+std::vector<std::uint8_t> encode_heartbeat(std::uint64_t client_tag) {
+  auto out = begin_frame(WireType::kHeartbeat, client_tag);
+  end_frame(out);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_heartbeat_ack(const HeartbeatAck& ack) {
+  auto out = begin_frame(WireType::kHeartbeatAck, ack.client_tag);
+  put_u64(out, ack.epoch_version);
+  put_u64(out, ack.queue_depth);
+  end_frame(out);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_epoch_publish(const EpochFrame& frame) {
+  auto out = begin_frame(WireType::kEpochPublish, frame.client_tag);
+  put_u64(out, frame.version);
+  SSPRED_REQUIRE(frame.bindings.size() <= 0xffffffffu,
+                 "wire epoch carries too many bindings");
+  put_u32(out, static_cast<std::uint32_t>(frame.bindings.size()));
+  for (const auto& [name, value] : frame.bindings) {
+    put_string(out, name);
+    put_value(out, value);
+  }
+  end_frame(out);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_epoch_ack(const EpochAck& ack) {
+  auto out = begin_frame(WireType::kEpochAck, ack.client_tag);
+  put_u64(out, ack.version);
+  end_frame(out);
+  return out;
+}
+
+std::uint64_t decode_heartbeat(const std::uint8_t* data, std::size_t size) {
+  Reader r(data, size);
+  const std::uint64_t tag = decode_header(r, WireType::kHeartbeat);
+  r.expect_done("heartbeat");
+  return tag;
+}
+
+HeartbeatAck decode_heartbeat_ack(const std::uint8_t* data,
+                                  std::size_t size) {
+  Reader r(data, size);
+  HeartbeatAck ack;
+  ack.client_tag = decode_header(r, WireType::kHeartbeatAck);
+  ack.epoch_version = r.u64();
+  ack.queue_depth = r.u64();
+  r.expect_done("heartbeat ack");
+  return ack;
+}
+
+EpochFrame decode_epoch_publish(const std::uint8_t* data, std::size_t size) {
+  Reader r(data, size);
+  EpochFrame out;
+  out.client_tag = decode_header(r, WireType::kEpochPublish);
+  out.version = r.u64();
+  const std::uint32_t count = r.u32();
+  r.need_count(count, 4 + 16, "binding");  // name prefix + value
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string name = r.str();
+    auto value = r.value();
+    out.bindings.insert_or_assign(std::move(name), value);
+  }
+  r.expect_done("epoch publish");
+  return out;
+}
+
+EpochAck decode_epoch_ack(const std::uint8_t* data, std::size_t size) {
+  Reader r(data, size);
+  EpochAck ack;
+  ack.client_tag = decode_header(r, WireType::kEpochAck);
+  ack.version = r.u64();
+  r.expect_done("epoch ack");
+  return ack;
 }
 
 void FrameBuffer::feed(const std::uint8_t* data, std::size_t size) {

@@ -29,11 +29,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "serve/request.hpp"
+#include "stoch/stochastic_value.hpp"
 
 namespace sspred::serve {
 
@@ -43,7 +45,21 @@ inline constexpr std::uint8_t kWireVersion = 1;
 enum class WireType : std::uint8_t {
   kRequest = 1,
   kResponse = 2,
+  // Cluster control plane (src/dserve/): the frontend speaks to its
+  // nodes in the same framed codec the data plane uses, so one
+  // FrameBuffer + one strictness contract covers every byte a node
+  // ever receives.
+  kHeartbeat = 3,     ///< frontend -> node liveness/epoch probe
+  kHeartbeatAck = 4,  ///< node -> frontend probe reply
+  kEpochPublish = 5,  ///< frontend -> node bindings-epoch fan-out
+  kEpochAck = 6,      ///< node -> frontend epoch install confirmation
 };
+
+/// Validated peek at a complete frame payload's message type: checks the
+/// magic and protocol version, throws support::Error on malformation or
+/// an unknown type byte. Dispatchers (a ServingNode demultiplexing its
+/// inbound stream) call this before the type-specific decoder.
+[[nodiscard]] WireType frame_type(const std::uint8_t* data, std::size_t size);
 
 /// One frame's payload, ready to send (length prefix included).
 [[nodiscard]] std::vector<std::uint8_t> encode_request(
@@ -66,6 +82,50 @@ struct DecodedResponse {
                                             std::size_t size);
 [[nodiscard]] DecodedResponse decode_response(const std::uint8_t* data,
                                               std::size_t size);
+
+// --- Cluster control frames (heartbeat / epoch fan-out) ----------------
+
+/// Node's reply to a heartbeat probe: its current bindings-epoch version
+/// (0: none installed) and admission backlog — the frontend's raw health
+/// and rebalance signals.
+struct HeartbeatAck {
+  std::uint64_t client_tag = 0;
+  std::uint64_t epoch_version = 0;
+  std::uint64_t queue_depth = 0;
+};
+
+/// One bindings epoch on the wire: the frontend fans a published epoch
+/// out to every node as (version, resource -> value) so a node restarted
+/// from scratch can be rebalanced onto the cluster's current snapshot.
+struct EpochFrame {
+  std::uint64_t client_tag = 0;
+  std::uint64_t version = 0;
+  std::map<std::string, stoch::StochasticValue> bindings;
+};
+
+struct EpochAck {
+  std::uint64_t client_tag = 0;
+  std::uint64_t version = 0;  ///< version the node installed
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_heartbeat(
+    std::uint64_t client_tag);
+[[nodiscard]] std::vector<std::uint8_t> encode_heartbeat_ack(
+    const HeartbeatAck& ack);
+[[nodiscard]] std::vector<std::uint8_t> encode_epoch_publish(
+    const EpochFrame& frame);
+[[nodiscard]] std::vector<std::uint8_t> encode_epoch_ack(const EpochAck& ack);
+
+/// Control-frame decoders; same strictness contract as the data plane
+/// (payload without the length prefix, support::Error on malformation).
+[[nodiscard]] std::uint64_t decode_heartbeat(const std::uint8_t* data,
+                                             std::size_t size);
+[[nodiscard]] HeartbeatAck decode_heartbeat_ack(const std::uint8_t* data,
+                                                std::size_t size);
+[[nodiscard]] EpochFrame decode_epoch_publish(const std::uint8_t* data,
+                                              std::size_t size);
+[[nodiscard]] EpochAck decode_epoch_ack(const std::uint8_t* data,
+                                        std::size_t size);
 
 /// Incremental frame reassembly: feed byte chunks as they arrive,
 /// take_frame() yields each complete payload (length prefix stripped) in

@@ -8,6 +8,7 @@
 // tests here run under ThreadSanitizer in CI.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <future>
@@ -205,6 +206,30 @@ TEST(ShardRouter, SingleShardShortCircuits) {
   }
 }
 
+TEST(ShardRouter, ReplicaSetsAreDistinctDeterministicAndPrimaryFirst) {
+  const ShardRouter router(5);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "structure-" + std::to_string(i);
+    const auto set = router.replica_set(key, 3);
+    ASSERT_EQ(set.size(), 3u);
+    // The primary is route()'s answer; successors are distinct shards.
+    EXPECT_EQ(set.front(), router.route(key));
+    const std::set<std::size_t> distinct(set.begin(), set.end());
+    EXPECT_EQ(distinct.size(), set.size());
+    // Deterministic: every frontend derives the same failover order.
+    EXPECT_EQ(set, router.replica_set(key, 3));
+    EXPECT_EQ(set, router.replica_set_hash(model::hash_bytes(key), 3));
+    // Widening the set keeps the prefix (replica order nests).
+    const auto wider = router.replica_set(key, 4);
+    ASSERT_EQ(wider.size(), 4u);
+    EXPECT_TRUE(std::equal(set.begin(), set.end(), wider.begin()));
+  }
+  // R caps at the shard count.
+  EXPECT_EQ(router.replica_set("k", 99).size(), 5u);
+  const ShardRouter one(1);
+  EXPECT_EQ(one.replica_set("k", 3), std::vector<std::size_t>{0});
+}
+
 // --- Sharded service ---------------------------------------------------
 
 // The tentpole determinism contract: with the same fixed request set,
@@ -251,6 +276,52 @@ TEST(ShardedService, ResultsBitExactVsUnsharded) {
     EXPECT_EQ(unsharded[i].value, sharded[i].value) << "request " << i;
     EXPECT_EQ(unsharded[i].point, sharded[i].point) << "request " << i;
   }
+}
+
+// Work stealing: with a single hot family and strict affinity, one
+// shard eats the whole backlog; with a steal threshold the facade
+// reroutes the overflow to the idle shard — and per-request results stay
+// bit-exact, because evaluation is shard-independent.
+TEST(ShardedService, WorkStealingRebalancesBacklogAndStaysBitExact) {
+  constexpr int kRequests = 16;
+  const auto run = [&](std::size_t steal_threshold) {
+    ServiceOptions options;
+    options.shards = 2;
+    options.workers = 1;
+    options.steal_threshold = steal_threshold;
+    options.start_paused = true;  // stage the backlog deterministically
+    PredictionService service(options);
+    service.register_model("fam", family_spec(150));
+    std::vector<std::future<PredictResult>> futures;
+    for (int i = 0; i < kRequests; ++i) {
+      futures.push_back(service.submit(
+          stochastic_request("fam", loads_for(2, 0.6 + 0.02 * i))));
+    }
+    service.resume();
+    std::vector<PredictResult> results;
+    results.reserve(futures.size());
+    for (auto& f : futures) results.push_back(f.get());
+    return std::pair(std::move(results),
+                     service.metrics().counter("requests_stolen").value());
+  };
+
+  const auto [affine, stolen_off] = run(0);
+  const auto [balanced, stolen_on] = run(2);
+  EXPECT_EQ(stolen_off, 0u);  // 0 disables stealing: affinity is strict
+  EXPECT_GT(stolen_on, 0u);
+
+  ASSERT_EQ(affine.size(), balanced.size());
+  std::set<std::size_t> serving_shards;
+  for (std::size_t i = 0; i < affine.size(); ++i) {
+    ASSERT_TRUE(affine[i].ok()) << affine[i].error;
+    ASSERT_TRUE(balanced[i].ok()) << balanced[i].error;
+    EXPECT_EQ(balanced[i].value, affine[i].value) << "request " << i;
+    EXPECT_EQ(balanced[i].point, affine[i].point) << "request " << i;
+    serving_shards.insert(
+        PredictionService::shard_of_id(balanced[i].request_id));
+  }
+  // The stolen requests really ran on the other shard.
+  EXPECT_EQ(serving_shards.size(), 2u);
 }
 
 TEST(ShardedService, StructureAffinityRoutesFamiliesStably) {

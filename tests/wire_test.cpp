@@ -135,6 +135,211 @@ TEST(Wire, MalformedFramesThrowStructuredErrors) {
   }
 }
 
+TEST(Wire, ControlFramesRoundTrip) {
+  // Heartbeat.
+  const auto hb = encode_heartbeat(0x1122334455667788ULL);
+  EXPECT_EQ(frame_type(hb.data() + 4, hb.size() - 4), WireType::kHeartbeat);
+  EXPECT_EQ(decode_heartbeat(hb.data() + 4, hb.size() - 4),
+            0x1122334455667788ULL);
+
+  HeartbeatAck ack;
+  ack.client_tag = 9;
+  ack.epoch_version = 42;
+  ack.queue_depth = 17;
+  const auto hba = encode_heartbeat_ack(ack);
+  const auto ack2 = decode_heartbeat_ack(hba.data() + 4, hba.size() - 4);
+  EXPECT_EQ(ack2.client_tag, 9u);
+  EXPECT_EQ(ack2.epoch_version, 42u);
+  EXPECT_EQ(ack2.queue_depth, 17u);
+
+  // Epoch publish carries a full bindings snapshot.
+  EpochFrame epoch;
+  epoch.client_tag = 3;
+  epoch.version = 12;
+  epoch.bindings.emplace("cpu/a", stoch::StochasticValue(0.7, 0.1));
+  epoch.bindings.emplace("net/segment0", stoch::StochasticValue(0.9, 0.02));
+  const auto ep = encode_epoch_publish(epoch);
+  EXPECT_EQ(frame_type(ep.data() + 4, ep.size() - 4),
+            WireType::kEpochPublish);
+  const auto epoch2 = decode_epoch_publish(ep.data() + 4, ep.size() - 4);
+  EXPECT_EQ(epoch2.client_tag, 3u);
+  EXPECT_EQ(epoch2.version, 12u);
+  EXPECT_EQ(epoch2.bindings, epoch.bindings);
+
+  EpochAck ea;
+  ea.client_tag = 3;
+  ea.version = 12;
+  const auto eab = encode_epoch_ack(ea);
+  EXPECT_EQ(decode_epoch_ack(eab.data() + 4, eab.size() - 4).version, 12u);
+}
+
+TEST(Wire, FrameTypeValidatesBeforePeeking) {
+  const auto good = encode_heartbeat(1);
+  // Too short to carry a header.
+  EXPECT_THROW((void)frame_type(good.data() + 4, 3), support::Error);
+  // Bad magic / version / type byte.
+  auto bad = std::vector<std::uint8_t>(good.begin() + 4, good.end());
+  bad[0] ^= 0xff;
+  EXPECT_THROW((void)frame_type(bad.data(), bad.size()), support::Error);
+  bad = std::vector<std::uint8_t>(good.begin() + 4, good.end());
+  bad[2] = 99;
+  EXPECT_THROW((void)frame_type(bad.data(), bad.size()), support::Error);
+  bad = std::vector<std::uint8_t>(good.begin() + 4, good.end());
+  bad[3] = 0;  // type 0: outside every known frame type
+  EXPECT_THROW((void)frame_type(bad.data(), bad.size()), support::Error);
+  bad[3] = 7;
+  EXPECT_THROW((void)frame_type(bad.data(), bad.size()), support::Error);
+}
+
+// Truncating any control frame at every byte must throw, never read out
+// of bounds (the counterpart of the request-frame truncation sweep).
+TEST(Wire, TruncatedControlFramesThrow) {
+  EpochFrame epoch;
+  epoch.version = 2;
+  epoch.bindings.emplace("cpu/a", stoch::StochasticValue(0.5, 0.1));
+  const std::vector<std::vector<std::uint8_t>> frames = {
+      encode_heartbeat(1), encode_heartbeat_ack({1, 2, 3}),
+      encode_epoch_publish(epoch), encode_epoch_ack({1, 2})};
+  const auto check_cuts = [](const std::vector<std::uint8_t>& frame,
+                             auto decoder) {
+    for (std::size_t cut = 0; cut + 4 < frame.size(); ++cut) {
+      EXPECT_THROW((void)decoder(frame.data() + 4, cut), support::Error);
+    }
+  };
+  check_cuts(frames[0], decode_heartbeat);
+  check_cuts(frames[1], decode_heartbeat_ack);
+  check_cuts(frames[2], decode_epoch_publish);
+  check_cuts(frames[3], decode_epoch_ack);
+  // And trailing garbage is rejected too.
+  for (auto frame : frames) {
+    frame.push_back(0);
+    const auto decode_any = [&] {
+      switch (frame_type(frame.data() + 4, frame.size() - 4)) {
+        case WireType::kHeartbeat:
+          return (void)decode_heartbeat(frame.data() + 4, frame.size() - 4);
+        case WireType::kHeartbeatAck:
+          return (void)decode_heartbeat_ack(frame.data() + 4,
+                                            frame.size() - 4);
+        case WireType::kEpochPublish:
+          return (void)decode_epoch_publish(frame.data() + 4,
+                                            frame.size() - 4);
+        default:
+          return (void)decode_epoch_ack(frame.data() + 4, frame.size() - 4);
+      }
+    };
+    EXPECT_THROW(decode_any(), support::Error);
+  }
+}
+
+// A forged element count must be rejected BEFORE any allocation sized by
+// it: a 16-byte frame declaring 2^32-1 loads would otherwise reserve
+// ~68GB on the way to the bounds check.
+TEST(Wire, ForgedElementCountsCannotBalloonAllocation) {
+  PredictRequest request;
+  request.model_id = "m";
+  request.loads = {stoch::StochasticValue(0.5, 0.1)};
+  auto frame = encode_request(request, 1);
+  // Locate the loads count: header (12) + model_id (4 + 1) + mode (1).
+  const std::size_t count_at = 4 + 12 + 4 + 1 + 1;
+  ASSERT_LT(count_at + 4, frame.size());
+  for (const std::uint8_t byte : {0xff, 0x7f}) {
+    auto forged = frame;
+    forged[count_at] = 0xff;
+    forged[count_at + 1] = 0xff;
+    forged[count_at + 2] = 0xff;
+    forged[count_at + 3] = byte;
+    try {
+      (void)decode_request(forged.data() + 4, forged.size() - 4);
+      FAIL() << "forged count accepted";
+    } catch (const support::Error& e) {
+      EXPECT_NE(std::string(e.what()).find("count"), std::string::npos);
+    }
+  }
+
+  // Same for a forged epoch binding count.
+  EpochFrame epoch;
+  epoch.version = 1;
+  epoch.bindings.emplace("a", stoch::StochasticValue(0.5, 0.1));
+  auto ep = encode_epoch_publish(epoch);
+  const std::size_t bindings_at = 4 + 12 + 8;  // header + tag? (see layout)
+  ASSERT_LT(bindings_at + 4, ep.size());
+  auto forged = ep;
+  forged[bindings_at] = 0xff;
+  forged[bindings_at + 1] = 0xff;
+  forged[bindings_at + 2] = 0xff;
+  forged[bindings_at + 3] = 0xff;
+  EXPECT_THROW(
+      (void)decode_epoch_publish(forged.data() + 4, forged.size() - 4),
+      support::Error);
+}
+
+// Deterministic mutation fuzz: random single-byte flips and truncations
+// of valid frames must either decode cleanly or throw support::Error —
+// never crash, hang, or trip a sanitizer (this test runs under
+// ASan/UBSan in CI).
+TEST(Wire, MutationFuzzNeverEscapesStructuredErrors) {
+  EpochFrame epoch;
+  epoch.version = 5;
+  epoch.bindings.emplace("cpu/a", stoch::StochasticValue(0.7, 0.1));
+  epoch.bindings.emplace("cpu/b", stoch::StochasticValue(0.8, 0.2));
+  const std::vector<std::vector<std::uint8_t>> seeds = {
+      encode_request(sample_request(), 1),
+      encode_response(PredictResult{}, 2),
+      encode_heartbeat(3),
+      encode_heartbeat_ack({4, 5, 6}),
+      encode_epoch_publish(epoch),
+      encode_epoch_ack({7, 8}),
+  };
+
+  // Tiny deterministic LCG — the point is coverage, not randomness.
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  const auto next = [&state](std::uint64_t bound) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return (state >> 33) % bound;
+  };
+
+  int survived = 0;
+  for (int iter = 0; iter < 4000; ++iter) {
+    auto frame = seeds[next(seeds.size())];
+    std::vector<std::uint8_t> payload(frame.begin() + 4, frame.end());
+    // Mutate 1-4 bytes, then maybe truncate.
+    const std::size_t flips = 1 + next(4);
+    for (std::size_t f = 0; f < flips && !payload.empty(); ++f) {
+      payload[next(payload.size())] ^=
+          static_cast<std::uint8_t>(1 + next(255));
+    }
+    std::size_t size = payload.size();
+    if (next(3) == 0) size = next(size + 1);
+    try {
+      switch (frame_type(payload.data(), size)) {
+        case WireType::kRequest:
+          (void)decode_request(payload.data(), size);
+          break;
+        case WireType::kResponse:
+          (void)decode_response(payload.data(), size);
+          break;
+        case WireType::kHeartbeat:
+          (void)decode_heartbeat(payload.data(), size);
+          break;
+        case WireType::kHeartbeatAck:
+          (void)decode_heartbeat_ack(payload.data(), size);
+          break;
+        case WireType::kEpochPublish:
+          (void)decode_epoch_publish(payload.data(), size);
+          break;
+        case WireType::kEpochAck:
+          (void)decode_epoch_ack(payload.data(), size);
+          break;
+      }
+      ++survived;  // mutation left a decodable frame — fine
+    } catch (const support::Error&) {
+      // The only acceptable failure mode.
+    }
+  }
+  // Sanity: the corpus explored both outcomes.
+  EXPECT_GT(survived, 0);
+}
+
 TEST(Wire, FrameBufferReassemblesArbitraryChunkings) {
   const auto a = encode_request(sample_request(), 1);
   const auto b = encode_response(PredictResult{}, 2);
