@@ -20,6 +20,9 @@
 //   sspred_cli cluster --platform platform2 --n 1000 --iters 15
 //                      [--nodes 3] [--replicas 2] [--requests R]
 //                      [--faults crash@100:1,restart@300:1] [--seed N]
+//   sspred_cli learn   --platform platform2 --n 1000 --iters 15
+//                      [--trials T] [--seed N] [--source nws|sample|mix]
+//                      [--drift-at K] [--drift-scale S]
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -38,6 +41,8 @@
 #include "calib/recalibrate.hpp"
 #include "dserve/fault.hpp"
 #include "dserve/frontend.hpp"
+#include "learn/arbiter.hpp"
+#include "learn/bank.hpp"
 #include "machine/load_trace.hpp"
 #include "nws/service.hpp"
 #include "predict/experiment.hpp"
@@ -78,7 +83,13 @@ using namespace sspred;
       "  cluster  --platform P --n N --iters K [--nodes N] [--replicas R]\n"
       "           [--requests R] [--faults PLAN] [--seed N]\n"
       "           run the multi-node serving tier with optional fault\n"
-      "           injection (PLAN e.g. crash@100:1,restart@300:1)\n";
+      "           injection (PLAN e.g. crash@100:1,restart@300:1)\n"
+      "  learn    --platform P --n N --iters K [--trials T] [--seed N]\n"
+      "           [--source nws|sample|mix] [--drift-at K]\n"
+      "           [--drift-scale S]\n"
+      "           closed predict->observe loop with the learned-predictor\n"
+      "           bank; injects a runtime drift at trial K and prints the\n"
+      "           per-model arbitration table\n";
   std::exit(2);
 }
 
@@ -637,6 +648,129 @@ int cmd_calibrate(const std::map<std::string, std::string>& opts) {
   return 0;
 }
 
+// Learning driver: the calibrate loop with the learned-predictor bank
+// enabled. An unmodeled runtime drift (observed runtimes scaled by
+// --drift-scale from trial --drift-at on) makes the structural model go
+// stale; the RLS bank tracks the drifted stream and the arbiter flips
+// the serving source once the learned candidate's rolling CRPS wins
+// with hysteresis. Prints the per-model arbitration table, the bank
+// snapshot and the learn/ metrics subtree.
+int cmd_learn(const std::map<std::string, std::string>& opts) {
+  predict::SeriesConfig cfg;
+  cfg.platform = platform_by_name(get(opts, "platform", "platform2"));
+  cfg.sor.n = std::strtoul(get(opts, "n", "1000").c_str(), nullptr, 10);
+  cfg.sor.iterations =
+      std::strtoul(get(opts, "iters", "15").c_str(), nullptr, 10);
+  cfg.sor.real_numerics = false;
+  cfg.trials = std::strtoul(get(opts, "trials", "128").c_str(), nullptr, 10);
+  cfg.seed = std::strtoull(get(opts, "seed", "20260808").c_str(), nullptr, 10);
+  cfg.bwavail = stoch::StochasticValue::from_mean_sd(0.525, 0.06);
+  const std::string source = get(opts, "source", "nws");
+  if (source == "nws") {
+    cfg.load_source = predict::LoadParameterSource::kNwsForecast;
+  } else if (source == "sample") {
+    cfg.load_source = predict::LoadParameterSource::kRecentSample;
+  } else if (source == "mix") {
+    cfg.load_source = predict::LoadParameterSource::kModalMix;
+  } else {
+    usage("unknown --source (nws|sample|mix)");
+  }
+  const auto drift_at = std::strtoul(
+      get(opts, "drift-at", std::to_string(cfg.trials / 2)).c_str(), nullptr,
+      10);
+  const double drift_scale = std::stod(get(opts, "drift-scale", "1.4"));
+
+  const auto outcomes = predict::run_series(cfg);
+
+  auto ledger = std::make_shared<calib::AccuracyLedger>();
+
+  serve::ServiceOptions service_options;
+  service_options.workers = 2;
+  service_options.ledger = ledger;
+  service_options.enable_learning = true;
+  serve::PredictionService service(service_options);
+  serve::ModelSpec model_spec;
+  model_spec.app = serve::ModelSpec::App::kSor;
+  model_spec.platform = cfg.platform;
+  model_spec.config = cfg.sor;
+  service.register_model("sor", model_spec);
+
+  // Sequential submit->get->report loop: learning state is read at
+  // execute time and trained at report time, so the stream is
+  // deterministic for a fixed seed.
+  learn::Source serving = learn::Source::kStructural;
+  std::vector<std::size_t> flip_trials;
+  std::size_t trial = 0;
+  for (const auto& o : outcomes) {
+    serve::PredictRequest request;
+    request.model_id = "sor";
+    request.loads = o.load_params;
+    request.bwavail = cfg.bwavail;
+    const auto result = service.submit(std::move(request)).get();
+    if (!result.ok()) {
+      std::cerr << "error: " << result.error << "\n";
+      return 1;
+    }
+    const double observed =
+        trial >= drift_at ? o.actual * drift_scale : o.actual;
+    service.report_observation(result.request_id, observed);
+    const auto now = service.arbiter()->source("sor");
+    if (now != serving) {
+      flip_trials.push_back(trial);
+      serving = now;
+    }
+    ++trial;
+  }
+  service.drain();
+
+  std::printf("learned-predictor arbitration (%zu trials, drift x%.2f at "
+              "trial %zu)\n\n",
+              outcomes.size(), drift_scale, std::size_t(drift_at));
+  support::Table t({"model", "serving", "obs", "flips", "blend_w",
+                    "crps[S]", "crps[L]", "crps[B]", "cov[S]", "cov[L]",
+                    "cov[B]"});
+  for (const auto& row : service.arbiter()->table()) {
+    t.add_row({row.model_id, learn::source_name(row.serving),
+               std::to_string(row.observations), std::to_string(row.flips),
+               support::fmt(row.blend_weight, 2),
+               support::fmt(row.structural.rolling_crps, 4),
+               support::fmt(row.learned.rolling_crps, 4),
+               support::fmt(row.blended.rolling_crps, 4),
+               support::fmt_pct(row.structural.rolling_coverage),
+               support::fmt_pct(row.learned.rolling_coverage),
+               support::fmt_pct(row.blended.rolling_coverage)});
+  }
+  std::cout << t.render();
+
+  if (flip_trials.empty()) {
+    std::printf("\nserving source never left structural\n");
+  } else {
+    std::printf("\nserving-source flips at trial(s):");
+    for (const std::size_t f : flip_trials) std::printf(" %zu", f);
+    std::printf("\n");
+  }
+
+  std::printf("\npredictor bank\n");
+  support::Table b({"structure key", "obs", "innovation sd", "dim"});
+  for (const auto& row : service.bank()->snapshot()) {
+    const std::string key = row.structure_key.size() > 40
+                                ? row.structure_key.substr(0, 37) + "..."
+                                : row.structure_key;
+    b.add_row({key, std::to_string(row.observations),
+               support::fmt(row.innovation_sd, 4),
+               std::to_string(row.coefficients.size())});
+  }
+  std::cout << b.render();
+
+  const auto s = ledger->snapshot("sor");
+  std::printf("\nserved stream: rolling coverage %.1f%% over %zu | "
+              "rolling CRPS %.4f\n",
+              s.rolling_coverage * 100.0, std::size_t(s.rolling_count),
+              s.rolling_crps);
+  std::printf("\n%s", service.metrics().render().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -652,6 +786,7 @@ int main(int argc, char** argv) {
     if (command == "serve") return cmd_serve(opts);
     if (command == "calibrate") return cmd_calibrate(opts);
     if (command == "cluster") return cmd_cluster(opts);
+    if (command == "learn") return cmd_learn(opts);
     usage("unknown command: " + command);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -25,7 +25,8 @@ double pinball_loss(double q, double tau, double y) noexcept {
 
 AccuracyLedger::Entry::Entry(const LedgerOptions& options)
     : abs_z(options.nominal_coverage),
-      ring(std::max<std::size_t>(options.coverage_window, 1), 0) {}
+      ring(std::max<std::size_t>(options.coverage_window, 1), 0),
+      crps_ring(std::max<std::size_t>(options.coverage_window, 1), 0.0) {}
 
 void AccuracyLedger::Entry::record(const stoch::StochasticValue& predicted,
                                    double observed,
@@ -41,6 +42,16 @@ void AccuracyLedger::Entry::record(const stoch::StochasticValue& predicted,
   if (ring_n < ring.size()) ++ring_n;
 
   halfwidths.add(predicted.halfwidth());
+  // Rolling CRPS: points score as |error| (the CRPS of a degenerate
+  // distribution), so every candidate pays into the arbitration window.
+  const double crps_now =
+      predicted.is_point()
+          ? std::abs(observed - predicted.mean())
+          : normal_crps(predicted.mean(), predicted.sd(), observed);
+  crps_ring[crps_ring_pos] = crps_now;
+  crps_ring_pos = (crps_ring_pos + 1) % crps_ring.size();
+  if (crps_ring_n < crps_ring.size()) ++crps_ring_n;
+
   if (predicted.is_point()) {
     ++points;
     return;
@@ -49,7 +60,7 @@ void AccuracyLedger::Entry::record(const stoch::StochasticValue& predicted,
   const double zv = (observed - predicted.mean()) / sd;
   z.add(zv);
   abs_z.add(std::abs(zv));
-  crps.add(normal_crps(predicted.mean(), sd, observed));
+  crps.add(crps_now);
   const double tau_lo = (1.0 - options.nominal_coverage) / 2.0;
   const double tau_hi = 1.0 - tau_lo;
   const stats::Normal normal(predicted.mean(), sd);
@@ -72,6 +83,12 @@ CalibrationSnapshot AccuracyLedger::Entry::snapshot(
   s.nominal_coverage = options.nominal_coverage;
   s.sharpness = halfwidths.count() == 0 ? 0.0 : halfwidths.mean();
   s.mean_crps = crps.count() == 0 ? 0.0 : crps.mean();
+  s.rolling_crps_count = crps_ring_n;
+  if (crps_ring_n > 0) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < crps_ring_n; ++i) sum += crps_ring[i];
+    s.rolling_crps = sum / static_cast<double>(crps_ring_n);
+  }
   s.mean_pinball = pinball.count() == 0 ? 0.0 : pinball.mean();
   s.z_mean = z.count() == 0 ? 0.0 : z.mean();
   s.z_sd = z.sd();
@@ -113,6 +130,11 @@ CalibrationSnapshot AccuracyLedger::snapshot(
   SSPRED_REQUIRE(it != per_model_.end(),
                  "no observations recorded for model '" + model_id + "'");
   return it->second.snapshot(options_);
+}
+
+bool AccuracyLedger::has(const std::string& model_id) const {
+  const std::lock_guard lock(mutex_);
+  return per_model_.find(model_id) != per_model_.end();
 }
 
 std::vector<std::string> AccuracyLedger::model_ids() const {

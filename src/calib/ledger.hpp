@@ -50,6 +50,9 @@ struct CalibrationSnapshot {
   double nominal_coverage = 0.0;     ///< the target, for report rendering
   double sharpness = 0.0;            ///< mean predicted half-width
   double mean_crps = 0.0;            ///< mean CRPS vs the predicted normal
+  double rolling_crps = 0.0;         ///< mean CRPS over the rolling window
+                                     ///< (points score |error| here)
+  std::uint64_t rolling_crps_count = 0;  ///< observations in that window
   double mean_pinball = 0.0;         ///< mean pinball loss at the interval
                                      ///< quantiles (tau = (1∓nominal)/2)
   double z_mean = 0.0;               ///< standardized-residual mean
@@ -79,6 +82,10 @@ class AccuracyLedger {
 
   [[nodiscard]] std::vector<std::string> model_ids() const;
 
+  /// True when `model_id` has at least one recorded observation (the
+  /// non-throwing probe the arbiter uses before snapshot()).
+  [[nodiscard]] bool has(const std::string& model_id) const;
+
   [[nodiscard]] const LedgerOptions& options() const noexcept {
     return options_;
   }
@@ -105,6 +112,16 @@ class AccuracyLedger {
     std::size_t ring_pos = 0;
     std::size_t ring_n = 0;
     std::uint64_t ring_sum = 0;
+    // Rolling per-observation CRPS ring (same capacity). Unlike the
+    // cumulative `crps` stat, point predictions DO contribute here —
+    // scored as |error|, the degenerate-distribution CRPS — because the
+    // arbiter compares candidates over this window and a candidate must
+    // not escape scoring by emitting points. Summed at snapshot time
+    // (256 adds) rather than kept as a running sum, so eviction never
+    // accumulates floating-point drift.
+    std::vector<double> crps_ring;
+    std::size_t crps_ring_pos = 0;
+    std::size_t crps_ring_n = 0;
   };
 
   LedgerOptions options_;

@@ -21,9 +21,18 @@ ConformalRecalibrator::ConformalRecalibrator(RecalibratorOptions options)
 void ConformalRecalibrator::record(const std::string& model_id,
                                    const stoch::StochasticValue& predicted,
                                    double observed) {
-  if (predicted.is_point()) return;
+  // Near-degenerate intervals are as unusable as exact points: a
+  // half-width of 1e-300 (possible from an almost-deterministic binding)
+  // would blow the normalized score up to inf/NaN, and one such score
+  // poisons the window quantile for `window` subsequent predictions.
+  // Floor the half-width relative to the prediction's magnitude and
+  // refuse any score that still fails to come out finite.
+  const double floor_hw =
+      std::max(1e-9 * std::max(std::abs(predicted.mean()), 1.0), 1e-300);
+  if (predicted.halfwidth() < floor_hw) return;
   const double score =
       std::abs(observed - predicted.mean()) / predicted.halfwidth();
+  if (!std::isfinite(score)) return;
   const std::lock_guard lock(mutex_);
   for (Window* w : {&per_model_[model_id], &overall_}) {
     if (w->ring.empty()) w->ring.assign(options_.window, 0.0);

@@ -1,0 +1,19 @@
+#include "learn/feature.hpp"
+
+#include <algorithm>
+
+namespace sspred::learn {
+
+void extract_features(std::span<const stoch::StochasticValue> loads,
+                      const stoch::StochasticValue& bwavail,
+                      bool uses_bandwidth, std::vector<double>& out) {
+  out.resize(feature_dim(loads.size()));
+  out[0] = 1.0;
+  for (std::size_t p = 0; p < loads.size(); ++p) {
+    out[1 + p] = 1.0 / std::max(loads[p].mean(), kAvailabilityFloor);
+  }
+  out[1 + loads.size()] =
+      uses_bandwidth ? 1.0 / std::max(bwavail.mean(), kAvailabilityFloor) : 0.0;
+}
+
+}  // namespace sspred::learn

@@ -1,0 +1,47 @@
+// Feature extraction: resolved request bindings -> RLS feature vector.
+//
+// The structural models (predict/) compute ExTime from terms that are
+// linear in 1/availability: work stretches by the reciprocal of the CPU
+// fraction actually available, and transfer time by the reciprocal of
+// available bandwidth (paper §2.3). The learned predictor keeps that
+// functional form and learns only the coefficients, which is what makes
+// it a *graybox*: for a model over H hosts the feature vector is
+//
+//     x = [ 1,  1/max(load_0, eps), ..., 1/max(load_{H-1}, eps),
+//           uses_bw ? 1/max(bwavail, eps) : 0 ]
+//
+// of fixed dimension H + 2. The intercept absorbs load-independent cost;
+// each reciprocal-availability term carries the per-host work (or the
+// message volume, for the bandwidth slot) as its learned coefficient.
+// Means only — binding uncertainty is handled downstream by the residual
+// quantile tracker, not widened into the features.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stoch/stochastic_value.hpp"
+
+namespace sspred::learn {
+
+/// Availabilities at or below this floor are clamped before inversion so
+/// a (mis)bound zero load cannot inject inf into the regression.
+inline constexpr double kAvailabilityFloor = 1e-6;
+
+/// Feature-vector length for a model over `hosts` hosts: intercept +
+/// one reciprocal-load term per host + the bandwidth term (always
+/// reserved, zeroed when the model has no bandwidth parameter, so the
+/// dimension depends on structure only).
+[[nodiscard]] constexpr std::size_t feature_dim(std::size_t hosts) noexcept {
+  return hosts + 2;
+}
+
+/// Fills `out` (resized to feature_dim(loads.size())) from the resolved
+/// bindings of one request. Deterministic, allocation-free once `out`
+/// has capacity.
+void extract_features(std::span<const stoch::StochasticValue> loads,
+                      const stoch::StochasticValue& bwavail,
+                      bool uses_bandwidth, std::vector<double>& out);
+
+}  // namespace sspred::learn

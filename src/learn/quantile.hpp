@@ -1,0 +1,65 @@
+// StreamingQuantiles — online quantile tracking by pinball-loss gradient.
+//
+// The distributional half of a learned prediction (DESIGN.md §15,
+// following Xu et al.'s distributional-outcome prediction for HPC
+// variability): instead of assuming the runtime residual is normal, track
+// its quantiles directly. Each tracked level tau follows the classic
+// stochastic subgradient of the pinball (quantile) loss,
+//
+//     q_tau += step * (tau - 1{r < q_tau})
+//
+// whose fixed point is the true tau-quantile of the residual stream. The
+// step is a constant fraction of an adaptive scale (an EWMA of |r - q50|),
+// so the tracker converges on stationary streams but keeps adapting after
+// a regime shift — exactly the drift case the predictor bank exists for.
+// Unlike the P² sketch (stats/descriptive.hpp), which estimates a
+// quantile of EVERYTHING it has seen, this tracker forgets.
+//
+// Deterministic for a fixed observation sequence; not thread-safe (the
+// PredictorBank serializes access).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sspred::learn {
+
+struct QuantileOptions {
+  /// Tracked levels, each in (0, 1). Order is preserved in quantiles().
+  std::vector<double> taus{0.05, 0.5, 0.95};
+  /// Step size as a fraction of the adaptive scale.
+  double learning_rate = 0.08;
+  /// EWMA weight of the |r - median| scale estimate.
+  double scale_forgetting = 0.95;
+};
+
+class StreamingQuantiles {
+ public:
+  explicit StreamingQuantiles(QuantileOptions options = {});
+
+  /// Ingests one residual observation.
+  void add(double r);
+
+  /// Current estimate for options().taus[i].
+  [[nodiscard]] double quantile(std::size_t i) const;
+
+  /// All tracked quantiles, monotonicity enforced (crossing estimates —
+  /// possible transiently right after a shift — are sorted into order).
+  [[nodiscard]] std::vector<double> quantiles() const;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  /// Adaptive spread scale the steps are proportional to.
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+  [[nodiscard]] const QuantileOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  QuantileOptions options_;
+  std::vector<double> q_;       ///< per-tau estimates
+  std::size_t median_index_ = 0;  ///< tau closest to 0.5 (scale anchor)
+  double scale_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace sspred::learn

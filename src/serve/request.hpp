@@ -49,6 +49,9 @@ struct PredictResult {
   stoch::StochasticValue value;   ///< prediction (point: halfwidth 0)
   double point = 0.0;             ///< mean shortcut
   std::uint64_t request_id = 0;   ///< ticket for report_observation()
+  /// Which predictor produced `value`: 0 structural, 1 learned, 2 blended
+  /// (learn::Source numbering; always 0 when learning is disabled).
+  std::uint8_t source = 0;
   std::uint64_t epoch_version = 0;  ///< bindings epoch served under (0: none)
   std::size_t batch_size = 1;     ///< requests sharing this evaluation
   double latency_seconds = 0.0;   ///< submit -> completion, service clock

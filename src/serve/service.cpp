@@ -17,11 +17,24 @@ PredictionService::PredictionService(ServiceOptions options)
                      " shards");
   SSPRED_REQUIRE(options_.queue_capacity >= 1,
                  "service needs queue capacity >= 1");
+  if (options_.enable_learning) {
+    // Node-local learn state: filled into OUR options copy only, so a
+    // caller holding the original options (e.g. a dserve node that will
+    // restart() us) keeps its nulls and a replacement service starts
+    // from a blank bank, re-converging from fresh observations.
+    if (!options_.bank) {
+      options_.bank = std::make_shared<learn::PredictorBank>();
+    }
+    if (!options_.arbiter) {
+      options_.arbiter = std::make_shared<learn::Arbiter>();
+    }
+    metrics_.add_child("learn", &learn_metrics_);
+  }
   shards_.reserve(options_.shards);
   available_ = std::make_unique<std::atomic<bool>[]>(options_.shards);
   for (std::size_t s = 0; s < options_.shards; ++s) {
     shards_.push_back(std::make_unique<PredictionShard>(
-        s, options_, clock_, models_, metrics_));
+        s, options_, clock_, models_, metrics_, learn_metrics_));
     available_[s].store(true, std::memory_order_relaxed);
   }
   if (options_.shards > 1) {

@@ -97,10 +97,28 @@ class PredictionService {
   bool report_observation(std::uint64_t request_id, double observed_seconds);
 
   /// Service-wide registry: rolled-up totals under the monolith's metric
-  /// names, plus per-shard "shard<k>/..." children when shards > 1.
+  /// names, plus per-shard "shard<k>/..." children when shards > 1 and a
+  /// "learn/..." subtree when learning is enabled.
   [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
   [[nodiscard]] const ServiceOptions& options() const noexcept {
     return options_;
+  }
+
+  // --- Learning surface -------------------------------------------------
+
+  /// The learned-predictor bank / arbiter serving this service; null when
+  /// learning is disabled. Shared across every shard, so arbitration is
+  /// per model id service-wide whatever the shard count.
+  [[nodiscard]] learn::PredictorBank* bank() const noexcept {
+    return options_.bank.get();
+  }
+  [[nodiscard]] learn::Arbiter* arbiter() const noexcept {
+    return options_.arbiter.get();
+  }
+  /// The learn/ metrics subtree (also attached under metrics() when
+  /// learning is enabled).
+  [[nodiscard]] MetricsRegistry& learn_metrics() noexcept {
+    return learn_metrics_;
   }
 
   // --- Sharding surface -------------------------------------------------
@@ -133,6 +151,7 @@ class PredictionService {
   ServiceOptions options_;
   std::shared_ptr<support::Clock> clock_;
   MetricsRegistry metrics_;
+  MetricsRegistry learn_metrics_;  ///< learn/ subtree (shards dual-write)
   ModelTable models_;
   ShardRouter router_;
   Counter& epochs_published_;

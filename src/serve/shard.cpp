@@ -5,6 +5,7 @@
 #include <optional>
 #include <sstream>
 
+#include "learn/feature.hpp"
 #include "model/fingerprint.hpp"
 #include "support/error.hpp"
 
@@ -76,7 +77,8 @@ PredictionShard::PredictionShard(std::size_t index,
                                  const ServiceOptions& options,
                                  std::shared_ptr<support::Clock> clock,
                                  const ModelTable& models,
-                                 MetricsRegistry& global)
+                                 MetricsRegistry& global,
+                                 MetricsRegistry& learn_global)
     : index_(index),
       options_(options),
       clock_(std::move(clock)),
@@ -111,6 +113,19 @@ PredictionShard::PredictionShard(std::size_t index,
                              local_.counter("observations_recorded")},
       observations_unmatched_{global.counter("observations_unmatched"),
                               local_.counter("observations_unmatched")},
+      predictions_served_structural_{
+          learn_global.counter("predictions_served_structural"),
+          local_.counter("predictions_served_structural")},
+      predictions_served_learned_{
+          learn_global.counter("predictions_served_learned"),
+          local_.counter("predictions_served_learned")},
+      predictions_served_blended_{
+          learn_global.counter("predictions_served_blended"),
+          local_.counter("predictions_served_blended")},
+      observations_trained_{learn_global.counter("observations_trained"),
+                            local_.counter("observations_trained")},
+      arbiter_flips_{learn_global.counter("arbiter_flips"),
+                     local_.counter("arbiter_flips")},
       queue_depth_{global.gauge("queue_depth"), local_.gauge("queue_depth")},
       workers_busy_{global.gauge("workers_busy"),
                     local_.gauge("workers_busy")},
@@ -405,13 +420,15 @@ void PredictionShard::worker_loop() {
   }
 }
 
-CompiledModelPtr PredictionShard::resolve_model(const PredictRequest& request) {
+CompiledModelPtr PredictionShard::resolve_model(const PredictRequest& request,
+                                                ModelTable::EntryPtr* entry_out) {
   // Execute-time resolution against the CURRENT registration — an id
   // re-registered between submit and dequeue serves the new structure,
   // and the Entry snapshot guarantees spec and key agree (the cache can
   // never be asked for a stale key's program).
   const ModelTable::EntryPtr entry = models_.find(request.model_id);
   if (!entry) models_.throw_unknown(request.model_id);
+  if (entry_out != nullptr) *entry_out = entry;
   if (options_.enable_cache) {
     const auto lookup = cache_.get_or_compile(entry->spec, entry->structure_key);
     (lookup.hit ? cache_hits_ : cache_misses_).increment();
@@ -467,9 +484,41 @@ void PredictionShard::bind(model::ir::SlotEnvironment& env,
   if (model.uses_bandwidth()) env.bind(model.bwavail_slot(), bwavail);
 }
 
+void PredictionShard::apply_learning(const std::string& structure_key,
+                                     const std::string& model_id,
+                                     PredictResult& base,
+                                     LearnOverlay& overlay) {
+  if (!learning_active()) return;
+  overlay.active = true;
+  overlay.structure_key = structure_key;
+  overlay.structural = base.value;
+  const std::optional<learn::LearnedPrediction> learned =
+      options_.bank->predict(structure_key, overlay.features);
+  learn::Source source = learn::Source::kStructural;
+  if (learned.has_value()) {
+    overlay.has_learned = true;
+    overlay.learned = learned->value;
+    source = options_.arbiter->source(model_id);
+    switch (source) {
+      case learn::Source::kStructural:
+        break;
+      case learn::Source::kLearned:
+        base.value = learned->value;
+        break;
+      case learn::Source::kBlended:
+        base.value = learn::blend(overlay.structural, learned->value,
+                                  options_.arbiter->blend_weight(model_id));
+        break;
+    }
+    base.point = base.value.mean();
+  }
+  base.source = static_cast<std::uint8_t>(source);
+}
+
 void PredictionShard::finish_batch(std::vector<Pending>& promises,
                                    PredictResult base, double enqueue_time,
-                                   const std::string& model_id) {
+                                   const std::string& model_id,
+                                   LearnOverlay overlay) {
   base.latency_seconds = now() - enqueue_time;
   latency_.observe(base.latency_seconds);
   const auto n = static_cast<std::uint64_t>(promises.size());
@@ -479,9 +528,22 @@ void PredictionShard::finish_batch(std::vector<Pending>& promises,
   } else {
     requests_error_.increment(n);
   }
+  if (ok && overlay.active) {
+    switch (static_cast<learn::Source>(base.source)) {
+      case learn::Source::kStructural:
+        predictions_served_structural_.increment(n);
+        break;
+      case learn::Source::kLearned:
+        predictions_served_learned_.increment(n);
+        break;
+      case learn::Source::kBlended:
+        predictions_served_blended_.increment(n);
+        break;
+    }
+  }
   for (auto& p : promises) {
     base.request_id = p.id;
-    if (ok) remember_prediction(p.id, model_id, base.value);
+    if (ok) remember_prediction(p.id, model_id, base.value, overlay);
     p.promise.set_value(base);
   }
   promises.clear();
@@ -489,10 +551,15 @@ void PredictionShard::finish_batch(std::vector<Pending>& promises,
 
 void PredictionShard::remember_prediction(std::uint64_t request_id,
                                           const std::string& model_id,
-                                          const stoch::StochasticValue& value) {
-  if (!options_.ledger || options_.observation_capacity == 0) return;
+                                          const stoch::StochasticValue& value,
+                                          const LearnOverlay& overlay) {
+  if ((!options_.ledger && !learning_active()) ||
+      options_.observation_capacity == 0) {
+    return;
+  }
   const std::lock_guard lock(observations_mutex_);
-  if (completed_.emplace(request_id, CompletedPrediction{model_id, value})
+  if (completed_
+          .emplace(request_id, CompletedPrediction{model_id, value, overlay})
           .second) {
     completed_order_.push_back(request_id);
   }
@@ -510,7 +577,7 @@ bool PredictionShard::report_observation(std::uint64_t request_id,
   {
     const std::lock_guard lock(observations_mutex_);
     const auto it = completed_.find(request_id);
-    if (it == completed_.end() || !options_.ledger) {
+    if (it == completed_.end()) {
       observations_unmatched_.increment();
       return false;
     }
@@ -519,8 +586,25 @@ bool PredictionShard::report_observation(std::uint64_t request_id,
     // completed_order_ keeps the stale id; eviction skips ids already
     // erased, so the FIFO stays bounded without a linear scan here.
   }
-  options_.ledger->record(prediction.model_id, prediction.value,
-                          observed_seconds);
+  // The ledger scores the SERVED value — the number a consumer actually
+  // acted on, whichever candidate produced it.
+  if (options_.ledger) {
+    options_.ledger->record(prediction.model_id, prediction.value,
+                            observed_seconds);
+  }
+  // The candidates are scored and the bank trained from the same
+  // observation: arbitration first (scoring the prediction the bank made
+  // BEFORE seeing this outcome), then the training step.
+  if (learning_active() && prediction.overlay.active) {
+    const bool flipped = options_.arbiter->record(
+        prediction.model_id, prediction.overlay.structural,
+        prediction.overlay.has_learned ? &prediction.overlay.learned : nullptr,
+        observed_seconds);
+    if (flipped) arbiter_flips_.increment();
+    options_.bank->observe(prediction.overlay.structure_key,
+                           prediction.overlay.features, observed_seconds);
+    observations_trained_.increment();
+  }
   observations_recorded_.increment();
   return true;
 }
@@ -537,8 +621,10 @@ void PredictionShard::execute_job(Job&& job, std::vector<Pending>&& extra,
   if (!extra.empty()) coalesced_.increment(extra.size());
   batch_sizes_.observe(static_cast<double>(base.batch_size));
 
+  LearnOverlay overlay;
   try {
-    const CompiledModelPtr model = resolve_model(job.request);
+    ModelTable::EntryPtr entry;
+    const CompiledModelPtr model = resolve_model(job.request, &entry);
     std::vector<stoch::StochasticValue> loads;
     stoch::StochasticValue bwavail;
     resolve_bindings(job, *model, loads, bwavail);
@@ -554,6 +640,7 @@ void PredictionShard::execute_job(Job&& job, std::vector<Pending>&& extra,
       auto shared = std::make_shared<McShared>();
       shared->model = model;
       shared->model_id = request.model_id;
+      shared->structure_key = entry->structure_key;
       shared->loads = std::move(loads);
       shared->bwavail = bwavail;
       shared->seed = request.seed;
@@ -603,12 +690,17 @@ void PredictionShard::execute_job(Job&& job, std::vector<Pending>&& extra,
       }
     }
     base.status = PredictResult::Status::kOk;
+    if (learning_active()) {
+      learn::extract_features(loads, bwavail, model->uses_bandwidth(),
+                              overlay.features);
+      apply_learning(entry->structure_key, request.model_id, base, overlay);
+    }
   } catch (const std::exception& e) {
     base.status = PredictResult::Status::kError;
     base.error = e.what();
   }
   finish_batch(promises, std::move(base), job.enqueue_time,
-               job.request.model_id);
+               job.request.model_id, std::move(overlay));
 }
 
 void PredictionShard::execute_fused(std::vector<FusedLane>&& lanes,
@@ -629,6 +721,7 @@ void PredictionShard::execute_fused(std::vector<FusedLane>&& lanes,
   };
 
   CompiledModelPtr model;
+  ModelTable::EntryPtr leader_entry;
   try {
     // One registry pass validates the whole sweep instead of a per-lane
     // resolve: fusable() already proved structural equality from the
@@ -658,8 +751,11 @@ void PredictionShard::execute_fused(std::vector<FusedLane>&& lanes,
         cache_.get_or_compile(leader->spec, leader->structure_key);
     (lookup.hit ? cache_hits_ : cache_misses_).increment();
     model = lookup.model;
+    leader_entry = leader;
 
     state.lane_env.reset(model->program(), requests);
+    const bool learning = learning_active();
+    if (learning) state.lane_features.resize(requests);
     for (std::size_t k = 0; k < requests; ++k) {
       state.lane_loads.clear();
       stoch::StochasticValue bwavail;
@@ -669,6 +765,13 @@ void PredictionShard::execute_fused(std::vector<FusedLane>&& lanes,
       }
       if (model->uses_bandwidth()) {
         state.lane_env.bind(k, model->bwavail_slot(), bwavail);
+      }
+      if (learning) {
+        // Per-lane features extracted now, while the lane's resolved
+        // bindings are in scope; consumed at result fan-out below.
+        learn::extract_features(state.lane_loads, bwavail,
+                                model->uses_bandwidth(),
+                                state.lane_features[k]);
       }
     }
 
@@ -719,12 +822,18 @@ void PredictionShard::execute_fused(std::vector<FusedLane>&& lanes,
       base.value = state.fused_values[k];
       base.point = base.value.mean();
     }
+    LearnOverlay overlay;
+    if (learning_active()) {
+      overlay.features = std::move(state.lane_features[k]);
+      apply_learning(leader_entry->structure_key, lane.job.request.model_id,
+                     base, overlay);
+    }
     if (!lane.extra.empty()) coalesced_.increment(lane.extra.size());
     batch_sizes_.observe(static_cast<double>(base.batch_size));
     requests_fused_.increment(base.batch_size);
     lane.extra.push_back(Pending{lane.job.id, std::move(lane.job.promise)});
     finish_batch(lane.extra, std::move(base), lane.job.enqueue_time,
-                 lane.job.request.model_id);
+                 lane.job.request.model_id, std::move(overlay));
   }
 }
 
@@ -772,7 +881,7 @@ void PredictionShard::execute_chunk(const McChunk& chunk, WorkerState& state) {
       failure.epoch_version = shared.epoch_version;
       failure.batch_size = shared.promises.size();
       finish_batch(shared.promises, std::move(failure), shared.enqueue_time,
-                   shared.model_id);
+                   shared.model_id, LearnOverlay{});
       return;
     }
   }
@@ -796,8 +905,14 @@ void PredictionShard::execute_chunk(const McChunk& chunk, WorkerState& state) {
   base.point = mean;
   base.epoch_version = shared.epoch_version;
   base.batch_size = shared.promises.size();
+  LearnOverlay overlay;
+  if (learning_active()) {
+    learn::extract_features(shared.loads, shared.bwavail,
+                            shared.model->uses_bandwidth(), overlay.features);
+    apply_learning(shared.structure_key, shared.model_id, base, overlay);
+  }
   finish_batch(shared.promises, std::move(base), shared.enqueue_time,
-               shared.model_id);
+               shared.model_id, std::move(overlay));
 }
 
 }  // namespace sspred::serve

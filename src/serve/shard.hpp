@@ -39,6 +39,8 @@
 #include <vector>
 
 #include "calib/ledger.hpp"
+#include "learn/arbiter.hpp"
+#include "learn/bank.hpp"
 #include "serve/admission.hpp"
 #include "serve/epoch.hpp"
 #include "serve/metrics.hpp"
@@ -92,6 +94,17 @@ struct ServiceOptions {
   /// Completed predictions kept per shard (FIFO) awaiting their
   /// observation; a report arriving after eviction counts as unmatched.
   std::size_t observation_capacity = 4096;
+  /// Graybox learned predictors (learn/): when true, every successful
+  /// prediction also consults the predictor bank and the arbiter may
+  /// swap the served value to the learned or blended candidate; every
+  /// reported observation trains the bank and scores the candidates.
+  /// With `bank`/`arbiter` left null the service constructs its own
+  /// node-local instances — deliberately NOT stored back into a caller's
+  /// options, so a restarted node starts from a blank bank and
+  /// re-converges from fresh observations.
+  bool enable_learning = false;
+  std::shared_ptr<learn::PredictorBank> bank;
+  std::shared_ptr<learn::Arbiter> arbiter;
   /// Top of the latency histogram range, seconds.
   double latency_range_seconds = 1.0;
   /// Construct with workers blocked; resume() starts processing. Lets
@@ -148,10 +161,13 @@ class PredictionShard {
   };
 
   /// `global` is the service-wide registry every instrument dual-writes;
-  /// `models` and both referenced registries must outlive the shard.
+  /// `learn_global` is the service's learn/ subtree registry the learning
+  /// instruments dual-write instead of `global`. `models` and all three
+  /// referenced registries must outlive the shard.
   PredictionShard(std::size_t index, const ServiceOptions& options,
                   std::shared_ptr<support::Clock> clock,
-                  const ModelTable& models, MetricsRegistry& global);
+                  const ModelTable& models, MetricsRegistry& global,
+                  MetricsRegistry& learn_global);
   ~PredictionShard();
 
   PredictionShard(const PredictionShard&) = delete;
@@ -233,10 +249,24 @@ class PredictionShard {
     std::vector<Pending> extra;
   };
 
+  /// Learning payload of one successful evaluation: the candidate values
+  /// and feature vector carried from execute time to report_observation
+  /// (where the bank trains and the arbiter scores). Inactive (and
+  /// empty) when learning is disabled.
+  struct LearnOverlay {
+    bool active = false;
+    std::string structure_key;
+    std::vector<double> features;
+    stoch::StochasticValue structural;  ///< candidate the model computed
+    stoch::StochasticValue learned;     ///< bank candidate (has_learned)
+    bool has_learned = false;
+  };
+
   /// Shared state of one fanned-out Monte-Carlo evaluation.
   struct McShared {
     CompiledModelPtr model;
     std::string model_id;
+    std::string structure_key;  ///< bank training key (learning only)
     std::vector<stoch::StochasticValue> loads;  ///< resolved bindings
     stoch::StochasticValue bwavail;
     std::uint64_t seed = 0;
@@ -272,6 +302,7 @@ class PredictionShard {
     std::vector<stoch::StochasticValue> fused_values;
     std::vector<double> fused_points;
     std::vector<stoch::StochasticValue> lane_loads;
+    std::vector<std::vector<double>> lane_features;  ///< learning only
 
     [[nodiscard]] model::ir::SlotEnvironment& env_for(
         const CompiledModelPtr& model);
@@ -288,7 +319,23 @@ class PredictionShard {
   void execute_chunk(const McChunk& chunk, WorkerState& state);
   /// Resolves the request's model against the CURRENT registration
   /// (cache or fresh compile per options); submit-time stamps only group.
-  [[nodiscard]] CompiledModelPtr resolve_model(const PredictRequest& request);
+  /// `entry_out` (optional) receives the registration snapshot resolved
+  /// against — the learning overlay reads its stamped structure key.
+  [[nodiscard]] CompiledModelPtr resolve_model(
+      const PredictRequest& request,
+      ModelTable::EntryPtr* entry_out = nullptr);
+  /// True when the learned-predictor overlay participates in serving.
+  [[nodiscard]] bool learning_active() const noexcept {
+    return options_.enable_learning && options_.bank && options_.arbiter;
+  }
+  /// Consults the bank/arbiter for a successful evaluation whose
+  /// structural result is already in `base.value`: fills the rest of
+  /// `overlay` (whose `features` the caller extracted), may swap
+  /// base.value/point to the learned or blended candidate, and stamps
+  /// base.source. No-op when learning is inactive.
+  void apply_learning(const std::string& structure_key,
+                      const std::string& model_id, PredictResult& base,
+                      LearnOverlay& overlay);
   /// Resolves load/bandwidth bindings against the job's epoch; throws
   /// support::Error with a structured message on any mismatch.
   void resolve_bindings(const Job& job, const CompiledModel& model,
@@ -300,12 +347,14 @@ class PredictionShard {
   /// Fulfills the batch's promises with `base` (per-promise request id);
   /// successful results are remembered for report_observation().
   void finish_batch(std::vector<Pending>& promises, PredictResult base,
-                    double enqueue_time, const std::string& model_id);
+                    double enqueue_time, const std::string& model_id,
+                    LearnOverlay overlay);
   /// Remembers a completed prediction until its observation arrives
-  /// (bounded FIFO; no-op without a ledger).
+  /// (bounded FIFO; no-op without a ledger or learning).
   void remember_prediction(std::uint64_t request_id,
                            const std::string& model_id,
-                           const stoch::StochasticValue& value);
+                           const stoch::StochasticValue& value,
+                           const LearnOverlay& overlay);
   [[nodiscard]] bool coalescable(const Job& a, const Job& b) const;
   /// Whether two non-identical jobs can share one fused sweep: same mode
   /// and epoch version, same compiled structure (same model id or equal
@@ -354,7 +403,8 @@ class PredictionShard {
   /// by options_.observation_capacity.
   struct CompletedPrediction {
     std::string model_id;
-    stoch::StochasticValue value;
+    stoch::StochasticValue value;  ///< SERVED value (what the ledger scores)
+    LearnOverlay overlay;          ///< training payload (learning only)
   };
   std::mutex observations_mutex_;
   std::map<std::uint64_t, CompletedPrediction> completed_;
@@ -378,6 +428,13 @@ class PredictionShard {
   DualCounter cache_misses_;
   DualCounter observations_recorded_;
   DualCounter observations_unmatched_;
+  // Learning instruments: the "global" half lives in the service's
+  // learn/ subtree registry rather than the rolled-up one.
+  DualCounter predictions_served_structural_;
+  DualCounter predictions_served_learned_;
+  DualCounter predictions_served_blended_;
+  DualCounter observations_trained_;
+  DualCounter arbiter_flips_;
   DualGauge queue_depth_;
   DualGauge workers_busy_;
   DualHistogram latency_;

@@ -230,6 +230,7 @@ std::vector<std::uint8_t> encode_response(const PredictResult& result,
   put_u64(out, result.epoch_version);
   put_u64(out, static_cast<std::uint64_t>(result.batch_size));
   put_f64(out, result.latency_seconds);
+  put_u8(out, result.source);
   end_frame(out);
   return out;
 }
@@ -282,6 +283,7 @@ DecodedResponse decode_response(const std::uint8_t* data, std::size_t size) {
   out.result.epoch_version = r.u64();
   out.result.batch_size = r.u64();
   out.result.latency_seconds = r.f64();
+  out.result.source = r.u8();
   r.expect_done("response");
   return out;
 }

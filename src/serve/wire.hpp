@@ -40,7 +40,9 @@
 namespace sspred::serve {
 
 inline constexpr std::uint16_t kWireMagic = 0x5350;  // "SP"
-inline constexpr std::uint8_t kWireVersion = 1;
+/// Version 2 appended the serving-source byte to the response body
+/// (PredictResult::source). Decoding is strict per version.
+inline constexpr std::uint8_t kWireVersion = 2;
 
 enum class WireType : std::uint8_t {
   kRequest = 1,

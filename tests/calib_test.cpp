@@ -126,6 +126,62 @@ TEST(CalibLedger, NormalCrpsAndPinballClosedForms) {
 
 // ---------------------------------------------------------------- drift
 
+TEST(CalibLedger, RollingCrpsScoresEveryObservationIncludingPoints) {
+  LedgerOptions options;
+  options.coverage_window = 4;
+  AccuracyLedger ledger(options);
+  // Two point predictions (|error| 1 and 3) and two normal ones.
+  ledger.record("m", stoch::StochasticValue(10.0, 0.0), 11.0);
+  ledger.record("m", stoch::StochasticValue(10.0, 0.0), 13.0);
+  ledger.record("m", stoch::StochasticValue(10.0, 2.0), 10.0);
+  ledger.record("m", stoch::StochasticValue(10.0, 2.0), 12.0);
+  auto s = ledger.snapshot("m");
+  EXPECT_EQ(s.rolling_crps_count, 4u);
+  const double expected =
+      (1.0 + 3.0 + normal_crps(10.0, 1.0, 10.0) + normal_crps(10.0, 1.0, 12.0)) /
+      4.0;
+  EXPECT_NEAR(s.rolling_crps, expected, 1e-12);
+  // The cumulative mean_crps still excludes points (no residual defined).
+  EXPECT_NEAR(s.mean_crps,
+              (normal_crps(10.0, 1.0, 10.0) + normal_crps(10.0, 1.0, 12.0)) /
+                  2.0,
+              1e-12);
+
+  // The ring is bounded: a fifth observation evicts the first.
+  ledger.record("m", stoch::StochasticValue(10.0, 0.0), 10.0);
+  s = ledger.snapshot("m");
+  EXPECT_EQ(s.rolling_crps_count, 4u);
+  const double evicted =
+      (3.0 + normal_crps(10.0, 1.0, 10.0) + normal_crps(10.0, 1.0, 12.0) +
+       0.0) /
+      4.0;
+  EXPECT_NEAR(s.rolling_crps, evicted, 1e-12);
+}
+
+TEST(CalibLedger, HasProbesWithoutThrowing) {
+  AccuracyLedger ledger;
+  EXPECT_FALSE(ledger.has("m"));
+  EXPECT_THROW((void)ledger.snapshot("m"), support::Error);
+  ledger.record("m", stoch::StochasticValue(10.0, 2.0), 10.0);
+  EXPECT_TRUE(ledger.has("m"));
+  EXPECT_FALSE(ledger.has("other"));
+}
+
+TEST(CalibLedger, P2QuantileStaysPinnedOnConstantStreams) {
+  // A constant observation stream yields a constant |z|; the P² sketch
+  // must report exactly that value, not drift or divide by zero.
+  AccuracyLedger ledger;
+  for (int i = 0; i < 200; ++i) {
+    // z = (12 - 10) / 1 = 2 every time.
+    ledger.record("m", stoch::StochasticValue(10.0, 2.0), 12.0);
+  }
+  const auto s = ledger.snapshot("m");
+  EXPECT_NEAR(s.abs_z_quantile, 2.0, 1e-9);
+  EXPECT_NEAR(s.z_mean, 2.0, 1e-12);
+  EXPECT_NEAR(s.z_sd, 0.0, 1e-12);
+  EXPECT_TRUE(std::isfinite(s.rolling_crps));
+}
+
 TEST(CalibDrift, PageHinkleyDetectsUpwardShift) {
   PageHinkley ph;  // delta 0.05, lambda 12, min_samples 16
   for (int i = 0; i < 50; ++i) EXPECT_FALSE(ph.update(0.0));
@@ -283,6 +339,34 @@ TEST(CalibDrift, DriftMonitorCoverageDetectorAndPerModelIsolation) {
 }
 
 // ---------------------------------------------------------- recalibrate
+
+// Regression: a zero or near-zero predicted half-width must not poison
+// the score window. Dividing by a denormal half-width used to inject an
+// astronomically large (or inf) normalized score that pinned the
+// conformal quantile to max_scale for a full window.
+TEST(CalibRecalibrate, DegenerateHalfwidthsCarryNoScore) {
+  RecalibratorOptions options;
+  options.min_samples = 4;
+  ConformalRecalibrator recal(options);
+  // True points were always ignored...
+  recal.record("m", stoch::StochasticValue(10.0, 0.0), 15.0);
+  // ...and near-zero half-widths (below the relative floor) now are too,
+  // instead of scoring |err| / 1e-300.
+  recal.record("m", stoch::StochasticValue(10.0, 1e-300), 15.0);
+  recal.record("m", stoch::StochasticValue(10.0, 1e-12), 15.0);
+  EXPECT_EQ(recal.count("m"), 0u);
+  EXPECT_DOUBLE_EQ(recal.scale("m"), 1.0);
+
+  // Healthy intervals still score; the degenerate ones never entered the
+  // window, so the scale reflects only real residuals.
+  for (int i = 0; i < 8; ++i) {
+    recal.record("m", stoch::StochasticValue(10.0, 2.0), 11.0);
+  }
+  EXPECT_EQ(recal.count("m"), 8u);
+  EXPECT_GT(recal.scale("m"), 0.0);
+  EXPECT_LE(recal.scale("m"), options.max_scale);
+  EXPECT_TRUE(std::isfinite(recal.scale("m")));
+}
 
 TEST(CalibRecalibrate, ScaleStaysAtOneUntilMinSamples) {
   RecalibratorOptions options;

@@ -566,5 +566,103 @@ TEST(ClusterFrontend, ConcurrentClientsSurviveCrashRestartStress) {
             static_cast<std::uint64_t>(served.load()));
 }
 
+// --- Learning across the cluster tier ---------------------------------
+
+// Satellite regression: when the frontend's bounded served-id map evicts
+// under pressure, reports for evicted ids must come back unmatched — and
+// must never reach the ledger or the learned-predictor bank, whose
+// training counts have to equal the forwarded-observation count exactly.
+TEST(ClusterFrontend, EvictedIdsStayOutOfLedgerAndBankTraining) {
+  constexpr std::size_t kCapacity = 4;
+  constexpr std::size_t kRequests = 12;
+
+  ClusterOptions options = small_cluster(2);
+  options.observation_capacity = kCapacity;
+  options.node_options.ledger = std::make_shared<calib::AccuracyLedger>();
+  options.node_options.enable_learning = true;
+  ClusterFrontend cluster(options);
+  cluster.register_model("sor", family_spec(125));
+
+  std::vector<ClusterResult> served;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    served.push_back(cluster.predict(request_for("sor", 0.6)));
+    ASSERT_TRUE(served.back().result.ok()) << served.back().result.error;
+  }
+
+  // The oldest kRequests - kCapacity ids were evicted from the map.
+  for (std::size_t i = 0; i < kRequests - kCapacity; ++i) {
+    EXPECT_FALSE(cluster.report_observation(served[i].result.request_id,
+                                            served[i].result.point));
+  }
+  // The newest kCapacity ids still forward.
+  for (std::size_t i = kRequests - kCapacity; i < kRequests; ++i) {
+    EXPECT_TRUE(cluster.report_observation(served[i].result.request_id,
+                                           served[i].result.point * 1.1));
+  }
+  EXPECT_EQ(cluster.metrics().counter("observations_unmatched").value(),
+            kRequests - kCapacity);
+  EXPECT_EQ(cluster.metrics().counter("observations_forwarded").value(),
+            kCapacity);
+
+  // Ledger saw exactly the forwarded observations, nothing more.
+  EXPECT_EQ(options.node_options.ledger->snapshot().count, kCapacity);
+
+  // Bank training (node-local, so summed across nodes) matches too:
+  // evicted ids trained nothing.
+  std::uint64_t trained = 0;
+  for (std::size_t n = 0; n < cluster.nodes(); ++n) {
+    auto* service = cluster.node(n).service();
+    ASSERT_NE(service, nullptr);
+    for (const auto& row : service->bank()->snapshot()) {
+      trained += row.observations;
+    }
+  }
+  EXPECT_EQ(trained, kCapacity);
+}
+
+// Bank and arbiter state is node-local by design: a restarted node comes
+// back with a blank bank and re-converges from fresh observations only.
+TEST(ClusterFrontend, RestartedNodeRebuildsBankFromFreshObservations) {
+  ClusterOptions options = small_cluster(1);
+  options.node_options.enable_learning = true;
+  ClusterFrontend cluster(options);
+  cluster.register_model("sor", family_spec(125));
+
+  auto run_observations = [&](std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const ClusterResult r = cluster.predict(request_for("sor", 0.6));
+      ASSERT_TRUE(r.result.ok()) << r.result.error;
+      ASSERT_TRUE(cluster.report_observation(r.result.request_id,
+                                             r.result.point * 1.3));
+    }
+  };
+
+  run_observations(24);
+  {
+    auto* service = cluster.node(0).service();
+    ASSERT_NE(service, nullptr);
+    ASSERT_EQ(service->bank()->snapshot().size(), 1u);
+    EXPECT_EQ(service->bank()->snapshot()[0].observations, 24u);
+    EXPECT_FALSE(service->arbiter()->table().empty());
+  }
+
+  cluster.inject({FaultEvent::Kind::kCrash, 0, 0, 0.0});
+  cluster.inject({FaultEvent::Kind::kRestart, 0, 0, 0.0});
+
+  // Fresh service, blank learn state: nothing carried over.
+  auto* service = cluster.node(0).service();
+  ASSERT_NE(service, nullptr);
+  EXPECT_TRUE(service->bank()->snapshot().empty());
+  EXPECT_TRUE(service->arbiter()->table().empty());
+  EXPECT_EQ(service->arbiter()->source("sor"),
+            learn::Source::kStructural);
+
+  // And it re-converges from fresh observations alone.
+  run_observations(24);
+  ASSERT_EQ(service->bank()->snapshot().size(), 1u);
+  EXPECT_EQ(service->bank()->snapshot()[0].observations, 24u);
+  EXPECT_FALSE(service->arbiter()->table().empty());
+}
+
 }  // namespace
 }  // namespace sspred::dserve

@@ -71,6 +71,7 @@ TEST(Wire, ResponseRoundTripsEveryField) {
   result.value = stoch::StochasticValue(3.25, 0.5);
   result.point = 3.25;
   result.request_id = (42u << 8) | 3u;
+  result.source = 2;  // learn::Source::kBlended
   result.epoch_version = 12;
   result.batch_size = 6;
   result.latency_seconds = 0.125;
@@ -82,6 +83,7 @@ TEST(Wire, ResponseRoundTripsEveryField) {
   EXPECT_EQ(decoded.result.value, result.value);
   EXPECT_EQ(decoded.result.point, result.point);
   EXPECT_EQ(decoded.result.request_id, result.request_id);
+  EXPECT_EQ(decoded.result.source, result.source);
   EXPECT_EQ(decoded.result.epoch_version, result.epoch_version);
   EXPECT_EQ(decoded.result.batch_size, result.batch_size);
   EXPECT_EQ(decoded.result.latency_seconds, result.latency_seconds);
