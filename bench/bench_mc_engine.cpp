@@ -11,6 +11,10 @@
 // kSpeedupFloor x faster than scalar order on the 10k-trial SOR model
 // (the ISSUE-5 acceptance bar); the process exits non-zero otherwise.
 // Unoptimized builds report but do not assert — their timings are noise.
+//
+// Timing uses bench::measure_until (bench/measure.*): warm-up-trimmed,
+// autocorrelation-corrected, CI-driven run length instead of the old
+// hand-picked best-of-3 reps.
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -18,6 +22,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "measure.hpp"
 #include "cluster/platform.hpp"
 #include "model/compile.hpp"
 #include "model/expr.hpp"
@@ -34,7 +39,6 @@ using stoch::StochasticValue;
 
 constexpr double kSpeedupFloor = 4.0;
 constexpr std::size_t kTrialCounts[] = {1'000, 10'000, 100'000};
-constexpr std::size_t kReps = 3;  // best-of, to shed scheduler noise
 // Every measurement samples this many trials in total (small counts loop
 // more), so short calls still time a >= millisecond region.
 constexpr std::size_t kTrialsPerMeasurement = 100'000;
@@ -75,24 +79,31 @@ Case sor_case(const std::string& name, const cluster::PlatformSpec& platform,
   return {name, std::move(prog), std::move(env), nodes};
 }
 
-/// Seconds per `trials`-trial sample_trials() call in `order` (best of
-/// kReps, warm workspace, inner loop sized to kTrialsPerMeasurement).
-double measure(const Case& c, std::size_t trials, model::ir::SampleOrder order) {
+/// Seconds per `trials`-trial sample_trials() call in `order`: CI-driven
+/// repetition over inner loops sized to kTrialsPerMeasurement, with
+/// warm-up removal and ESS correction done by bench::measure_until.
+bench::Measurement measure(const Case& c, std::size_t trials,
+                           model::ir::SampleOrder order) {
   support::Rng rng(20260806);
   model::ir::EvalWorkspace ws;
-  (void)c.program.sample_trials(c.env, rng, trials, ws, order);  // warmup
-  const std::size_t inner = std::max<std::size_t>(1, kTrialsPerMeasurement / trials);
-  double best = 1e300;
-  for (std::size_t rep = 0; rep < kReps; ++rep) {
-    const auto start = std::chrono::steady_clock::now();
-    for (std::size_t i = 0; i < inner; ++i) {
-      (void)c.program.sample_trials(c.env, rng, trials, ws, order);
-    }
-    const std::chrono::duration<double> dt =
-        std::chrono::steady_clock::now() - start;
-    best = std::min(best, dt.count() / static_cast<double>(inner));
-  }
-  return best;
+  const std::size_t inner =
+      std::max<std::size_t>(1, kTrialsPerMeasurement / trials);
+  bench::MeasureOptions options;
+  options.rel_precision = 0.03;
+  options.min_samples = 5;
+  options.max_samples = 40;
+  options.max_seconds = 1.5;
+  return bench::measure_until(
+      [&] {
+        const auto start = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < inner; ++i) {
+          (void)c.program.sample_trials(c.env, rng, trials, ws, order);
+        }
+        const std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - start;
+        return dt.count() / static_cast<double>(inner);
+      },
+      options);
 }
 
 struct Row {
@@ -101,6 +112,8 @@ struct Row {
   std::size_t trials = 0;
   double scalar_s = 0.0;
   double blocked_s = 0.0;
+  double scalar_ci = 0.0;   ///< CI half-width on scalar_s
+  double blocked_ci = 0.0;  ///< CI half-width on blocked_s
   [[nodiscard]] double speedup() const { return scalar_s / blocked_s; }
   [[nodiscard]] double blocked_trials_per_s() const {
     return static_cast<double>(trials) / blocked_s;
@@ -124,7 +137,9 @@ void emit_json(const std::vector<Row>& rows, double gate_speedup, bool pass) {
     const Row& r = rows[i];
     out << "    {\"model\": \"" << r.model << "\", \"nodes\": " << r.nodes
         << ", \"trials\": " << r.trials << ", \"scalar_sec\": " << r.scalar_s
+        << ", \"scalar_ci_sec\": " << r.scalar_ci
         << ", \"blocked_sec\": " << r.blocked_s
+        << ", \"blocked_ci_sec\": " << r.blocked_ci
         << ", \"speedup\": " << r.speedup()
         << ", \"blocked_trials_per_sec\": " << r.blocked_trials_per_s() << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
@@ -155,12 +170,20 @@ int main() {
       r.model = c.name;
       r.nodes = c.nodes;
       r.trials = trials;
-      r.scalar_s = measure(c, trials, model::ir::SampleOrder::kScalarCompat);
-      r.blocked_s = measure(c, trials, model::ir::SampleOrder::kBlocked);
+      const bench::Measurement scalar =
+          measure(c, trials, model::ir::SampleOrder::kScalarCompat);
+      const bench::Measurement blocked =
+          measure(c, trials, model::ir::SampleOrder::kBlocked);
+      r.scalar_s = scalar.mean;
+      r.blocked_s = blocked.mean;
+      r.scalar_ci = scalar.ci_halfwidth;
+      r.blocked_ci = blocked.ci_halfwidth;
       if (c.name == "sor-p2" && trials == 10'000) gate_speedup = r.speedup();
       t.add_row({std::to_string(trials),
                  support::fmt(r.scalar_s * 1e3, 2) + " ms",
-                 support::fmt(r.blocked_s * 1e3, 2) + " ms",
+                 support::fmt(r.blocked_s * 1e3, 2) + " ms ±" +
+                     support::fmt(100.0 * r.blocked_ci /
+                                      std::max(r.blocked_s, 1e-300), 1) + "%",
                  support::fmt(r.speedup(), 2) + "x",
                  support::fmt(r.blocked_trials_per_s() / 1e6, 2) + "M"});
       rows.push_back(r);

@@ -1,0 +1,106 @@
+#include "measure.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "stats/descriptive.hpp"
+
+namespace sspred::bench {
+
+namespace {
+
+/// Warm-up length: the maximal leading run of samples above the Tukey
+/// upper fence (q3 + 1.5 * iqr) of the second half of the vector,
+/// capped at half the samples. Timing warm-up shows up as an initial
+/// run of slow samples (cold caches, unramped clocks); for stationary
+/// data the fence sits above everything and the trim is zero. Purely a
+/// function of the sample values — no clocks, no state.
+std::size_t warmup_length(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  if (n < 8) return 0;
+  std::vector<double> tail(xs.begin() + static_cast<std::ptrdiff_t>(n / 2),
+                           xs.end());
+  std::sort(tail.begin(), tail.end());
+  const double q1 = stats::quantile_sorted(tail, 0.25);
+  const double q3 = stats::quantile_sorted(tail, 0.75);
+  const double fence = q3 + 1.5 * (q3 - q1);
+  std::size_t cut = 0;
+  while (cut < n / 2 && xs[cut] > fence) ++cut;
+  return cut;
+}
+
+}  // namespace
+
+Measurement analyze(std::span<const double> samples,
+                    const MeasureOptions& options) {
+  Measurement m;
+  if (samples.size() < 2) {
+    m.samples = samples.size();
+    m.mean = samples.empty() ? 0.0 : samples[0];
+    m.min = m.mean;
+    m.ci_halfwidth = std::numeric_limits<double>::infinity();
+    return m;
+  }
+  m.warmup_discarded = warmup_length(samples);
+  const std::span<const double> kept = samples.subspan(m.warmup_discarded);
+  const stats::Summary s = stats::summarize(kept);
+  m.mean = s.mean;
+  m.sd = s.sd;
+  m.min = s.min;
+  m.samples = kept.size();
+  // Successive timed reps are rarely independent (frequency scaling,
+  // cache state, neighbours on the machine): a positive lag-1
+  // autocorrelation rho shrinks the information content to
+  // n * (1 - rho) / (1 + rho) effective samples, widening the honest CI.
+  m.effective_samples = static_cast<double>(kept.size());
+  if (kept.size() > 2) {
+    const double rho =
+        std::clamp(stats::autocorrelation(kept, 1), -0.99, 0.99);
+    m.lag1_autocorr = rho;
+    if (rho > 0.0) {
+      m.effective_samples =
+          std::max(2.0, static_cast<double>(kept.size()) * (1.0 - rho) /
+                            (1.0 + rho));
+    }
+  }
+  m.ci_halfwidth =
+      options.confidence_z * m.sd / std::sqrt(m.effective_samples);
+  m.converged = m.ci_halfwidth <= options.rel_precision * std::abs(m.mean);
+  return m;
+}
+
+Measurement measure_until(const std::function<double()>& once,
+                          const MeasureOptions& options) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double>(options.max_seconds);
+  std::vector<double> samples;
+  samples.reserve(options.max_samples);
+  Measurement m;
+  while (samples.size() < options.max_samples) {
+    samples.push_back(once());
+    if (samples.size() < std::max<std::size_t>(options.min_samples, 2)) {
+      continue;
+    }
+    m = analyze(samples, options);
+    if (m.converged) return m;
+    if (std::chrono::steady_clock::now() >= deadline) return m;
+  }
+  return analyze(samples, options);
+}
+
+std::string Measurement::summary(double scale, const std::string& unit) const {
+  char buf[160];
+  const double rel =
+      mean != 0.0 ? 100.0 * ci_halfwidth / std::abs(mean) : 0.0;
+  std::snprintf(buf, sizeof(buf),
+                "%.3f%s ±%.1f%% (n=%zu, warmup %zu, ess %.1f%s)",
+                mean * scale, unit.c_str(), rel, samples, warmup_discarded,
+                effective_samples, converged ? "" : ", NOT converged");
+  return buf;
+}
+
+}  // namespace sspred::bench

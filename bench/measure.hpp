@@ -1,0 +1,64 @@
+// Statistically rigorous timing measurement for the bench harness.
+//
+// Replaces "run N reps, take the best" with "measure until the CI is
+// tight": samples accrue until the confidence interval on the mean —
+// computed over warm-up-trimmed samples with an
+// autocorrelation-corrected effective sample size — meets a relative
+// precision target, or a rep/wall-clock budget runs out (in the spirit
+// of pilot-bench and the uncertainty treatment in arXiv 1801.04644).
+//
+// The analysis (`analyze`) is a pure function of the sample vector, so
+// given the same timings it reproduces the same verdict; only the
+// timings themselves vary run to run.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sspred::bench {
+
+struct MeasureOptions {
+  double rel_precision = 0.02;  ///< stop when ci_halfwidth <= this * |mean|
+  double confidence_z = 2.0;    ///< CI half-width = z * sd / sqrt(n_eff)
+  std::size_t min_samples = 10;   ///< floor before the precision stop
+  std::size_t max_samples = 300;  ///< hard cap on timed reps
+  double max_seconds = 2.0;       ///< wall-clock budget for the timed loop
+};
+
+/// One rigorous measurement: the trimmed-sample summary plus how the
+/// stopping rule got there.
+struct Measurement {
+  double mean = 0.0;          ///< mean over the kept (post-warm-up) samples
+  double sd = 0.0;            ///< sample sd over the kept samples
+  double ci_halfwidth = 0.0;  ///< z * sd / sqrt(effective_samples)
+  double min = 0.0;           ///< fastest kept sample
+  std::size_t samples = 0;           ///< kept samples
+  std::size_t warmup_discarded = 0;  ///< leading samples trimmed
+  double lag1_autocorr = 0.0;        ///< over the kept samples
+  double effective_samples = 0.0;    ///< n * (1 - rho) / (1 + rho)
+  bool converged = false;  ///< precision target met within the budgets
+
+  /// "12.3us ±2.1% (n=34, warmup 3, ess 28.1)" — for bench table rows.
+  [[nodiscard]] std::string summary(double scale = 1e6,
+                                    const std::string& unit = "us") const;
+};
+
+/// Pure analysis of an ordered sample vector: deterministic warm-up trim
+/// (the maximal leading run of samples above the Tukey upper fence of
+/// the second half, capped at half the samples), lag-1 autocorrelation
+/// ESS correction (positive rho only), and the CI verdict against
+/// `options.rel_precision`.
+[[nodiscard]] Measurement analyze(std::span<const double> samples,
+                                  const MeasureOptions& options);
+
+/// Runs `once` (returning one duration/measurement in seconds) until the
+/// analysis converges or the rep/time budget is spent. `once` is invoked
+/// at least min_samples times (budget permitting) and at most
+/// max_samples times.
+[[nodiscard]] Measurement measure_until(const std::function<double()>& once,
+                                        const MeasureOptions& options = {});
+
+}  // namespace sspred::bench

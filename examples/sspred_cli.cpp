@@ -12,6 +12,7 @@
 //                      --loads ... [--metric mean|p95|upper]
 //   sspred_cli serve   --platform platform2 --n 1000 --iters 15
 //                      [--requests R] [--workers W] [--shards S] [--mc-every M]
+//                      [--precision F] [--max-trials T]
 //                      [--seed N] [--no-cache] [--no-coalesce] [--no-fuse]
 //                      [--metrics-json FILE]
 //   sspred_cli calibrate --platform platform2 --n 1000 --iters 15
@@ -72,6 +73,8 @@ using namespace sspred;
       "           [--metric mean|p95|upper]\n"
       "  serve    --platform P --n N --iters K [--requests R]\n"
       "           [--workers W] [--shards S] [--mc-every M] [--seed N]\n"
+      "           [--precision F] [--max-trials T]  adaptive MC: stop at\n"
+      "           CI half-width <= F * |mean|, clamped to T trials\n"
       "           [--no-cache] [--no-coalesce] [--no-fuse]\n"
       "           [--metrics-json FILE]\n"
       "           run the prediction service over generated load traces\n"
@@ -323,6 +326,10 @@ int cmd_serve(const std::map<std::string, std::string>& opts) {
   const auto mc_every =
       std::strtoul(get(opts, "mc-every", "10").c_str(), nullptr, 10);
   const auto seed = std::strtoull(get(opts, "seed", "1").c_str(), nullptr, 10);
+  const double precision =
+      std::strtod(get(opts, "precision", "0").c_str(), nullptr);
+  const auto max_trials =
+      std::strtoul(get(opts, "max-trials", "2000").c_str(), nullptr, 10);
 
   // Per-host load traces stand in for live CPU sensors; the first
   // kWarmup samples only prime the forecasters.
@@ -365,6 +372,11 @@ int cmd_serve(const std::map<std::string, std::string>& opts) {
     if (mc_every > 0 && i % mc_every == 0) {
       request.mode = serve::Mode::kMonteCarlo;
       request.seed = seed * 1000 + i;
+      request.trials = max_trials;
+      if (precision > 0.0) {
+        request.precision = precision;
+        request.precision_relative = true;
+      }
     }
     futures.push_back(service.submit(std::move(request)));
   }
@@ -373,12 +385,18 @@ int cmd_serve(const std::map<std::string, std::string>& opts) {
   std::size_t errors = 0;
   std::size_t rejected = 0;
   stoch::StochasticValue last(0.0);
+  serve::PredictResult last_mc;
+  bool saw_mc = false;
   for (auto& f : futures) {
     const auto result = f.get();
     switch (result.status) {
       case serve::PredictResult::Status::kOk:
         ++ok;
         last = result.value;
+        if (result.mc_trials > 0) {
+          last_mc = result;
+          saw_mc = true;
+        }
         break;
       case serve::PredictResult::Status::kError:
         if (errors++ == 0) std::printf("first error: %s\n",
@@ -396,6 +414,11 @@ int cmd_serve(const std::map<std::string, std::string>& opts) {
               requests, elapsed, double(requests) / elapsed, ok, errors,
               rejected);
   if (ok > 0) std::printf("last prediction: %s s\n", last.to_string(2).c_str());
+  if (saw_mc) {
+    std::printf("last mc: %zu trials, CI half-width %.4g%s\n",
+                last_mc.mc_trials, last_mc.mc_ci_halfwidth,
+                last_mc.precision_met ? "" : " (precision NOT met at clamp)");
+  }
   std::printf("\n%s", service.metrics().render().c_str());
   if (const auto it = opts.find("metrics-json"); it != opts.end()) {
     const std::string json = service.metrics().render_json();

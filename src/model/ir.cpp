@@ -96,6 +96,27 @@ void LaneEnvironment::bind(std::size_t lane, std::uint32_t slot,
   bound_[idx] = 1;
 }
 
+void LaneEnvironment::assign_compacted(const LaneEnvironment& src,
+                                       std::span<const std::size_t> lane_ids) {
+  SSPRED_REQUIRE(this != &src, "assign_compacted: source must be distinct");
+  names_ = src.names_;
+  lanes_ = lane_ids.size();
+  const std::size_t slots = names_ ? names_->size() : 0;
+  values_.assign(slots * lanes_, StochasticValue());
+  bound_.assign(slots * lanes_, 0);
+  for (const std::size_t id : lane_ids) {
+    SSPRED_REQUIRE(id < src.lanes_, "assign_compacted: lane id out of range");
+  }
+  for (std::size_t s = 0; s < slots; ++s) {
+    const std::size_t src_row = s * src.lanes_;
+    const std::size_t dst_row = s * lanes_;
+    for (std::size_t i = 0; i < lanes_; ++i) {
+      values_[dst_row + i] = src.values_[src_row + lane_ids[i]];
+      bound_[dst_row + i] = src.bound_[src_row + lane_ids[i]];
+    }
+  }
+}
+
 const StochasticValue& LaneEnvironment::lookup(std::size_t lane,
                                                std::uint32_t slot) const {
   if (lane < lanes_ && slot < slot_count()) {
@@ -887,6 +908,35 @@ struct FusedFill {
   }
 };
 
+/// Draw-site policy of the adaptive fused walk: the occupied row prefix
+/// packs the surviving lanes' segments back to back (survivor i occupies
+/// [offsets[i], offsets[i] + widths[i])), and each survivor draws from
+/// its ORIGINAL request's RNG (rng_ids[i] indexes the caller's rngs
+/// array) with its own standalone block width. Every draw event a
+/// surviving lane sees is therefore identical — source RNG, width,
+/// order — to its solo sample_adaptive walk, no matter how many other
+/// lanes have retired and compacted away.
+struct AdaptiveFill {
+  const LaneEnvironment* env;  ///< compacted: lane i is survivor i
+  support::Rng* rngs;          ///< original per-request RNG array
+  const std::size_t* rng_ids;  ///< survivor i -> original request index
+  const std::size_t* offsets;
+  const std::size_t* widths;
+  std::size_t active;
+  void slot(std::uint32_t s, double* row, std::size_t /*lanes*/) {
+    for (std::size_t i = 0; i < active; ++i) {
+      fill_lane(env->lookup(i, s), rngs[rng_ids[i]], row + offsets[i],
+                widths[i]);
+    }
+  }
+  void constant(const StochasticValue& v, double* row,
+                std::size_t /*lanes*/) {
+    for (std::size_t i = 0; i < active; ++i) {
+      fill_lane(v, rngs[rng_ids[i]], row + offsets[i], widths[i]);
+    }
+  }
+};
+
 }  // namespace
 
 void Program::exec_blocked(const SlotEnvironment& env, support::Rng& rng,
@@ -1178,6 +1228,171 @@ void Program::sample_fused(const LaneEnvironment& env,
   for (std::size_t k = 0; k < requests; ++k) {
     out[k] = StochasticValue::from_sample(
         {ws.trial_results.data() + k * trials, trials});
+  }
+}
+
+// --- Adaptive (sequentially stopped) Monte-Carlo ----------------------------
+//
+// sample_adaptive runs the blocked engine in stats::next_block_width
+// blocks and consults the stop rule between blocks; the decision is a
+// pure function of the sampled values, so trial counts are reproducible
+// from the seed. A fixed rule walks the exact sample_trials(kBlocked)
+// schedule — same block widths, same draw order — and a precision rule
+// uses doubling checkpoints so easy targets stop in hundreds of trials.
+// sample_adaptive_fused generalizes FusedFill to per-lane segment widths
+// so lanes with different rules (mixed fixed + precision) share one
+// sweep, retiring and compacting converged lanes at block boundaries.
+
+AdaptiveResult Program::sample_adaptive(const SlotEnvironment& env,
+                                        support::Rng& rng,
+                                        const stats::StopRule& rule,
+                                        EvalWorkspace& ws) const {
+  SSPRED_REQUIRE(rule.max_trials >= 2,
+                 "sample_adaptive needs rule.max_trials >= 2");
+  SSPRED_REQUIRE(env.size() == slot_count(),
+                 "slot environment shape does not match the program (create "
+                 "it with make_environment())");
+  // Same fully-folded short-circuit as sample_trials' kBlocked contract:
+  // a point program samples to exactly its constant, drawing nothing.
+  if (nodes_.size() == 1 && nodes_[0].op == OpCode::kConst &&
+      constants_[0].is_point()) {
+    return AdaptiveResult{constants_[0], 0, 0.0, true};
+  }
+  resize_workspace(ws);
+  ws.lane_values.resize(nodes_.size() * kBlockTrials);
+  ws.lane_slots.resize(slot_count() * kBlockTrials);
+  const auto n = static_cast<std::uint32_t>(nodes_.size());
+  const double* const root =
+      ws.lane_values.data() + static_cast<std::size_t>(n - 1) * kBlockTrials;
+  stats::SequentialEstimator est(rule);
+  ws.trial_results.clear();
+  for (;;) {
+    const std::size_t lanes =
+        stats::next_block_width(est.count(), rule, kBlockTrials);
+    if (lanes == 0) break;
+    // Block prologue: one batched draw per live slot, ascending slot id
+    // (the kBlocked contract; see sample_into).
+    for (const std::uint32_t s : live_slots_) {
+      fill_lane(
+          env.lookup(s), rng,
+          ws.lane_slots.data() + static_cast<std::size_t>(s) * kBlockTrials,
+          lanes);
+    }
+    exec_blocked(env, rng, ws, 0, n, lanes);
+    ws.trial_results.insert(ws.trial_results.end(), root, root + lanes);
+    est.add({root, lanes});
+    if (est.should_stop()) break;
+  }
+  AdaptiveResult result;
+  result.value = StochasticValue::from_sample(ws.trial_results);
+  result.trials = est.count();
+  result.ci_halfwidth = est.ci_halfwidth();
+  result.converged = rule.target <= 0.0 || est.precision_met();
+  return result;
+}
+
+AdaptiveResult Program::sample_adaptive(const SlotEnvironment& env,
+                                        support::Rng& rng,
+                                        const stats::StopRule& rule) const {
+  EvalWorkspace ws;
+  return sample_adaptive(env, rng, rule, ws);
+}
+
+void Program::sample_adaptive_fused(const LaneEnvironment& env,
+                                    std::span<support::Rng> rngs,
+                                    std::span<const stats::StopRule> rules,
+                                    EvalWorkspace& ws,
+                                    std::span<AdaptiveResult> out) const {
+  SSPRED_REQUIRE(env.slot_count() == slot_count(),
+                 "lane environment shape does not match the program (create "
+                 "it with make_lane_environment())");
+  SSPRED_REQUIRE(rngs.size() == env.lanes() && rules.size() == env.lanes() &&
+                     out.size() == env.lanes(),
+                 "sample_adaptive_fused: rngs/rules/out sizes must equal "
+                 "env.lanes()");
+  const std::size_t requests = env.lanes();
+  if (requests == 0) return;
+  for (const stats::StopRule& rule : rules) {
+    SSPRED_REQUIRE(rule.max_trials >= 2,
+                   "sample_adaptive_fused needs rule.max_trials >= 2");
+  }
+  if (nodes_.size() == 1 && nodes_[0].op == OpCode::kConst &&
+      constants_[0].is_point()) {
+    std::fill(out.begin(), out.end(),
+              AdaptiveResult{constants_[0], 0, 0.0, true});
+    return;
+  }
+  resize_workspace(ws);
+  if (ws.adaptive_samples.size() < requests) {
+    ws.adaptive_samples.resize(requests);
+  }
+  std::vector<stats::SequentialEstimator> est;
+  est.reserve(requests);
+  for (std::size_t k = 0; k < requests; ++k) {
+    est.emplace_back(rules[k]);
+    ws.adaptive_samples[k].clear();
+  }
+  auto& active = ws.adaptive_active;
+  auto& offsets = ws.adaptive_offsets;
+  auto& widths = ws.adaptive_widths;
+  active.resize(requests);
+  for (std::size_t k = 0; k < requests; ++k) active[k] = k;
+  // Retirement rebuilds a compacted environment over the survivors (in
+  // stable original order); `cur` points at whichever environment the
+  // current sweep should read.
+  LaneEnvironment compact;
+  const LaneEnvironment* cur = &env;
+  const auto n = static_cast<std::uint32_t>(nodes_.size());
+  while (!active.empty()) {
+    const std::size_t count = active.size();
+    offsets.resize(count);
+    widths.resize(count);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t k = active[i];
+      offsets[i] = total;
+      widths[i] = stats::next_block_width(est[k].count(), rules[k],
+                                          kBlockTrials);
+      total += widths[i];
+    }
+    const std::size_t stride = count * kBlockTrials;
+    ws.lane_values.resize(nodes_.size() * stride);
+    ws.lane_slots.resize(slot_count() * stride);
+    const double* const root =
+        ws.lane_values.data() + static_cast<std::size_t>(n - 1) * stride;
+    AdaptiveFill fill{cur,            rngs.data(),   active.data(),
+                      offsets.data(), widths.data(), count};
+    // Block prologue per surviving lane: every live slot ascending, each
+    // lane at its standalone width (see AdaptiveFill).
+    for (const std::uint32_t s : live_slots_) {
+      fill.slot(s, ws.lane_slots.data() + static_cast<std::size_t>(s) * stride,
+                0);
+    }
+    exec_blocked_impl(fill, ws, 0, n, total, stride);
+    // Harvest every survivor's segment, then retire converged lanes at
+    // the block boundary (solo runs check the rule at the same points).
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t k = active[i];
+      auto& samples = ws.adaptive_samples[k];
+      samples.insert(samples.end(), root + offsets[i],
+                     root + offsets[i] + widths[i]);
+      est[k].add({root + offsets[i], widths[i]});
+      if (!est[k].should_stop()) active[keep++] = k;
+    }
+    if (keep != count) {
+      active.resize(keep);
+      if (!active.empty()) {
+        compact.assign_compacted(env, active);
+        cur = &compact;
+      }
+    }
+  }
+  for (std::size_t k = 0; k < requests; ++k) {
+    out[k].value = StochasticValue::from_sample(ws.adaptive_samples[k]);
+    out[k].trials = est[k].count();
+    out[k].ci_halfwidth = est[k].ci_halfwidth();
+    out[k].converged = rules[k].target <= 0.0 || est[k].precision_met();
   }
 }
 

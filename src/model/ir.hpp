@@ -43,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "stats/sequential.hpp"
 #include "stoch/arithmetic.hpp"
 #include "stoch/group_ops.hpp"
 #include "stoch/stochastic_value.hpp"
@@ -161,6 +162,13 @@ class LaneEnvironment {
   /// binding. Capacity only grows.
   void reset(const Program& program, std::size_t lanes);
 
+  /// Reshapes to `lane_ids.size()` lanes copied column-by-column from
+  /// `src` (lane i takes src lane lane_ids[i], bindings included). The
+  /// adaptive fused sampler uses this to compact retired lanes out of
+  /// the sweep between blocks. Capacity only grows.
+  void assign_compacted(const LaneEnvironment& src,
+                        std::span<const std::size_t> lane_ids);
+
   void bind(std::size_t lane, std::uint32_t slot,
             stoch::StochasticValue value);
 
@@ -201,6 +209,24 @@ struct EvalWorkspace {
   std::vector<double> lane_values;              ///< node-major value rows
   std::vector<double> lane_slots;               ///< slot-major draw rows
   std::vector<double> lane_saved;               ///< row save/restore stack
+  // Adaptive-sampling scratch (per-lane sample buffers and bookkeeping;
+  // reused across calls like the arenas above).
+  std::vector<std::vector<double>> adaptive_samples;
+  std::vector<std::size_t> adaptive_active;     ///< surviving lane ids
+  std::vector<std::size_t> adaptive_offsets;    ///< per-lane segment starts
+  std::vector<std::size_t> adaptive_widths;     ///< per-lane segment widths
+};
+
+/// Outcome of one adaptively stopped Monte-Carlo run: the summary plus
+/// how much work the stop rule actually bought.
+struct AdaptiveResult {
+  stoch::StochasticValue value;  ///< mean ± 2sd over the executed trials
+  std::size_t trials = 0;        ///< trials actually executed
+  double ci_halfwidth = 0.0;     ///< achieved CI half-width of the mean
+  /// False only when a precision target was set and still unmet at the
+  /// max-trial clamp (a structured partial-precision outcome, not an
+  /// error). Fixed rules and point-program short-circuits report true.
+  bool converged = true;
 };
 
 /// A compiled structural model: arena-style flat buffers, value semantics,
@@ -242,6 +268,23 @@ class Program {
   [[nodiscard]] double sample(const SlotEnvironment& env, support::Rng& rng,
                               EvalWorkspace& ws) const;
 
+  /// Sequentially stopped Monte-Carlo (kBlocked order only): draws trial
+  /// blocks per stats::next_block_width and stops at the first
+  /// between-block checkpoint where `rule` is satisfied, or at its
+  /// max-trial clamp. The stop decision depends only on the sampled
+  /// values, so a fixed seed reproduces the exact trial count. A rule
+  /// with no precision target (`StopRule::fixed(n)`) consumes the RNG
+  /// identically to sample_trials(env, rng, n, kBlocked) and returns a
+  /// bit-identical summary. rule.max_trials must be >= 2.
+  [[nodiscard]] AdaptiveResult sample_adaptive(const SlotEnvironment& env,
+                                               support::Rng& rng,
+                                               const stats::StopRule& rule,
+                                               EvalWorkspace& ws) const;
+  [[nodiscard]] AdaptiveResult sample_adaptive(const SlotEnvironment& env,
+                                               support::Rng& rng,
+                                               const stats::StopRule& rule)
+      const;
+
   // --- Fused request-major evaluation ------------------------------------
   //
   // One sweep over the node buffer evaluates env.lanes() independent sets
@@ -267,6 +310,19 @@ class Program {
   void sample_fused(const LaneEnvironment& env, std::span<support::Rng> rngs,
                     std::size_t trials, EvalWorkspace& ws,
                     std::span<stoch::StochasticValue> out) const;
+
+  /// Fused sample_adaptive(): lane k draws from rngs[k] under rules[k].
+  /// Converged lanes retire at block boundaries and compact out of the
+  /// sweep while unconverged lanes keep drawing from their per-lane RNG
+  /// substreams; every lane's draws, trial count and summary are
+  /// bit-identical to sample_adaptive(env_k, rngs[k], rules[k]) run
+  /// alone, so mixed fixed-count and precision-target batches fuse
+  /// freely. rngs/rules/out sizes must equal env.lanes().
+  void sample_adaptive_fused(const LaneEnvironment& env,
+                             std::span<support::Rng> rngs,
+                             std::span<const stats::StopRule> rules,
+                             EvalWorkspace& ws,
+                             std::span<AdaptiveResult> out) const;
 
   /// A SlotEnvironment shaped for this program, all slots unbound.
   [[nodiscard]] SlotEnvironment make_environment() const {

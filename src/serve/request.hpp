@@ -34,8 +34,19 @@ struct PredictRequest {
   std::vector<std::string> resources;
   stoch::StochasticValue bwavail = stoch::StochasticValue(1.0);
   std::string bwavail_resource;  ///< overrides `bwavail` when non-empty
-  std::size_t trials = 2000;     ///< kMonteCarlo only
+  std::size_t trials = 2000;     ///< kMonteCarlo: trial count; with a
+                                 ///< precision target, the max-trial clamp
   std::uint64_t seed = 1;        ///< kMonteCarlo only
+  /// kMonteCarlo precision target: when > 0 trials run in blocks and stop
+  /// at the first checkpoint where the CI half-width of the predicted
+  /// mean is at or below this value (sequential stopping), clamped to
+  /// [min_trials, trials]. Hitting the `trials` clamp with the target
+  /// unmet is a structured partial-precision outcome (kOk with
+  /// `precision_met` false), never an error. 0 keeps the fixed count.
+  double precision = 0.0;
+  bool precision_relative = false;  ///< `precision` is a fraction of |mean|
+  std::size_t min_trials = 64;      ///< floor before the precision stop may
+                                    ///< fire (ignored when precision == 0)
 };
 
 struct PredictResult {
@@ -55,6 +66,12 @@ struct PredictResult {
   std::uint64_t epoch_version = 0;  ///< bindings epoch served under (0: none)
   std::size_t batch_size = 1;     ///< requests sharing this evaluation
   double latency_seconds = 0.0;   ///< submit -> completion, service clock
+  // Monte-Carlo execution detail (zero / defaulted for other modes):
+  std::size_t mc_trials = 0;      ///< trials actually executed
+  double mc_ci_halfwidth = 0.0;   ///< achieved CI half-width of the mean
+  /// False only for a precision-target request whose target was still
+  /// unmet at the `trials` clamp (partial precision; status stays kOk).
+  bool precision_met = true;
 
   [[nodiscard]] bool ok() const noexcept { return status == Status::kOk; }
 };

@@ -105,6 +105,8 @@ PredictionShard::PredictionShard(std::size_t index,
                       local_.counter("requests_fused")},
       mc_chunks_{global.counter("mc_chunks_executed"),
                  local_.counter("mc_chunks_executed")},
+      mc_trials_saved_{global.counter("mc_trials_saved"),
+                       local_.counter("mc_trials_saved")},
       epochs_published_(local_.counter("epochs_published")),
       cache_hits_{global.counter("cache_hits"), local_.counter("cache_hits")},
       cache_misses_{global.counter("cache_misses"),
@@ -146,7 +148,9 @@ PredictionShard::PredictionShard(std::size_t index,
                            std::max<std::size_t>(options.max_batch, 1)),
           local_.histogram("fused_batch_occupancy",
                            static_cast<double>(options.max_batch) + 1.0,
-                           std::max<std::size_t>(options.max_batch, 1))} {
+                           std::max<std::size_t>(options.max_batch, 1))},
+      mc_trials_{global.histogram("mc_trials_executed", 32769.0, 256),
+                 local_.histogram("mc_trials_executed", 32769.0, 256)} {
   SSPRED_REQUIRE(options_.workers >= 1, "shard needs at least one worker");
   SSPRED_REQUIRE(options_.mc_chunk_trials >= 2,
                  "mc_chunk_trials must be at least 2");
@@ -296,7 +300,10 @@ bool PredictionShard::coalescable(const Job& a, const Job& b) const {
     return false;
   }
   if (ra.mode == Mode::kMonteCarlo &&
-      (ra.trials != rb.trials || ra.seed != rb.seed)) {
+      (ra.trials != rb.trials || ra.seed != rb.seed ||
+       ra.precision != rb.precision ||
+       ra.precision_relative != rb.precision_relative ||
+       ra.min_trials != rb.min_trials)) {
     return false;
   }
   return true;
@@ -310,12 +317,15 @@ bool PredictionShard::fusable(const Job& a, const Job& b) const {
   const std::uint64_t eb = b.epoch ? b.epoch->version() : 0;
   if (ea != eb) return false;
   if (ra.mode == Mode::kMonteCarlo) {
-    // Lanes of one sweep share the trial count (distinct seeds are fine —
-    // each lane drives its own RNG substream). Chunked requests
-    // (trials > mc_chunk_trials) keep the fan-out path, and sample_fused
-    // needs at least 2 trials, like sample_trials.
-    if (ra.trials != rb.trials) return false;
+    // Each lane runs its own trial schedule (the adaptive fused sweep
+    // legalizes unequal trial counts and mixed fixed-count +
+    // precision-target batches; distinct seeds drive per-lane RNG
+    // substreams either way). Chunked requests (trials >
+    // mc_chunk_trials) keep the fan-out path — for a precision target
+    // `trials` is the max clamp, so an oversized clamp runs solo
+    // adaptive instead — and sampling needs at least 2 trials.
     if (ra.trials < 2 || ra.trials > options_.mc_chunk_trials) return false;
+    if (rb.trials < 2 || rb.trials > options_.mc_chunk_trials) return false;
   }
   if (ra.model_id == rb.model_id) return true;
   // Submit-time registration stamps prove structural equality without
@@ -630,7 +640,7 @@ void PredictionShard::execute_job(Job&& job, std::vector<Pending>&& extra,
     resolve_bindings(job, *model, loads, bwavail);
 
     const auto& request = job.request;
-    if (request.mode == Mode::kMonteCarlo &&
+    if (request.mode == Mode::kMonteCarlo && request.precision <= 0.0 &&
         request.trials > options_.mc_chunk_trials) {
       // Fan the trials out as chunk tasks; the last chunk to finish
       // combines the partials and resolves the whole batch. Chunking is
@@ -683,8 +693,30 @@ void PredictionShard::execute_job(Job&& job, std::vector<Pending>&& extra,
       }
       case Mode::kMonteCarlo: {
         support::Rng rng(request.seed);
-        base.value = model->program().sample_trials(env, rng, request.trials,
-                                                    state.ws);
+        if (request.precision > 0.0) {
+          // Sequential stopping: run trial blocks until the CI target is
+          // met, clamped to [min_trials, trials]. Precision targets
+          // bypass the chunk fan-out above — the stop rule needs the
+          // single-stream block schedule, and it typically finishes far
+          // below any clamp worth chunking. Hitting the clamp with the
+          // target unmet is a partial-precision kOk, never an error.
+          const model::ir::AdaptiveResult adaptive =
+              model->program().sample_adaptive(
+                  env, rng, stop_rule_for(request), state.ws);
+          base.value = adaptive.value;
+          base.mc_trials = adaptive.trials;
+          base.mc_ci_halfwidth = adaptive.ci_halfwidth;
+          base.precision_met = adaptive.converged;
+        } else {
+          base.value = model->program().sample_trials(env, rng,
+                                                      request.trials,
+                                                      state.ws);
+          base.mc_trials = request.trials;
+          base.mc_ci_halfwidth =
+              base.value.halfwidth() /
+              std::sqrt(static_cast<double>(request.trials));
+        }
+        record_mc(request, base.mc_trials);
         base.point = base.value.mean();
         break;
       }
@@ -722,6 +754,7 @@ void PredictionShard::execute_fused(std::vector<FusedLane>&& lanes,
 
   CompiledModelPtr model;
   ModelTable::EntryPtr leader_entry;
+  bool mc_adaptive = false;
   try {
     // One registry pass validates the whole sweep instead of a per-lane
     // resolve: fusable() already proved structural equality from the
@@ -796,10 +829,37 @@ void PredictionShard::execute_fused(std::vector<FusedLane>&& lanes,
         for (const auto& lane : lanes) {
           state.rngs.emplace_back(lane.job.request.seed);
         }
-        model->program().sample_fused(
-            state.lane_env, {state.rngs.data(), requests},
-            lanes.front().job.request.trials, state.ws,
-            {state.fused_values.data(), requests});
+        for (const auto& lane : lanes) {
+          const auto& r = lane.job.request;
+          if (r.precision > 0.0 ||
+              r.trials != lanes.front().job.request.trials) {
+            mc_adaptive = true;
+            break;
+          }
+        }
+        if (mc_adaptive) {
+          // Mixed fixed/precision lanes (or unequal trial counts): the
+          // adaptive fused sweep runs each lane's own stop rule,
+          // retiring converged lanes at block boundaries; every lane
+          // stays bit-exact against its solo run.
+          state.rules.clear();
+          for (const auto& lane : lanes) {
+            state.rules.push_back(stop_rule_for(lane.job.request));
+          }
+          state.adaptive.resize(requests);
+          model->program().sample_adaptive_fused(
+              state.lane_env, {state.rngs.data(), requests},
+              {state.rules.data(), requests}, state.ws,
+              {state.adaptive.data(), requests});
+          for (std::size_t k = 0; k < requests; ++k) {
+            state.fused_values[k] = state.adaptive[k].value;
+          }
+        } else {
+          model->program().sample_fused(
+              state.lane_env, {state.rngs.data(), requests},
+              lanes.front().job.request.trials, state.ws,
+              {state.fused_values.data(), requests});
+        }
         break;
       }
     }
@@ -822,6 +882,23 @@ void PredictionShard::execute_fused(std::vector<FusedLane>&& lanes,
       base.value = state.fused_values[k];
       base.point = base.value.mean();
     }
+    if (mode == Mode::kMonteCarlo) {
+      const auto& request = lane.job.request;
+      if (mc_adaptive && request.precision > 0.0) {
+        base.mc_trials = state.adaptive[k].trials;
+        base.mc_ci_halfwidth = state.adaptive[k].ci_halfwidth;
+        base.precision_met = state.adaptive[k].converged;
+      } else {
+        // Fixed-count lanes stamp the same derived width as the solo
+        // sample_trials path, keeping fused and solo results identical
+        // field for field.
+        base.mc_trials = request.trials;
+        base.mc_ci_halfwidth =
+            base.value.halfwidth() /
+            std::sqrt(static_cast<double>(request.trials));
+      }
+      record_mc(request, base.mc_trials);
+    }
     LearnOverlay overlay;
     if (learning_active()) {
       overlay.features = std::move(state.lane_features[k]);
@@ -834,6 +911,24 @@ void PredictionShard::execute_fused(std::vector<FusedLane>&& lanes,
     lane.extra.push_back(Pending{lane.job.id, std::move(lane.job.promise)});
     finish_batch(lane.extra, std::move(base), lane.job.enqueue_time,
                  lane.job.request.model_id, std::move(overlay));
+  }
+}
+
+stats::StopRule PredictionShard::stop_rule_for(const PredictRequest& request) {
+  stats::StopRule rule;
+  rule.target = request.precision;
+  rule.relative = request.precision_relative;
+  rule.max_trials = request.trials;
+  rule.min_trials = std::min(std::max<std::size_t>(request.min_trials, 2),
+                             request.trials);
+  return rule;
+}
+
+void PredictionShard::record_mc(const PredictRequest& request,
+                                std::size_t executed) {
+  mc_trials_.observe(static_cast<double>(executed));
+  if (request.precision > 0.0 && executed < request.trials) {
+    mc_trials_saved_.increment(request.trials - executed);
   }
 }
 
@@ -903,6 +998,9 @@ void PredictionShard::execute_chunk(const McChunk& chunk, WorkerState& state) {
   base.status = PredictResult::Status::kOk;
   base.value = stoch::StochasticValue::from_mean_sd(mean, std::sqrt(var));
   base.point = mean;
+  base.mc_trials = shared.total_trials;
+  base.mc_ci_halfwidth = base.value.halfwidth() / std::sqrt(n);
+  mc_trials_.observe(n);
   base.epoch_version = shared.epoch_version;
   base.batch_size = shared.promises.size();
   LearnOverlay overlay;

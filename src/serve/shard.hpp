@@ -303,6 +303,9 @@ class PredictionShard {
     std::vector<double> fused_points;
     std::vector<stoch::StochasticValue> lane_loads;
     std::vector<std::vector<double>> lane_features;  ///< learning only
+    // Adaptive-precision pools (mixed fixed/precision fused sweeps).
+    std::vector<stats::StopRule> rules;
+    std::vector<model::ir::AdaptiveResult> adaptive;
 
     [[nodiscard]] model::ir::SlotEnvironment& env_for(
         const CompiledModelPtr& model);
@@ -317,6 +320,14 @@ class PredictionShard {
   /// evaluation throw in any lane).
   void execute_fused(std::vector<FusedLane>&& lanes, WorkerState& state);
   void execute_chunk(const McChunk& chunk, WorkerState& state);
+  /// The request's sequential stop rule: precision target + relative flag,
+  /// `min_trials` floor, `trials` as the max clamp (a fixed rule when no
+  /// target is set).
+  [[nodiscard]] static stats::StopRule stop_rule_for(
+      const PredictRequest& request);
+  /// Observes the executed-trials histogram and, for precision targets,
+  /// the trials-saved counter (clamp minus executed). Once per evaluation.
+  void record_mc(const PredictRequest& request, std::size_t executed);
   /// Resolves the request's model against the CURRENT registration
   /// (cache or fresh compile per options); submit-time stamps only group.
   /// `entry_out` (optional) receives the registration snapshot resolved
@@ -421,6 +432,9 @@ class PredictionShard {
   DualCounter coalesced_;
   DualCounter requests_fused_;
   DualCounter mc_chunks_;
+  /// Trials a precision target let the engine skip (request clamp minus
+  /// executed count, summed over adaptive evaluations).
+  DualCounter mc_trials_saved_;
   /// Local only: the facade counts one service-wide publish, not one
   /// per shard it fanned out to.
   Counter& epochs_published_;
@@ -440,6 +454,9 @@ class PredictionShard {
   DualHistogram latency_;
   DualHistogram batch_sizes_;
   DualHistogram fused_occupancy_;
+  /// Monte-Carlo trials actually executed per evaluation (adaptive stops
+  /// show up as mass below the requested clamp).
+  DualHistogram mc_trials_;
 
   std::vector<std::thread> threads_;  ///< last member: joins see all state
 };

@@ -215,6 +215,9 @@ std::vector<std::uint8_t> encode_request(const PredictRequest& request,
   put_string(out, request.bwavail_resource);
   put_u64(out, request.trials);
   put_u64(out, request.seed);
+  put_f64(out, request.precision);
+  put_u8(out, request.precision_relative ? 1 : 0);
+  put_u64(out, request.min_trials);
   end_frame(out);
   return out;
 }
@@ -231,6 +234,9 @@ std::vector<std::uint8_t> encode_response(const PredictResult& result,
   put_u64(out, static_cast<std::uint64_t>(result.batch_size));
   put_f64(out, result.latency_seconds);
   put_u8(out, result.source);
+  put_u64(out, static_cast<std::uint64_t>(result.mc_trials));
+  put_f64(out, result.mc_ci_halfwidth);
+  put_u8(out, result.precision_met ? 1 : 0);
   end_frame(out);
   return out;
 }
@@ -262,6 +268,9 @@ DecodedRequest decode_request(const std::uint8_t* data, std::size_t size) {
   out.request.bwavail_resource = r.str();
   out.request.trials = r.u64();
   out.request.seed = r.u64();
+  out.request.precision = r.f64();
+  out.request.precision_relative = r.u8() != 0;
+  out.request.min_trials = r.u64();
   r.expect_done("request");
   return out;
 }
@@ -284,6 +293,9 @@ DecodedResponse decode_response(const std::uint8_t* data, std::size_t size) {
   out.result.batch_size = r.u64();
   out.result.latency_seconds = r.f64();
   out.result.source = r.u8();
+  out.result.mc_trials = r.u64();
+  out.result.mc_ci_halfwidth = r.f64();
+  out.result.precision_met = r.u8() != 0;
   r.expect_done("response");
   return out;
 }

@@ -41,8 +41,11 @@ namespace sspred::serve {
 
 inline constexpr std::uint16_t kWireMagic = 0x5350;  // "SP"
 /// Version 2 appended the serving-source byte to the response body
-/// (PredictResult::source). Decoding is strict per version.
-inline constexpr std::uint8_t kWireVersion = 2;
+/// (PredictResult::source). Version 3 appended the adaptive-precision
+/// fields: precision/precision_relative/min_trials to the request body,
+/// mc_trials/mc_ci_halfwidth/precision_met to the response body.
+/// Decoding is strict per version.
+inline constexpr std::uint8_t kWireVersion = 3;
 
 enum class WireType : std::uint8_t {
   kRequest = 1,

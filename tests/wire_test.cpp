@@ -33,6 +33,9 @@ PredictRequest sample_request() {
   request.bwavail_resource = "net/segment0";
   request.trials = 4096;
   request.seed = 1234567890123ULL;
+  request.precision = 0.025;
+  request.precision_relative = true;
+  request.min_trials = 96;
   return request;
 }
 
@@ -51,6 +54,9 @@ TEST(Wire, RequestRoundTripsEveryField) {
   EXPECT_EQ(decoded.request.bwavail_resource, request.bwavail_resource);
   EXPECT_EQ(decoded.request.trials, request.trials);
   EXPECT_EQ(decoded.request.seed, request.seed);
+  EXPECT_EQ(decoded.request.precision, request.precision);
+  EXPECT_EQ(decoded.request.precision_relative, request.precision_relative);
+  EXPECT_EQ(decoded.request.min_trials, request.min_trials);
 }
 
 TEST(Wire, ResourceRequestRoundTrips) {
@@ -75,6 +81,9 @@ TEST(Wire, ResponseRoundTripsEveryField) {
   result.epoch_version = 12;
   result.batch_size = 6;
   result.latency_seconds = 0.125;
+  result.mc_trials = 1536;
+  result.mc_ci_halfwidth = 0.0125;
+  result.precision_met = false;
   const auto bytes = encode_response(result, 99);
   const auto decoded = decode_response(bytes.data() + 4, bytes.size() - 4);
   EXPECT_EQ(decoded.client_tag, 99u);
@@ -87,6 +96,9 @@ TEST(Wire, ResponseRoundTripsEveryField) {
   EXPECT_EQ(decoded.result.epoch_version, result.epoch_version);
   EXPECT_EQ(decoded.result.batch_size, result.batch_size);
   EXPECT_EQ(decoded.result.latency_seconds, result.latency_seconds);
+  EXPECT_EQ(decoded.result.mc_trials, result.mc_trials);
+  EXPECT_EQ(decoded.result.mc_ci_halfwidth, result.mc_ci_halfwidth);
+  EXPECT_EQ(decoded.result.precision_met, result.precision_met);
 }
 
 TEST(Wire, MalformedFramesThrowStructuredErrors) {
